@@ -1,0 +1,18 @@
+"""E16 / §2.3 footnote: BTB tag truncation across CPU generations —
+SkyLake-family aliases at 8 GiB, IceLake only at 16 GiB."""
+
+from conftest import report
+
+from repro.analysis import ascii_table
+from repro.experiments import run_generation_sweep
+
+
+def test_abl_generations(benchmark):
+    result = benchmark.pedantic(run_generation_sweep,
+                                rounds=1, iterations=1)
+    rows = [(name, keep, at_8g, at_16g)
+            for name, (keep, at_8g, at_16g) in result.table.items()]
+    report("§2.3 footnote — tag truncation per generation",
+           ascii_table(("generation", "kept tag bits",
+                        "collides @8GiB", "collides @16GiB"), rows))
+    assert result.all_correct

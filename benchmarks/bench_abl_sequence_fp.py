@@ -1,0 +1,59 @@
+"""E15 / §8.3 (implemented future work): sequence-alignment
+fingerprinting vs the set metric under measurement noise."""
+
+import random
+
+from conftest import report
+
+from repro.analysis import mean, pct
+from repro.fingerprint import (apply_measurement_noise, downsample,
+                               generate_corpus, sequence_similarity,
+                               set_similarity)
+
+
+def _evaluate(noise: float, corpus, rng):
+    """Mean self-vs-best-impostor margins for both matchers at a
+    given noise level."""
+    set_margins, seq_margins = [], []
+    for victim in corpus[:12]:
+        noisy = apply_measurement_noise(
+            victim.measured, error_rate=noise, drop_rate=noise,
+            seed=rng.randrange(1 << 30))
+        noisy_seq = downsample(noisy, 80)
+        impostors = rng.sample(corpus, 8)
+        set_self = set_similarity(noisy, victim.static_pcs)
+        seq_self = sequence_similarity(
+            noisy_seq, downsample(sorted(victim.static_pcs), 80))
+        set_best = max(set_similarity(noisy, imp.static_pcs)
+                       for imp in impostors if imp is not victim)
+        seq_best = max(
+            sequence_similarity(noisy_seq,
+                                downsample(sorted(imp.static_pcs), 80))
+            for imp in impostors if imp is not victim)
+        set_margins.append(set_self - set_best)
+        seq_margins.append(seq_self - seq_best)
+    return mean(set_margins), mean(seq_margins)
+
+
+def test_abl_sequence_fingerprinting(benchmark):
+    corpus = generate_corpus(size=120, seed=77)
+    rng = random.Random(7)
+
+    def run():
+        return {noise: _evaluate(noise, corpus, rng)
+                for noise in (0.0, 0.05, 0.15)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for noise, (set_margin, seq_margin) in results.items():
+        lines.append(
+            f"noise {pct(noise)}: self-vs-impostor margin — "
+            f"set metric {set_margin:+.2f}, "
+            f"sequence alignment {seq_margin:+.2f}")
+    lines.append("both matchers keep positive margins under noise; "
+                 "alignment additionally uses ordering (§8.3)")
+    report("§8.3 — sequence-alignment fingerprinting ablation",
+           "\n".join(lines))
+    for set_margin, seq_margin in results.values():
+        assert set_margin > 0
+        assert seq_margin > 0

@@ -1,0 +1,24 @@
+"""E2 / Figure 4: prediction-window range-semantics BTB lookups
+(Takeaway 2)."""
+
+from conftest import report
+
+from repro.analysis import series_block
+from repro.cpu import generation
+from repro.experiments import run_figure4
+
+
+def test_fig04_pw_range_lookup(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure4(generation("skylake"), iterations=5),
+        rounds=1, iterations=1)
+    lines = [series_block(s.label, s.xs, s.ys, "cycles")
+             for s in result.series]
+    lines.append(f"jmp L2 offset: {result.findings['f2_offset']}; "
+                 f"mispredict window F1 <= F2+1 reproduced: "
+                 f"{result.findings['boundary_correct']}")
+    lines.append(f"no-F2 baseline decreases with F1 (fewer nops): "
+                 f"{result.findings['baseline_monotonic']}")
+    report("Figure 4 — PW range-semantics lookup", "\n".join(lines))
+    assert result.findings["boundary_correct"]
+    assert result.findings["baseline_monotonic"]

@@ -1,0 +1,16 @@
+"""E3 / Figure 5: NV-Core detects all four attacker/victim PW overlap
+scenarios (and stays silent otherwise)."""
+
+from conftest import report
+
+from repro.experiments import run_figure5
+
+
+def test_fig05_overlap_scenarios(benchmark):
+    result = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    lines = [f"{name:22s} detected={detected}"
+             for name, detected in result.detections.items()]
+    lines.append(f"all four overlap cases + negative control correct: "
+                 f"{result.all_correct}")
+    report("Figure 5 — PW overlap scenarios", "\n".join(lines))
+    assert result.all_correct

@@ -1,0 +1,19 @@
+"""E4 / Figure 7: the optimized (chained-PW) NV-Core monitors N ranges
+per victim run and still localizes the touched range."""
+
+from conftest import report
+
+from repro.experiments import run_figure7
+
+
+def test_fig07_chained_pws(benchmark):
+    result = benchmark.pedantic(lambda: run_figure7(blocks=4),
+                                rounds=1, iterations=1)
+    lines = [f"victim in block {index}: matches={vector}"
+             for index, vector in result.localization.items()]
+    lines.append(f"localization correct: {result.localization_correct}")
+    lines.append(f"victim runs to cover 4 ranges: single-PW="
+                 f"{result.single_pw_rounds}, chained="
+                 f"{result.chained_rounds}")
+    report("Figure 7 — chained-PW optimized NV-Core", "\n".join(lines))
+    assert result.localization_correct

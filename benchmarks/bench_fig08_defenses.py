@@ -1,0 +1,21 @@
+"""E8 / Figure 8 + §5: the software-defense arms race — balancing,
+-falign-jumps, CFR, balancing+CFR all fail against NV-U."""
+
+from conftest import report
+
+from repro.analysis import ascii_table, pct
+from repro.experiments import run_defense_grid
+
+
+def test_fig08_software_defenses(benchmark):
+    grid = benchmark.pedantic(
+        lambda: run_defense_grid(runs=15, timing_noise=2.0),
+        rounds=1, iterations=1)
+    rows = [(name, result.runs, pct(result.accuracy),
+             "LEAKS" if result.accuracy > 0.9 else "holds")
+            for name, result in grid.items()]
+    report("Figure 8 / §5 — software defenses vs NV-U",
+           ascii_table(("defense", "runs", "accuracy", "verdict"),
+                       rows))
+    for name, result in grid.items():
+        assert result.accuracy > 0.9, name

@@ -1,0 +1,28 @@
+"""E9 / Figure 10: PW traversal structure — run counts for the
+paper's fixed 128/N sweep vs the locality-adaptive sweep, plus
+byte-granular extraction accuracy for both."""
+
+from conftest import report
+
+from repro.analysis import pct
+from repro.experiments import run_figure10
+
+
+def test_fig10_pw_traversal(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure10(pws_per_call=8,
+                             inputs={"ta": 12, "tb": 8}),
+        rounds=1, iterations=1)
+    report("Figure 10 — PW traversal (N=8 PWs per NV-Core call)",
+           "\n".join([
+               f"dynamic steps measured: {result.steps}",
+               f"pass-1 full-page sweep budget (128/N): "
+               f"{result.expected_sweep_runs} enclave re-executions",
+               f"paper-strategy total runs: {result.paper_runs}, "
+               f"accuracy {pct(result.paper_accuracy)}",
+               f"adaptive-strategy total runs: {result.adaptive_runs},"
+               f" accuracy {pct(result.adaptive_accuracy)}",
+           ]))
+    assert result.paper_accuracy > 0.97
+    assert result.adaptive_accuracy > 0.97
+    assert result.adaptive_runs <= result.paper_runs

@@ -1,0 +1,41 @@
+"""E10 / Figure 12 + §7.3: identify GCD and bn_cmp among a function
+corpus using only NV-S-extracted PC traces of encrypted enclaves.
+
+Corpus size defaults to 2,000 (paper: 175,168); scale with
+NV_CORPUS_SIZE.
+"""
+
+from conftest import corpus_size, report
+
+from repro.analysis import pct
+from repro.experiments import run_figure12
+
+
+def test_fig12_fingerprint_corpus(benchmark):
+    size = corpus_size()
+    result = benchmark.pedantic(
+        lambda: run_figure12(corpus_size=size),
+        rounds=1, iterations=1)
+    top5_gcd = ", ".join(pct(v) for v in result.top_vs_gcd[:5])
+    top5_cmp = ", ".join(pct(v) for v in result.top_vs_bncmp[:5])
+    report("Figure 12 — function fingerprinting", "\n".join([
+        f"corpus: {result.corpus_size} functions "
+        f"(paper: 175,168; NV_CORPUS_SIZE to scale)",
+        f"GCD:    self-similarity {pct(result.gcd.self_similarity)} "
+        f"(paper: 75.8%), extraction used "
+        f"{result.gcd.extraction_runs} enclave runs",
+        f"        best corpus impostors vs GCD ref: {top5_gcd}",
+        f"        GCD identified as top-1: {result.gcd_identified}",
+        f"bn_cmp: self-similarity "
+        f"{pct(result.bn_cmp.self_similarity)} (paper: 88.2%), "
+        f"extraction used {result.bn_cmp.extraction_runs} runs",
+        f"        best corpus impostors vs bn_cmp ref: {top5_cmp}",
+        f"        bn_cmp identified as top-1: "
+        f"{result.bncmp_identified}",
+        "note: our self-similarity exceeds the paper's because the "
+        "set metric ignores fusion-dropped PCs and the simulator's "
+        "extraction is nearly error-free; the identification result "
+        "(reference on top with a wide gap) is the reproduced shape",
+    ]))
+    assert result.gcd_identified
+    assert result.bncmp_identified

@@ -1,0 +1,25 @@
+"""E12 / Figure 13 (right): GCD fingerprint similarity across
+-O0/-O2/-O3 — similarity degrades off the diagonal, so the attacker
+must prepare per-configuration references."""
+
+from conftest import report
+
+from repro.analysis import ascii_table
+from repro.experiments import run_figure13_optlevels
+
+
+def test_fig13_optlevels(benchmark):
+    matrix = benchmark.pedantic(run_figure13_optlevels,
+                                rounds=1, iterations=1)
+    headers = ("victim \\ ref",) + matrix.labels
+    rows = [
+        (victim,) + tuple(f"{matrix.value(victim, ref):.2f}"
+                          for ref in matrix.labels)
+        for victim in matrix.labels
+    ]
+    lines = [ascii_table(headers, rows),
+             f"diagonal minimum {matrix.diagonal_min():.2f} vs "
+             f"off-diagonal maximum {matrix.off_diagonal_max():.2f}"]
+    report("Figure 13 (right) — similarity across optimization levels",
+           "\n".join(lines))
+    assert matrix.diagonal_min() > matrix.off_diagonal_max()

@@ -1,0 +1,28 @@
+"""E11 / Figure 13 (left): GCD fingerprint similarity across mbedTLS
+versions 2.5–3.1 — block structure by source version."""
+
+from conftest import report
+
+from repro.analysis import ascii_table
+from repro.experiments import run_figure13_versions, version_groups
+
+
+def test_fig13_versions(benchmark):
+    matrix = benchmark.pedantic(run_figure13_versions,
+                                rounds=1, iterations=1)
+    headers = ("victim \\ ref",) + matrix.labels
+    rows = [
+        (victim,) + tuple(f"{matrix.value(victim, ref):.2f}"
+                          for ref in matrix.labels)
+        for victim in matrix.labels
+    ]
+    groups = version_groups()
+    lines = [ascii_table(headers, rows)]
+    lines.append(f"same-source groups: "
+                 f"{ {g: list(m) for g, m in groups.items()} }")
+    lines.append(f"within-group minimum: "
+                 f"{matrix.diagonal_min():.2f}; cross-group maximum: "
+                 f"{matrix.off_diagonal_max(groups):.2f}")
+    report("Figure 13 (left) — similarity across mbedTLS versions",
+           "\n".join(lines))
+    assert matrix.diagonal_min() > matrix.off_diagonal_max(groups)

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the simulation substrate itself: core
+throughput, interpreter throughput, BTB lookup rate, NV-Core
+prime+probe round cost.  Regression guards for the wall-clock of the
+big experiments."""
+
+from repro.core import NvCore, PwRange
+from repro.cpu import (BTB, Core, MachineState, generation, interpret)
+from repro.isa import Assembler, Kind
+from repro.memory import VirtualMemory
+from repro.system import Kernel
+
+
+def _loop_program(iterations=500):
+    asm = Assembler(base=0x400000)
+    asm.emit("movi", "rcx", iterations)
+    asm.label("loop")
+    asm.emit("addi8", "rax", 1)
+    asm.emit("xor", "rbx", "rax")
+    asm.emit("dec", "rcx")
+    asm.emit("test", "rcx", "rcx")
+    asm.emit("jne8", "loop")
+    asm.emit("hlt")
+    return asm.assemble()
+
+
+def _machine(program):
+    memory = VirtualMemory()
+    program.load_into(memory)
+    state = MachineState(memory, rip=program.entry)
+    state.setup_stack(0x7FFF0000)
+    return state
+
+
+def test_micro_core_throughput(benchmark):
+    program = _loop_program()
+    core = Core(generation("coffeelake"))
+
+    def run():
+        state = _machine(program)
+        return core.run(state).instructions
+
+    instructions = benchmark(run)
+    assert instructions > 2000
+
+
+def test_micro_interp_throughput(benchmark):
+    program = _loop_program()
+
+    def run():
+        return interpret(_machine(program)).instructions
+
+    instructions = benchmark(run)
+    assert instructions > 2000
+
+
+def test_micro_btb_lookup(benchmark):
+    btb = BTB(generation("skylake"))
+    for index in range(64):
+        btb.allocate(0x400000 + index * 64 + 17, 0x999,
+                     Kind.DIRECT_JUMP)
+
+    def run():
+        hits = 0
+        for index in range(256):
+            if btb.lookup(0x400000 + index * 16) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_micro_prime_probe_round(benchmark):
+    kernel = Kernel(Core(generation("coffeelake")))
+    nv = NvCore(kernel)
+    session = nv.monitor(PwRange(0x400400, 0x400420).split(2))
+
+    def round_trip():
+        session.prime()
+        return session.probe()
+
+    matched = benchmark(round_trip)
+    assert matched == [False, False]

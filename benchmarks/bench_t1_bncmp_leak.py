@@ -1,0 +1,21 @@
+"""E6 / §7.2: NV-U leaks the IPP bn_cmp balanced branch (paper: 100 %
+over 100 runs)."""
+
+from conftest import report
+
+from repro.analysis import pct
+from repro.experiments import run_bncmp_leak
+
+
+def test_t1_bncmp_leak(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bncmp_leak(runs=100, timing_noise=2.0),
+        rounds=1, iterations=1)
+    report("§7.2 — bn_cmp secret-comparison leak (use case 1)",
+           "\n".join([
+               f"victim: {result.label}",
+               f"runs: {result.runs}",
+               f"comparison-direction accuracy: "
+               f"{pct(result.accuracy)} (paper: 100%)",
+           ]))
+    assert result.accuracy >= 0.99

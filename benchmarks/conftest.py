@@ -1,0 +1,40 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark registers a human-readable findings report via
+:func:`report`; a terminal-summary hook prints them all at the end of
+the run, so ``pytest benchmarks/ --benchmark-only | tee ...`` captures
+both the timing table and the reproduced paper numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def report(title: str, body: str) -> None:
+    """Record a findings block to print after the run."""
+    _REPORTS.append((title, body))
+
+
+def corpus_size(default: int = 2000) -> int:
+    """Benchmark corpus size; override with NV_CORPUS_SIZE
+    (paper: 175,168)."""
+    return int(os.environ.get("NV_CORPUS_SIZE", str(default)))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 70)
+    write("NightVision reproduction — experiment findings")
+    write("=" * 70)
+    for title, body in _REPORTS:
+        write("")
+        write(f"--- {title} ---")
+        for line in body.splitlines():
+            write(line)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Use case 2 (paper §6, §7.3): fingerprinting private enclave code.
+
+The victim is an SGX enclave whose binary is *encrypted* (PCL-style):
+the attacker never reads a single code byte.  NV-S single-steps the
+enclave, binary-searches every dynamic instruction's address with
+BTB prime+probe, slices the recovered PC trace at call/ret
+boundaries, and identifies the GCD function among a corpus of
+reference functions by pure address-set similarity.
+
+Run:  python examples/enclave_fingerprinting.py
+(takes a couple of minutes: tens of full enclave re-executions)
+"""
+
+from repro.analysis import ascii_table, pct
+from repro.cpu import Core, generation
+from repro.errors import EnclaveAccessError
+from repro.experiments import extract_victim_function
+from repro.fingerprint import (FingerprintIndex, generate_corpus,
+                               set_similarity)
+from repro.lang import CompileOptions
+from repro.victims import build_gcd_victim
+from repro.victims.library import ENCLAVE_DATA_BASE
+
+
+def main() -> None:
+    config = generation("coffeelake")
+    victim = build_gcd_victim(
+        "3.0", options=CompileOptions(opt_level=2), nlimbs=1,
+        with_yield=False, data_base=ENCLAVE_DATA_BASE)
+
+    # Demonstrate code confidentiality: the platform cannot read the
+    # enclave's code pages.
+    host, enclave = victim.new_enclave({"ta": 1, "tb": 1})
+    code_base = victim.compiled.program.segments[0][0]
+    try:
+        host.memory.read_bytes(code_base, 16)
+        raise AssertionError("EPC should not be readable!")
+    except EnclaveAccessError:
+        print(f"code at {code_base:#x} is EPC-protected: "
+              f"attacker read -> EnclaveAccessError")
+
+    print("extracting the dynamic PC trace with NV-S "
+          "(single-step + PW binary search)...")
+    artifacts = extract_victim_function(
+        victim, {"ta": 2 * 3 * 17 * 23, "tb": 2 * 3 * 29}, config)
+    print(f"  extraction used {artifacts.extraction_runs} enclave "
+          f"re-executions")
+    print(f"  sliced GCD invocation: {len(artifacts.normalized)} "
+          f"measured PCs, self-similarity "
+          f"{pct(artifacts.self_similarity)}")
+
+    print("scoring against a reference corpus...")
+    corpus = generate_corpus(size=300, seed=9)
+    scored = [("mpi_gcd (reference)", artifacts.self_similarity)]
+    scored += [
+        (fn.name, set_similarity(artifacts.normalized, fn.static_pcs))
+        for fn in corpus
+    ]
+    scored.sort(key=lambda item: item[1], reverse=True)
+    print(ascii_table(("rank", "reference function", "similarity"),
+                      [(rank + 1, name, pct(score))
+                       for rank, (name, score) in
+                       enumerate(scored[:8])]))
+    verdict = "IDENTIFIED" if scored[0][0].startswith("mpi_gcd") \
+        else "missed"
+    print(f"\n=> the encrypted enclave's GCD was {verdict} among "
+          f"{len(corpus)} + 1 candidates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy-install shim.
+
+Environments without the ``wheel`` package cannot complete a PEP 660
+editable install with older setuptools; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern toolchains) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

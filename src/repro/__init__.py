@@ -1,0 +1,71 @@
+"""NightVision reproduction (ISCA 2023).
+
+A full-system simulation reproduction of *"All Your PC Are Belong to
+Us: Exploiting Non-control-Transfer Instruction BTB Updates for
+Dynamic PC Extraction"* (Yu, Jaeger, Fletcher).
+
+Layers (bottom-up):
+
+* :mod:`repro.isa` / :mod:`repro.memory` — a 64-bit ISA with
+  x86-like instruction lengths, assembler/disassembler, paged sparse
+  virtual memory;
+* :mod:`repro.cpu` — the front-end model: a BTB implementing the
+  paper's two reverse-engineered takeaways (range-semantics lookups,
+  false-hit deallocation), prediction-window fetch with cycle
+  accounting, LBR, macro-fusion, post-interrupt fetch-ahead and
+  speculation;
+* :mod:`repro.system` / :mod:`repro.sgx` — kernel, scheduler,
+  enclaves with encrypted code (PCL), SGX-Step, controlled channels;
+* :mod:`repro.lang` / :mod:`repro.victims` / :mod:`repro.defenses` —
+  a mini-compiler (O0/O2/O3 + defense passes), the mbedTLS-style GCD
+  and IPP-style bn_cmp victims, and every defense the paper defeats
+  (plus the ones that work);
+* :mod:`repro.core` — **NightVision itself**: NV-Core prime+probe,
+  NV-U, NV-S with full dynamic-PC-trace extraction;
+* :mod:`repro.fingerprint` / :mod:`repro.experiments` — use case 2
+  and the harnesses reproducing every figure and table.
+
+Quick start::
+
+    from repro.experiments import run_figure2
+    result = run_figure2()
+    print(result.findings["boundary_correct"])   # True
+
+See README.md for the full tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401  (re-exported subpackages)
+    analysis,
+    core,
+    cpu,
+    defenses,
+    errors,
+    experiments,
+    fingerprint,
+    isa,
+    lang,
+    memory,
+    sgx,
+    system,
+    victims,
+)
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "core",
+    "cpu",
+    "defenses",
+    "errors",
+    "experiments",
+    "fingerprint",
+    "isa",
+    "lang",
+    "memory",
+    "sgx",
+    "system",
+    "victims",
+]

@@ -1,0 +1,27 @@
+"""Statistics and plain-text reporting used by the experiment
+harnesses and benchmarks."""
+
+from .report import ascii_table, pct, series_block, spark
+from .stats import (
+    accuracy,
+    confidence_interval_95,
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+)
+
+__all__ = [
+    "accuracy",
+    "ascii_table",
+    "confidence_interval_95",
+    "mean",
+    "median",
+    "pct",
+    "percentile",
+    "series_block",
+    "spark",
+    "stdev",
+    "summarize",
+]

@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results (benches print these)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_table(headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width)
+                         for value, width in zip(row, widths)).rstrip()
+    separator = "  ".join("-" * width for width in widths)
+    out = [line(headers), separator]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def spark(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low or 1.0
+    return "".join(
+        _BARS[int((value - low) / span * (len(_BARS) - 1))]
+        for value in values
+    )
+
+
+def series_block(label: str, xs: Sequence[object],
+                 ys: Sequence[float], unit: str = "") -> str:
+    """A labelled series with sparkline and range, for figure benches."""
+    suffix = f" {unit}" if unit else ""
+    return (f"{label}: {spark(ys)}  "
+            f"[{min(ys):.1f}..{max(ys):.1f}]{suffix} "
+            f"({len(ys)} points, x={xs[0]}..{xs[-1]})")
+
+
+def pct(value: float) -> str:
+    return f"{100 * value:.1f}%"

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every reproducible experiment with its paper artefact.
+``run <experiment> [--fast]``
+    Run one experiment harness and print its findings.
+``demo``
+    A 30-second tour: Takeaways 1 & 2 plus one NV-Core detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from .analysis import ascii_table, pct, series_block
+
+#: experiment name -> (paper artefact, runner returning printable text)
+_EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {}
+
+
+def _register(name: str, artefact: str):
+    def wrap(runner):
+        _EXPERIMENTS[name] = (artefact, runner)
+        return runner
+    return wrap
+
+
+@_register("fig2", "Figure 2 — non-branch BTB deallocation")
+def _fig2(fast: bool) -> str:
+    from .experiments import run_figure2
+    result = run_figure2(iterations=2 if fast else 10)
+    lines = [series_block(s.label, s.xs, s.ys, "cycles")
+             for s in result.series]
+    lines.append(f"boundary F2 < F1+2 reproduced: "
+                 f"{result.findings['boundary_correct']}")
+    return "\n".join(lines)
+
+
+@_register("fig4", "Figure 4 — PW range-semantics lookup")
+def _fig4(fast: bool) -> str:
+    from .experiments import run_figure4
+    result = run_figure4(iterations=2 if fast else 10)
+    lines = [series_block(s.label, s.xs, s.ys, "cycles")
+             for s in result.series]
+    lines.append(f"boundary F1 < F2+2 reproduced: "
+                 f"{result.findings['boundary_correct']}")
+    return "\n".join(lines)
+
+
+@_register("fig5", "Figure 5 — overlap scenarios")
+def _fig5(fast: bool) -> str:
+    from .experiments import run_figure5
+    result = run_figure5()
+    lines = [f"{name}: detected={hit}"
+             for name, hit in result.detections.items()]
+    lines.append(f"all correct: {result.all_correct}")
+    return "\n".join(lines)
+
+
+@_register("fig7", "Figure 7 — chained PWs")
+def _fig7(fast: bool) -> str:
+    from .experiments import run_figure7
+    result = run_figure7()
+    return (f"localization correct: {result.localization_correct}\n"
+            f"victim runs: chained={result.chained_rounds} vs "
+            f"single-PW={result.single_pw_rounds}")
+
+
+@_register("gcd-leak", "§7.2 — GCD secret-branch leak (use case 1)")
+def _gcd(fast: bool) -> str:
+    from .experiments import run_gcd_leak
+    result = run_gcd_leak(runs=5 if fast else 100)
+    return (f"{result.label}: accuracy {pct(result.accuracy)} over "
+            f"{result.total_iterations} iterations "
+            f"({result.runs} runs; paper: 99.3%)")
+
+
+@_register("bncmp-leak", "§7.2 — bn_cmp leak (use case 1)")
+def _bncmp(fast: bool) -> str:
+    from .experiments import run_bncmp_leak
+    result = run_bncmp_leak(runs=10 if fast else 100)
+    return (f"{result.label}: accuracy {pct(result.accuracy)} "
+            f"({result.runs} runs; paper: 100%)")
+
+
+@_register("defenses", "Figure 8 / §5 — software defense grid")
+def _defenses(fast: bool) -> str:
+    from .experiments import run_defense_grid
+    grid = run_defense_grid(runs=3 if fast else 20)
+    return ascii_table(
+        ("defense", "accuracy", "verdict"),
+        [(name, pct(r.accuracy),
+          "LEAKS" if r.accuracy > 0.9 else "holds")
+         for name, r in grid.items()])
+
+
+@_register("mitigations", "§8.2 — hardware mitigations + oblivious")
+def _mitigations(fast: bool) -> str:
+    from .experiments import run_hardware_grid, run_oblivious
+    grid = run_hardware_grid(runs=3 if fast else 15)
+    rows = [(name, pct(r.accuracy),
+             "LEAKS" if r.accuracy > 0.9 else "holds")
+            for name, r in grid.items()]
+    oblivious = run_oblivious(keys=3 if fast else 8)
+    rows.append(("data-oblivious gcd",
+                 f"info rate {pct(oblivious.information_rate)}",
+                 "holds" if oblivious.information_rate == 0
+                 else "LEAKS"))
+    return ascii_table(("mitigation", "accuracy", "verdict"), rows)
+
+
+@_register("traversal", "Figure 10 — PW traversal run counts")
+def _traversal(fast: bool) -> str:
+    from .experiments import run_figure10
+    result = run_figure10(
+        inputs={"ta": 6, "tb": 4} if fast else {"ta": 12, "tb": 8})
+    return (f"steps={result.steps}; 128/N budget="
+            f"{result.expected_sweep_runs}; paper strategy "
+            f"{result.paper_runs} runs @ {pct(result.paper_accuracy)};"
+            f" adaptive {result.adaptive_runs} runs @ "
+            f"{pct(result.adaptive_accuracy)}")
+
+
+@_register("fingerprint", "Figure 12 — function fingerprinting")
+def _fingerprint(fast: bool) -> str:
+    from .experiments import run_figure12
+    result = run_figure12(corpus_size=200 if fast else 2000)
+    return "\n".join([
+        f"corpus: {result.corpus_size} functions",
+        f"GCD self-sim {pct(result.gcd.self_similarity)}, "
+        f"identified: {result.gcd_identified}",
+        f"bn_cmp self-sim {pct(result.bn_cmp.self_similarity)}, "
+        f"identified: {result.bncmp_identified}",
+    ])
+
+
+@_register("versions", "Figure 13 — versions × opt levels")
+def _versions(fast: bool) -> str:
+    from .experiments import (run_figure13_optlevels,
+                              run_figure13_versions, version_groups)
+    left = run_figure13_versions()
+    right = run_figure13_optlevels()
+    return (f"versions: within-group min "
+            f"{left.diagonal_min():.2f} vs cross-group max "
+            f"{left.off_diagonal_max(version_groups()):.2f}\n"
+            f"opt levels: diagonal min {right.diagonal_min():.2f} vs "
+            f"off-diagonal max {right.off_diagonal_max():.2f}")
+
+
+@_register("generations", "§2.3 footnote — tag truncation sweep")
+def _generations(fast: bool) -> str:
+    from .experiments import run_generation_sweep
+    result = run_generation_sweep()
+    return ascii_table(
+        ("generation", "tag bits", "@8GiB", "@16GiB"),
+        [(name, keep, a, b)
+         for name, (keep, a, b) in result.table.items()])
+
+
+def _cmd_list() -> int:
+    print(ascii_table(
+        ("experiment", "paper artefact"),
+        [(name, artefact)
+         for name, (artefact, _) in _EXPERIMENTS.items()]))
+    return 0
+
+
+def _cmd_run(name: str, fast: bool) -> int:
+    if name not in _EXPERIMENTS:
+        known = ", ".join(_EXPERIMENTS)
+        print(f"unknown experiment {name!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    artefact, runner = _EXPERIMENTS[name]
+    print(f"== {artefact} ==")
+    started = time.time()
+    print(runner(fast))
+    print(f"({time.time() - started:.1f}s)")
+    return 0
+
+
+def _cmd_demo() -> int:
+    for name in ("fig2", "fig4", "fig5"):
+        _cmd_run(name, fast=True)
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NightVision (ISCA 2023) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment")
+    run.add_argument("--fast", action="store_true",
+                     help="reduced parameters for a quick look")
+    sub.add_parser("demo", help="30-second tour")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.fast)
+    if args.command == "demo":
+        return _cmd_demo()
+    return 2                                      # pragma: no cover
+
+
+if __name__ == "__main__":                        # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""NightVision — the paper's primary contribution.
+
+* :class:`NvCore` / :class:`ProbeSession` — the BTB Prime+Probe
+  primitive over attacker-built prediction-window snippets (§4.1);
+* :class:`NvUser` — fragment-granular monitoring for the user-level
+  attacker (§4.2) and :class:`ControlFlowLeakAttack`, use case 1 (§5);
+* :class:`NvSupervisor` — single-step-granular monitoring with full
+  dynamic-PC-trace extraction via PW traversal (§4.3, §6.3).
+"""
+
+from .cfl import CflResult, ControlFlowLeakAttack, Direction, arm_pw
+from .nv_core import NvCore, ProbeReading, ProbeSession
+from .nv_supervisor import NvSupervisor
+from .nv_user import FragmentObservation, NvUser, NvUserResult
+from .pw import ProbeCode, PwBuilder, PwRange, page_pws
+from .trace import ExtractedTrace, StepRecord
+from .traversal import PwTraversal, StepSearch
+
+__all__ = [
+    "CflResult",
+    "ControlFlowLeakAttack",
+    "Direction",
+    "ExtractedTrace",
+    "FragmentObservation",
+    "NvCore",
+    "NvSupervisor",
+    "NvUser",
+    "NvUserResult",
+    "ProbeCode",
+    "ProbeReading",
+    "ProbeSession",
+    "PwBuilder",
+    "PwRange",
+    "PwTraversal",
+    "StepRecord",
+    "StepSearch",
+    "arm_pw",
+    "page_pws",
+]

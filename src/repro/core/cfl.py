@@ -1,0 +1,177 @@
+"""Use case 1: the control-flow leakage attack (paper §5, Fig. 8).
+
+The attacker knows the (public, possibly hardened) victim binary and
+wants the direction of a secret-dependent balanced branch at every
+loop iteration.  Strategy (§5.2):
+
+* pick PW ranges that are sub-intervals of the *then* and *else* arm
+  address ranges (PW options 1 and 2 of Fig. 8);
+* run NV-U: one fragment per loop iteration (sched_yield-driven);
+* per fragment, deduce the direction from which arm's PW matched.
+  Monitoring both arms also detects fragments where neither arm ran —
+  the excessive-preemption filter the paper describes.
+
+This defeats branch balancing (both arms look identical but are at
+*different addresses*), ``-falign-jumps`` and CFR (the branch decision
+itself is never observed) — and survives IBRS/IBPB, which only drop
+indirect-branch BTB entries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import AttackError
+from ..lang.codegen import ArmRegion
+from ..memory.address import block_end
+from ..system.kernel import Kernel
+from ..system.process import Process
+from ..victims.library import VictimProgram
+from .nv_core import NvCore
+from .nv_user import NvUser
+from .pw import PwRange
+
+
+class Direction(enum.Enum):
+    """Per-iteration verdict for the secret branch."""
+
+    THEN = "then"
+    ELSE = "else"
+    NONE = "none"          # neither arm observed (no iteration ran)
+    AMBIGUOUS = "both"     # both arms observed (over-long fragment)
+
+
+def arm_pw(start: int, end: int, max_size: int = 16) -> PwRange:
+    """A PW that is a sub-interval of the arm ``[start, end)``.
+
+    PWs cannot cross a 32-byte fetch-block boundary, so take the
+    largest prefix of the arm inside its first block (>= 2 bytes).
+    """
+    limit = min(end, block_end(start), start + max_size)
+    if limit - start < 2:
+        # Arm starts at the last byte of a block: step to the next
+        # block (the arm is longer than 2 bytes in practice).
+        start2 = block_end(start)
+        limit = min(end, start2 + max_size, block_end(start2))
+        if limit - start2 < 2:
+            raise AttackError(
+                f"arm [{start:#x},{end:#x}) too small for a PW")
+        return PwRange(start2, limit)
+    return PwRange(start, limit)
+
+
+@dataclass
+class CflResult:
+    """Outcome of one attacked victim run."""
+
+    directions: List[Direction]
+    #: per-fragment raw matches [(then_matched, else_matched), ...]
+    raw: List[Tuple[bool, bool]]
+
+    def inferred(self) -> List[bool]:
+        """Directions as booleans (True = then), skipping fragments
+        where no iteration was observed."""
+        return [d is Direction.THEN for d in self.directions
+                if d in (Direction.THEN, Direction.ELSE)]
+
+    def accuracy_against(self, truth: List[bool]) -> float:
+        """Fraction of ground-truth iterations correctly recovered.
+
+        Observed directions are matched positionally against the truth
+        sequence; missing/ambiguous fragments count as errors.
+        """
+        if not truth:
+            return 1.0
+        usable = [d for d in self.directions
+                  if d is not Direction.NONE]
+        correct = 0
+        for expected, direction in zip(truth, usable):
+            if direction is (Direction.THEN if expected
+                             else Direction.ELSE):
+                correct += 1
+        return correct / len(truth)
+
+
+class ControlFlowLeakAttack:
+    """End-to-end §5 attack against a :class:`VictimProgram`."""
+
+    def __init__(self, kernel: Kernel, victim_program: VictimProgram, *,
+                 arm_index: Optional[int] = None,
+                 detector: str = "hybrid",
+                 monitor_both_arms: bool = True):
+        self.kernel = kernel
+        self.victim_program = victim_program
+        self.nv = NvCore(kernel, detector=detector)
+        self.nv_user = NvUser(self.nv)
+        self.monitor_both_arms = monitor_both_arms
+        self.arm = self._select_arm(arm_index)
+        self.then_pw = arm_pw(self.arm.then_start, self.arm.then_end)
+        self.else_pw = arm_pw(self.arm.else_start, self.arm.else_end)
+        ranges = ([self.then_pw, self.else_pw]
+                  if monitor_both_arms else [self.else_pw])
+        self.session = self.nv.monitor(ranges)
+
+    def _select_arm(self, arm_index: Optional[int]) -> ArmRegion:
+        compiled = self.victim_program.compiled
+        arms = compiled.arms_in(self.victim_program.secret_function)
+        if not arms:
+            raise AttackError(
+                f"no if/else in {self.victim_program.secret_function}")
+        if arm_index is None:
+            # The secret branch is the if/else with the largest arms
+            # (the GCD reduce step); ties break to the first.
+            arm_index = max(
+                range(len(arms)),
+                key=lambda i: min(
+                    arms[i].then_end - arms[i].then_start,
+                    arms[i].else_end - arms[i].else_start),
+            )
+        return arms[arm_index]
+
+    # ------------------------------------------------------------------
+    def ground_truth(self, inputs: dict) -> List[bool]:
+        """Per-iteration truth: did the *then* arm execute?
+
+        Derived from the victim's own execution trace (arm entry PCs),
+        so it is correct for every source variant — including ones
+        like mbedTLS 2.16 whose swap-based rewrite permutes the
+        comparison operands across iterations.  Translate to key-bit
+        semantics via ``victim_program.then_arm_is_truth``.
+        """
+        trace = self.victim_program.ground_truth(inputs).trace
+        truth: List[bool] = []
+        for pc in trace:
+            if pc == self.arm.then_start:
+                truth.append(True)
+            elif pc == self.arm.else_start:
+                truth.append(False)
+        return truth
+
+    def attack(self, inputs: dict, *,
+               max_fragments: int = 10_000) -> CflResult:
+        """Run one victim instance to completion and classify every
+        fragment."""
+        victim = self.victim_program.new_process(inputs)
+        self.kernel.add_process(victim)
+        outcome = self.nv_user.run(victim, self.session,
+                                   max_fragments=max_fragments)
+        directions: List[Direction] = []
+        raw: List[Tuple[bool, bool]] = []
+        for observation in outcome.observations:
+            if self.monitor_both_arms:
+                then_hit, else_hit = observation.matched
+            else:
+                else_hit = observation.matched[0]
+                then_hit = not else_hit
+            raw.append((then_hit, else_hit))
+            if then_hit and else_hit:
+                directions.append(Direction.AMBIGUOUS)
+            elif then_hit:
+                directions.append(Direction.THEN)
+            elif else_hit:
+                directions.append(Direction.ELSE)
+            else:
+                directions.append(Direction.NONE)
+        return CflResult(directions=directions, raw=raw)

@@ -1,0 +1,201 @@
+"""NV-Core: the BTB Prime+Probe primitive (paper §4.1, Fig. 6).
+
+``NV-Core(PWs, p)`` answers: *did fragment p of the victim's execution
+fetch instruction bytes overlapping any of the monitored PW ranges?*
+
+Mechanics (all through architecturally-legal attacker behaviour):
+
+* **Prime** — execute the chained PW snippet; every terminating jump
+  allocates/refreshes a BTB entry indexed by the monitored range's
+  last byte.
+* *(victim fragment runs — driven by NV-U or NV-S, not by NV-Core)*
+* **Probe** — execute the snippet again and read the attacker's own
+  LBR.  Two observable signatures, matching Fig. 5:
+
+  - overlap cases (3)/(4): the victim's non-control-transfer fetches
+    false-hit the attacker's entry and *deallocate* it (Takeaway 1), so
+    the probe jump mispredicts — penalty visible in the elapsed cycles
+    of the **next** LBR record;
+  - overlap cases (1)/(2): the victim's taken branch allocated its own
+    entry at a smaller offset inside the range, so the probe fetch
+    false-hits *it* — penalty visible in the probe jump's **own**
+    record.
+
+Detection is a threshold test against calibrated no-victim baselines,
+exactly the differential-timing discipline the paper uses (§2.3); with
+``timing_noise`` configured on the core it is a genuinely noisy
+classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cpu.core import StopReason
+from ..errors import AttackError, CalibrationError
+from ..system.kernel import Kernel
+from ..system.process import Process
+from .pw import ProbeCode, PwBuilder, PwRange
+
+
+@dataclass
+class ProbeReading:
+    """Raw per-range measurements from one probe run (debugging)."""
+
+    own_elapsed: List[Optional[int]]
+    next_elapsed: List[Optional[int]]
+    mispredicted: List[bool]
+    prev_mispredicted: List[bool]
+    matched: List[bool]
+
+
+class ProbeSession:
+    """One monitored PW set: snippet mapped, baselines calibrated."""
+
+    def __init__(self, nv_core: "NvCore", probe_code: ProbeCode):
+        self.nv = nv_core
+        self.code = probe_code
+        self.baseline_own: List[float] = []
+        self.baseline_next: List[float] = []
+        probe_code.program.load_into(self.nv.attacker.memory)
+        self._calibrate()
+
+    # ------------------------------------------------------------------
+    def _run_snippet(self) -> None:
+        attacker = self.nv.attacker
+        attacker.state.rip = self.code.entry
+        result = self.nv.kernel.run_slice(attacker)
+        if result.reason is not StopReason.HALT:
+            raise AttackError(
+                f"probe snippet ended with {result.reason}, not HALT")
+
+    def _read_lbr(self) -> Tuple[List[Optional[int]],
+                                 List[Optional[int]],
+                                 List[bool], List[bool]]:
+        records = self.nv.kernel.core.lbr.records()
+        index_of: Dict[int, int] = {}
+        for position, record in enumerate(records):
+            index_of.setdefault(record.from_pc, position)
+        own: List[Optional[int]] = []
+        nxt: List[Optional[int]] = []
+        mispred: List[bool] = []
+        prev_mispred: List[bool] = []
+        for jmp_pc in self.code.jmp_pcs:
+            position = index_of.get(jmp_pc)
+            if position is None:
+                own.append(None)
+                nxt.append(None)
+                mispred.append(True)
+                prev_mispred.append(False)
+                continue
+            own.append(records[position].elapsed_cycles)
+            nxt.append(records[position + 1].elapsed_cycles
+                       if position + 1 < len(records) else None)
+            mispred.append(records[position].mispredicted)
+            prev_mispred.append(records[position - 1].mispredicted
+                                if position > 0 else False)
+        return own, nxt, mispred, prev_mispred
+
+    # ------------------------------------------------------------------
+    def prime(self) -> None:
+        """Allocate/refresh the BTB entries for every monitored range."""
+        self._run_snippet()
+
+    def _probe_raw(self):
+        self.nv.kernel.core.lbr.clear()
+        self._run_snippet()
+        return self._read_lbr()
+
+    def probe(self) -> List[bool]:
+        """Measure and classify each monitored range (True = the
+        victim's execution overlapped it)."""
+        return self.probe_detailed().matched
+
+    def probe_detailed(self) -> ProbeReading:
+        """One probe run, classified.
+
+        Two detectors (``NvCore.detector``):
+
+        * ``"hybrid"`` (default) — a range matched if its probe jump
+          itself mispredicted (entry deallocated: Fig. 5 cases 3/4,
+          surfaced by the LBR MISPRED bit) or its own elapsed cycles
+          are elevated while the *preceding* record predicted fine (a
+          false hit on a victim-allocated entry inside the range:
+          cases 1/2; the veto keeps an upstream glue mispredict from
+          being misattributed).
+        * ``"cycles"`` — pure elapsed-cycle thresholds on the jump's
+          own record and its successor, the paper's §2.3 methodology;
+          slightly blurrier at chained-PW boundaries.
+        """
+        own, nxt, mispred, prev_mispred = self._probe_raw()
+        delta = self.nv.threshold_delta
+        matched: List[bool] = []
+        for index in range(len(self.code.ranges)):
+            own_elevated = (
+                own[index] is not None
+                and own[index] - self.baseline_own[index] > delta)
+            next_elevated = (
+                nxt[index] is not None
+                and nxt[index] - self.baseline_next[index] > delta)
+            if self.nv.detector == "cycles":
+                hit = own_elevated or next_elevated \
+                    or own[index] is None
+            else:
+                hit = mispred[index] or (
+                    own_elevated and not prev_mispred[index])
+            matched.append(hit)
+        return ProbeReading(own, nxt, mispred, prev_mispred, matched)
+
+    # ------------------------------------------------------------------
+    def _calibrate(self) -> None:
+        """Learn no-victim baselines: warm up, then average a few
+        clean prime->probe rounds."""
+        rounds = self.nv.calibration_rounds
+        self.prime()                      # cold run: allocations
+        sums_own = [0.0] * len(self.code.ranges)
+        sums_next = [0.0] * len(self.code.ranges)
+        for _ in range(rounds):
+            own, nxt, _, _ = self._probe_raw()
+            for index in range(len(self.code.ranges)):
+                if own[index] is None or nxt[index] is None:
+                    raise CalibrationError(
+                        f"range {self.code.ranges[index]} produced no "
+                        f"LBR record during calibration")
+                sums_own[index] += own[index]
+                sums_next[index] += nxt[index]
+        self.baseline_own = [total / rounds for total in sums_own]
+        self.baseline_next = [total / rounds for total in sums_next]
+
+
+class NvCore:
+    """Factory/owner of probe sessions for one attacker process."""
+
+    def __init__(self, kernel: Kernel,
+                 attacker: Optional[Process] = None, *,
+                 alias_index: int = 2,
+                 calibration_rounds: int = 3,
+                 threshold_delta: Optional[float] = None,
+                 detector: str = "hybrid"):
+        if detector not in ("hybrid", "cycles"):
+            raise AttackError(f"unknown detector {detector!r}")
+        self.kernel = kernel
+        config = kernel.core.config
+        if attacker is None:
+            attacker = Process(name="nv-attacker")
+            kernel.add_process(attacker)
+        self.attacker = attacker
+        self.builder = PwBuilder(config.tag_keep_bits,
+                                 alias_index=alias_index)
+        self.calibration_rounds = calibration_rounds
+        self.detector = detector
+        self.threshold_delta = (
+            threshold_delta if threshold_delta is not None
+            else config.squash_penalty * 0.5)
+
+    def monitor(self, ranges: Sequence[PwRange]) -> ProbeSession:
+        """Build, map and calibrate a probe for ``ranges``."""
+        return ProbeSession(self, self.builder.build(ranges))
+
+    def monitor_range(self, start: int, end: int) -> ProbeSession:
+        return self.monitor([PwRange(start, end)])

@@ -1,0 +1,223 @@
+"""NV-S: the supervisor-level NightVision variant (paper §4.3, §6.3).
+
+NV-S owns every privileged capability the paper's threat model grants:
+SGX-Step single-stepping, controlled-channel page tracking (virtual
+page numbers), accessed-bit monitoring (call/ret confirmation) — and
+the shared-core BTB, through NV-Core.
+
+Full-trace extraction follows Fig. 9 / Fig. 10:
+
+1. a *discovery* run single-steps the whole enclave once, collecting
+   the step count, per-step candidate code pages and per-step
+   data-access bits;
+2. the PW traversal then re-executes the enclave ``128/N + log`` times,
+   priming/probing step-specific PW sets around every single step,
+   until each dynamic instruction's base address is known to the byte.
+
+Between steps the attacker rewrites its own probe snippets (Fig. 9
+line 8) — here, cached :class:`ProbeSession` objects re-mapped on
+demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AttackError
+from ..memory.address import PAGE_SIZE
+from ..sgx.controlled_channel import CodePageTracker, DataAccessMonitor
+from ..sgx.enclave import Enclave
+from ..sgx.sgxstep import SgxStepper
+from ..system.kernel import Kernel
+from ..system.process import Process
+from ..victims.library import VictimProgram
+from .nv_core import NvCore, ProbeSession
+from .pw import PwRange
+from .traversal import (PwTraversal, StepSearch,
+                        disambiguate_values, suspicious_steps)
+from .trace import ExtractedTrace, StepRecord
+
+
+@dataclass
+class _EnclaveRun:
+    host: Process
+    enclave: Enclave
+    stepper: SgxStepper
+    tracker: CodePageTracker
+    monitor: DataAccessMonitor
+
+    def close(self, kernel: Kernel) -> None:
+        self.tracker.uninstall()
+        if self.host in kernel.processes:
+            kernel.processes.remove(self.host)
+
+
+class NvSupervisor:
+    """Drives full dynamic-PC-trace extraction from an enclave."""
+
+    def __init__(self, kernel: Kernel, *,
+                 pws_per_call: int = 8,
+                 detector: str = "hybrid",
+                 strategy: str = "adaptive",
+                 speculate: Optional[bool] = None,
+                 max_steps: int = 200_000):
+        self.kernel = kernel
+        self.nv = NvCore(kernel, detector=detector,
+                         calibration_rounds=1)
+        self.pws_per_call = pws_per_call
+        self.strategy = strategy
+        #: run the exhaustive second sweep over suspicious steps
+        self.second_round = True
+        self.speculate = speculate
+        self.max_steps = max_steps
+        self._sessions: Dict[Tuple[Tuple[int, int], ...],
+                             ProbeSession] = {}
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    # enclave lifecycle
+    # ------------------------------------------------------------------
+    def _new_run(self, victim: VictimProgram,
+                 inputs: dict) -> _EnclaveRun:
+        host, enclave = victim.new_enclave(inputs)
+        self.kernel.add_process(host)
+        stepper = SgxStepper(self.kernel, host, enclave)
+        tracker = CodePageTracker(self.kernel, host, enclave)
+        monitor = DataAccessMonitor(host, enclave)
+        tracker.install()
+        stepper.enter(entry=victim.compiled.start)
+        return _EnclaveRun(host, enclave, stepper, tracker, monitor)
+
+    # ------------------------------------------------------------------
+    # probe session cache
+    # ------------------------------------------------------------------
+    def _session_for(self, queries: Sequence[PwRange]
+                     ) -> Optional[ProbeSession]:
+        if not queries:
+            return None
+        key = tuple((pw.start, pw.end) for pw in queries)
+        session = self._sessions.get(key)
+        if session is None:
+            session = self.nv.monitor(list(queries))
+            self._sessions[key] = session
+        else:
+            # Another cached session may have overwritten these bytes
+            # in the attacker's address space: re-map before use.
+            session.code.program.load_into(self.nv.attacker.memory)
+        return session
+
+    # ------------------------------------------------------------------
+    # phase 0: discovery (step count, pages, data-access bits)
+    # ------------------------------------------------------------------
+    def discover(self, victim: VictimProgram,
+                 inputs: dict) -> List[StepRecord]:
+        run = self._new_run(victim, inputs)
+        records: List[StepRecord] = []
+        try:
+            index = 0
+            while index < self.max_steps:
+                page_before = run.tracker.current_page
+                faults_before = len(run.tracker.page_trace)
+                run.monitor.arm()
+                step = run.stepper.step(speculate=self.speculate)
+                if step.retired:
+                    pages = []
+                    if page_before is not None:
+                        pages.append(page_before * PAGE_SIZE)
+                    for vpn in run.tracker.page_trace[faults_before:]:
+                        base = vpn * PAGE_SIZE
+                        if base not in pages:
+                            pages.append(base)
+                    records.append(StepRecord(
+                        index=index,
+                        page_bases=tuple(sorted(pages)),
+                        pc=None,
+                        data_access=run.monitor.touched_any(),
+                    ))
+                    index += 1
+                if not step.running:
+                    return records
+            raise AttackError(
+                f"enclave exceeded {self.max_steps} steps")
+        finally:
+            run.close(self.kernel)
+
+    # ------------------------------------------------------------------
+    # one full traversal pass (one enclave re-execution)
+    # ------------------------------------------------------------------
+    def _run_pass(self, victim: VictimProgram, inputs: dict,
+                  traversal: PwTraversal) -> None:
+        run = self._new_run(victim, inputs)
+        try:
+            index = 0
+            while index < traversal.num_steps:
+                queries = traversal.queries_for(index)
+                session = self._session_for(queries)
+                if session is not None:
+                    session.prime()
+                step = run.stepper.step(speculate=self.speculate)
+                if step.retired and session is not None:
+                    matched = session.probe()
+                    self.probes += 1
+                    traversal.record(index, list(queries), matched)
+                if step.retired:
+                    index += 1
+                if not step.running:
+                    break
+        finally:
+            run.close(self.kernel)
+
+    # ------------------------------------------------------------------
+    # the full Fig. 9 attack
+    # ------------------------------------------------------------------
+    def extract_trace(self, victim: VictimProgram,
+                      inputs: dict) -> ExtractedTrace:
+        """Recover the byte-granular base PC of every retire unit.
+
+        Round 1 runs the configured sweep strategy; steps whose
+        resolution looks like a §6.3 speculation artifact (or failed)
+        get a second, exhaustive sweep round restricted to them, and
+        the combined candidate sets go through the paper's cross-step
+        disambiguation.
+        """
+        records = self.discover(victim, inputs)
+        page_bases = [list(record.page_bases) or [0]
+                      for record in records]
+        traversal = PwTraversal(
+            num_steps=len(records),
+            page_bases=page_bases,
+            pws_per_call=self.pws_per_call,
+            strategy=self.strategy,
+        )
+        runs = 1                       # the discovery run
+        while not traversal.finished:
+            self._run_pass(victim, inputs, traversal)
+            traversal.advance()
+            runs += 1
+        values = traversal.value_sets()
+        chosen = disambiguate_values(values)
+        retry = suspicious_steps(chosen, values)
+        if retry and self.second_round:
+            second = PwTraversal(
+                num_steps=len(records),
+                page_bases=page_bases,
+                pws_per_call=self.pws_per_call,
+                strategy="paper",
+                restrict_to=retry,
+                tested_preseed=[search.tested
+                                for search in traversal.steps],
+            )
+            while not second.finished:
+                self._run_pass(victim, inputs, second)
+                second.advance()
+                runs += 1
+            for index, extra in enumerate(second.value_sets()):
+                if extra:
+                    values[index] = sorted(set(values[index]) |
+                                           set(extra))
+            chosen = disambiguate_values(values)
+        for record, base in zip(records, chosen):
+            record.pc = base
+        return ExtractedTrace(steps=records, runs=runs,
+                              probes=self.probes)

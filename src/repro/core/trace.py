@@ -1,0 +1,59 @@
+"""Extracted-trace data model (what NV-S ultimately produces).
+
+A NightVision-extracted trace is a sequence of *retire-unit base PCs*:
+for every single-stepped unit, the byte-granular address its fetch
+started at.  Macro-fused ALU+Jcc pairs appear as one entry (their
+leading PC) — the measurement artifact behind the <100 % self-
+similarity the paper reports in §7.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class StepRecord:
+    """Everything NightVision learned about one dynamic step."""
+
+    index: int
+    #: candidate page bases (controlled channel), lowest first
+    page_bases: Tuple[int, ...]
+    #: resolved byte-granular base PC (None if the search failed)
+    pc: Optional[int]
+    #: did this step touch a data page? (call/ret classifier input)
+    data_access: bool = False
+
+
+@dataclass
+class ExtractedTrace:
+    """The full output of an NV-S extraction (Fig. 9)."""
+
+    steps: List[StepRecord] = field(default_factory=list)
+    #: number of complete enclave re-executions used
+    runs: int = 0
+    #: total NV-Core prime+probe invocations
+    probes: int = 0
+
+    @property
+    def pcs(self) -> List[int]:
+        """Resolved PCs, in dynamic order (unresolved steps dropped)."""
+        return [step.pc for step in self.steps if step.pc is not None]
+
+    @property
+    def resolution_rate(self) -> float:
+        if not self.steps:
+            return 0.0
+        resolved = sum(1 for step in self.steps if step.pc is not None)
+        return resolved / len(self.steps)
+
+    def accuracy_against(self, truth: Sequence[int]) -> float:
+        """Fraction of steps whose PC matches the ground-truth unit
+        starts (positional comparison)."""
+        if not truth:
+            return 1.0
+        correct = sum(
+            1 for step, expected in zip(self.steps, truth)
+            if step.pc == expected)
+        return correct / max(len(truth), len(self.steps))

@@ -1,0 +1,257 @@
+"""Branch Target Buffer model.
+
+Implements the behaviour the paper reverse-engineers:
+
+* **Organisation** (§2.1): set-associative; every access derives a
+  5-bit *offset* (byte within the 32-byte fetch block), a *set index*,
+  and a *truncated tag* — address bits at and above ``tag_keep_bits``
+  (33 for SkyLake-family, 34 for IceLake) are ignored, so PCs that are
+  8/16 GiB apart alias onto the same entry.
+
+* **Takeaway 2** (§2.4): a lookup from fetch PC *p* hits an entry iff
+  the entry has the same tag and set index and an offset **greater than
+  or equal to** *p*'s offset; among multiple hits, the smallest such
+  offset wins.  This gives BTB lookups range-query semantics over the
+  prediction window.
+
+* **Takeaway 1** (§2.3): when the predicted entry turns out to describe
+  a non-control-transfer instruction (a *false hit*), the entry is
+  **deallocated** as soon as decode detects the problem — even if the
+  triggering instruction never retires.  Deallocation is performed by
+  the front end (:mod:`repro.cpu.core`) via :meth:`BTB.deallocate`.
+
+The optional *partitioning* mode models the §8.2 mitigation: entries
+are tagged with a security-domain id, so cross-domain collisions become
+impossible and NightVision is defeated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CpuError
+from ..memory.address import BLOCK_SHIFT, block_offset, truncate
+from ..isa.instructions import INDIRECT_KINDS, Kind
+from .config import CpuGeneration, DEFAULT_GENERATION
+
+
+@dataclass
+class BTBEntry:
+    """One BTB entry: a (truncated) branch PC mapped to its target.
+
+    Entries are indexed by the **last byte** of the branch instruction.
+    This matches the paper's measured boundaries: Figure 2 shows
+    collisions for ``F2 < F1 + 2`` (a nop landing on either byte of the
+    2-byte ``jmp`` deallocates its entry) and Figure 4 shows the range
+    lookup selecting ``jmp L2``'s entry while ``F1 <= F2 + 1``.
+    """
+
+    valid: bool = False
+    tag: int = 0
+    set_index: int = 0
+    offset: int = 0            # 5-bit byte offset within the fetch block
+    target: int = 0            # full predicted target PC
+    kind: Kind = Kind.DIRECT_JUMP
+    domain: int = 0            # security domain (partitioning mode only)
+    lru: int = 0               # last-touch stamp
+
+    def matches(self, tag: int, domain: int, partitioned: bool) -> bool:
+        if not self.valid or self.tag != tag:
+            return False
+        return (not partitioned) or self.domain == domain
+
+
+@dataclass
+class BTBStats:
+    """Counters exposed for tests and benchmarks."""
+
+    lookups: int = 0
+    hits: int = 0
+    allocations: int = 0
+    target_updates: int = 0
+    deallocations: int = 0
+    evictions: int = 0
+    indirect_flushes: int = 0
+    full_flushes: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class BTB:
+    """Set-associative Branch Target Buffer with range-query lookups."""
+
+    def __init__(self, config: Optional[CpuGeneration] = None):
+        self.config = config if config is not None else DEFAULT_GENERATION
+        sets = self.config.btb_sets
+        if sets <= 0 or sets & (sets - 1):
+            raise CpuError(f"btb_sets must be a power of two: {sets}")
+        self._set_bits = sets.bit_length() - 1
+        self._sets: List[List[BTBEntry]] = [
+            [BTBEntry() for _ in range(self.config.btb_ways)]
+            for _ in range(sets)
+        ]
+        self._clock = 0
+        #: Security domain of the code currently executing (only
+        #: consulted when ``config.btb_partitioning`` is set).
+        self.current_domain = 0
+        self.stats = BTBStats()
+
+    # ------------------------------------------------------------------
+    # field extraction
+    # ------------------------------------------------------------------
+    def fields(self, pc: int) -> Tuple[int, int, int]:
+        """Split ``pc`` into ``(tag, set_index, offset)`` after tag
+        truncation."""
+        truncated = truncate(pc, self.config.tag_keep_bits)
+        offset = block_offset(truncated)
+        set_index = (truncated >> BLOCK_SHIFT) & (self.config.btb_sets - 1)
+        tag = truncated >> (BLOCK_SHIFT + self._set_bits)
+        return tag, set_index, offset
+
+    def aliases(self, a: int, b: int) -> bool:
+        """Do two PCs map to the same (tag, set, offset) triple?"""
+        return self.fields(a) == self.fields(b)
+
+    # ------------------------------------------------------------------
+    # access (fetch-time prediction)
+    # ------------------------------------------------------------------
+    def lookup(self, fetch_pc: int) -> Optional[BTBEntry]:
+        """Range-semantics lookup (Takeaway 2).
+
+        Returns the valid entry with the same tag/set whose offset is
+        >= the fetch PC's offset, preferring the smallest such offset;
+        ``None`` on a miss.  Does not modify any entry.
+        """
+        self.stats.lookups += 1
+        tag, set_index, offset = self.fields(fetch_pc)
+        best: Optional[BTBEntry] = None
+        partitioned = self.config.btb_partitioning
+        for entry in self._sets[set_index]:
+            if not entry.matches(tag, self.current_domain, partitioned):
+                continue
+            if entry.offset < offset:
+                continue
+            if best is None or entry.offset < best.offset:
+                best = entry
+        if best is not None:
+            self.stats.hits += 1
+        return best
+
+    def predicted_end_byte(self, fetch_pc: int, entry: BTBEntry) -> int:
+        """Reconstruct the address of the predicted branch's *last
+        byte* within the fetch block of ``fetch_pc``.
+
+        Only the low ``tag_keep_bits`` of the branch PC are stored in
+        the BTB; the front end assumes the branch lives in the current
+        fetch block (which is how false hits arise)."""
+        return (fetch_pc & ~((1 << BLOCK_SHIFT) - 1)) | entry.offset
+
+    # ------------------------------------------------------------------
+    # update
+    # ------------------------------------------------------------------
+    def allocate(self, branch_end_pc: int, target: int,
+                 kind: Kind) -> BTBEntry:
+        """Install (or refresh) the entry for a taken branch.
+
+        ``branch_end_pc`` is the address of the branch's **last byte**
+        (``pc + length - 1``)."""
+        tag, set_index, offset = self.fields(branch_end_pc)
+        ways = self._sets[set_index]
+        partitioned = self.config.btb_partitioning
+        victim: Optional[BTBEntry] = None
+        for entry in ways:
+            if (entry.matches(tag, self.current_domain, partitioned)
+                    and entry.offset == offset):
+                victim = entry          # same branch: update in place
+                break
+        if victim is None:
+            for entry in ways:
+                if not entry.valid:
+                    victim = entry
+                    break
+        if victim is None:
+            victim = min(ways, key=lambda e: e.lru)
+            self.stats.evictions += 1
+        if victim.valid and (victim.tag, victim.offset) == (tag, offset):
+            self.stats.target_updates += 1
+        else:
+            self.stats.allocations += 1
+        victim.valid = True
+        victim.tag = tag
+        victim.set_index = set_index
+        victim.offset = offset
+        victim.target = target
+        victim.kind = kind
+        victim.domain = self.current_domain
+        self._touch(victim)
+        return victim
+
+    def update_target(self, entry: BTBEntry, target: int,
+                      kind: Optional[Kind] = None) -> None:
+        """Correct the target of an existing entry (wrong-target case)."""
+        entry.target = target
+        if kind is not None:
+            entry.kind = kind
+        self.stats.target_updates += 1
+        self._touch(entry)
+
+    def deallocate(self, entry: BTBEntry) -> None:
+        """Invalidate an entry after a false hit (Takeaway 1)."""
+        if entry.valid:
+            entry.valid = False
+            self.stats.deallocations += 1
+
+    def touch(self, entry: BTBEntry) -> None:
+        """Refresh replacement state after a correct prediction."""
+        self._touch(entry)
+
+    def _touch(self, entry: BTBEntry) -> None:
+        self._clock += 1
+        entry.lru = self._clock
+
+    # ------------------------------------------------------------------
+    # flush operations (mitigations, §4.1 / §8.2)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Invalidate everything (the §8.2 flush-on-switch mitigation)."""
+        for ways in self._sets:
+            for entry in ways:
+                entry.valid = False
+        self.stats.full_flushes += 1
+
+    def flush_indirect(self) -> None:
+        """IBRS/IBPB model (§4.1): only entries for *indirect* control
+        transfers are invalidated; direct jumps and conditional branches
+        survive, which is why NightVision is unaffected."""
+        for ways in self._sets:
+            for entry in ways:
+                if entry.valid and entry.kind in INDIRECT_KINDS:
+                    entry.valid = False
+        self.stats.indirect_flushes += 1
+
+    # ------------------------------------------------------------------
+    # introspection (tests / debugging only — attack code never calls)
+    # ------------------------------------------------------------------
+    def valid_entries(self) -> List[BTBEntry]:
+        return [
+            entry
+            for ways in self._sets
+            for entry in ways
+            if entry.valid
+        ]
+
+    def entry_for(self, branch_pc: int) -> Optional[BTBEntry]:
+        """Exact-match probe (same tag/set/offset), for tests."""
+        tag, set_index, offset = self.fields(branch_pc)
+        for entry in self._sets[set_index]:
+            if (entry.matches(tag, self.current_domain,
+                              self.config.btb_partitioning)
+                    and entry.offset == offset):
+                return entry
+        return None
+
+    def occupancy(self) -> int:
+        return len(self.valid_entries())

@@ -1,0 +1,553 @@
+"""Cycle-accounted pipelined front-end model.
+
+This is the substrate whose behaviour the whole reproduction rests on.
+It executes instructions architecturally (via
+:mod:`repro.cpu.semantics`) while modelling the *front end* the way the
+paper describes modern Intel cores:
+
+* **Prediction windows** — instructions are fetched in bundles confined
+  to one 32-byte-aligned block; each bundle either ends with a taken
+  control transfer or runs to the block boundary (§2.2).
+* **BTB range lookups** — each new PW performs one BTB lookup with
+  range semantics (Takeaway 2); a hit predicts where the PW's
+  terminating branch *ends* (entries are indexed by the branch's last
+  byte, matching the measured ``F2 < F1+2`` / ``F1 < F2+2`` boundaries
+  of Figures 2 and 4) and where it goes.
+* **False hits** — when decode discovers the predicted "branch" is a
+  non-control-transfer instruction (or not aligned with any
+  instruction's last byte), the pipeline squashes and the BTB entry is
+  **deallocated** (Takeaway 1), even though the triggering instruction
+  itself executes and retires normally.
+* **Cycle accounting** — a first-order timing model: per-PW fetch cost,
+  per-instruction issue cost, and a constant squash penalty for every
+  misprediction/false hit.  LBR records retire-to-retire elapsed
+  cycles, which is exactly what the paper measures.
+* **Macro-fusion** — fusible ALU + Jcc pairs retire as one unit, so a
+  single-step interrupt cannot split them (§7.3).
+* **Speculative look-ahead** — optionally, instructions past a retire
+  stop keep updating the BTB before the pipeline drains (§6.3 "Impact
+  of Speculative Execution").
+
+The BTB, LBR and cycle counter are *core* state, shared by every
+process/enclave context-switched onto this core.  That sharing is the
+side channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import (
+    DecodeError,
+    ExecutionLimitExceeded,
+    InvalidInstruction,
+    PageFault,
+)
+from ..isa.instructions import Instruction, Kind, SPECS_BY_OPCODE
+from ..memory.address import block_end
+from .btb import BTB, BTBEntry
+from .config import CpuGeneration, DEFAULT_GENERATION
+from .fusion import can_fuse
+from .lbr import LBR
+from .semantics import Outcome, execute
+from .state import MachineState
+
+
+class StopReason(enum.Enum):
+    """Why :meth:`Core.run` returned."""
+
+    HALT = "halt"
+    SYSCALL = "syscall"
+    RETIRE_LIMIT = "retire_limit"     # timer interrupt / single step
+    PAGE_FAULT = "page_fault"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Core.run` invocation."""
+
+    reason: StopReason
+    retired: int = 0                   # retire units (fused pair = 1)
+    instructions: int = 0              # architectural instructions
+    cycles: float = 0.0                # cycles consumed by this run
+    fault: Optional[PageFault] = None
+    #: retired instruction PCs, in order (only if collect_trace)
+    trace: Optional[List[int]] = None
+    #: leading PC of each retire unit (only if collect_trace)
+    unit_starts: Optional[List[int]] = None
+
+
+@dataclass
+class _PredictionWindow:
+    """Prediction context for the bundle currently being fetched."""
+
+    entry: Optional[BTBEntry]
+    #: address of the predicted branch's last byte, or None on BTB miss
+    pred_end: Optional[int]
+    limit: int
+
+
+class _SpecMemory:
+    """Store-buffer overlay used during speculative look-ahead.
+
+    Reads see speculative stores; writes never reach real memory.
+    Exposes the subset of the :class:`VirtualMemory` interface the
+    semantics layer touches.
+    """
+
+    def __init__(self, memory):
+        self._memory = memory
+        self._stores: Dict[int, int] = {}
+        self.page_table = memory.page_table
+        self.icache = memory.icache
+        self.access_filter = memory.access_filter
+        self.context = memory.context
+
+    def read_u64(self, address: int, **kwargs) -> int:
+        if address in self._stores:
+            return self._stores[address]
+        return self._memory.read_u64(address, **kwargs)
+
+    def write_u64(self, address: int, value: int, **kwargs) -> None:
+        self._stores[address] = value & (1 << 64) - 1
+
+    def read_bytes(self, address: int, size: int, **kwargs) -> bytes:
+        return self._memory.read_bytes(address, size, **kwargs)
+
+    def write_bytes(self, address: int, data: bytes, **kwargs) -> None:
+        # Byte-granular speculative stores are rare; model as dropped.
+        return None
+
+
+class Core:
+    """One simulated hardware thread's shared micro-architecture."""
+
+    #: hard runaway guard (architectural instructions per run call)
+    DEFAULT_INSTRUCTION_GUARD = 20_000_000
+
+    def __init__(self, config: Optional[CpuGeneration] = None):
+        self.config = config if config is not None else DEFAULT_GENERATION
+        self.btb = BTB(self.config)
+        self.lbr = LBR(timing_noise=self.config.timing_noise,
+                       seed=self.config.seed)
+        self.cycles: float = 0.0
+        self.total_retired: int = 0
+        #: extra issue cost for slow instructions, in cycles
+        self._extra_cost = {
+            "mul": 2.0, "imul": 2.0, "div": 20.0,
+            "load": 1.0, "loadw": 1.0, "store": 1.0, "storew": 1.0,
+            "syscall": 50.0, "lfence": 10.0,
+        }
+        self._issue_cost = 1.0 / self.config.issue_width
+        self._enclave_mode = False
+
+    # ------------------------------------------------------------------
+    # mode / context management (called by the system layer)
+    # ------------------------------------------------------------------
+    def context_switch(self, domain: Optional[int] = None) -> None:
+        """Apply the configured mitigation behaviour on a switch."""
+        if self.config.flush_btb_on_switch:
+            self.btb.flush()
+        elif self.config.ibrs_ibpb:
+            self.btb.flush_indirect()
+        if domain is not None:
+            self.btb.current_domain = domain
+
+    def set_enclave_mode(self, enabled: bool) -> None:
+        """Enclave entry disables LBR recording (SGX behaviour)."""
+        self._enclave_mode = enabled
+        self.lbr.enabled = not enabled
+
+    @property
+    def enclave_mode(self) -> bool:
+        return self._enclave_mode
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def _decode(self, state: MachineState,
+                pc: int) -> Tuple[Instruction, int]:
+        memory = state.memory
+        cached = memory.icache.get(pc)
+        if cached is not None:
+            # Permission check still applies on every fetch (controlled-
+            # channel attacks depend on seeing every executed page).
+            if memory.access_filter is not None:
+                memory.access_filter(pc, 1, "execute", memory.context)
+            memory.page_table.check(pc, "execute")
+            return cached  # type: ignore[return-value]
+        first = memory.read_bytes(pc, 1, access="execute")
+        spec = SPECS_BY_OPCODE.get(first[0])
+        if spec is None:
+            raise InvalidInstruction(
+                f"bad opcode {first[0]:#04x} at {pc:#x}")
+        blob = memory.read_bytes(pc, spec.length, access="execute")
+        try:
+            from ..isa.encoding import decode as _decode_bytes
+            instruction, length = _decode_bytes(blob, 0)
+        except DecodeError as error:
+            raise InvalidInstruction(str(error)) from error
+        memory.icache[pc] = (instruction, length)
+        return instruction, length
+
+    # ------------------------------------------------------------------
+    # main run loop
+    # ------------------------------------------------------------------
+    def run(self, state: MachineState, *,
+            max_retired: Optional[int] = None,
+            max_instructions: Optional[int] = None,
+            collect_trace: bool = False,
+            speculate_on_stop: Optional[bool] = None) -> RunResult:
+        """Execute from ``state.rip`` until a stop condition.
+
+        ``max_retired`` counts *retire units* (a macro-fused pair is
+        one unit) — this is the timer-interrupt / single-step knob.
+        On return, ``state.rip`` points at the next unexecuted
+        instruction (or at the faulting one for PAGE_FAULT).
+        """
+        guard = max_instructions or self.DEFAULT_INSTRUCTION_GUARD
+        start_cycles = self.cycles
+        retired = 0
+        instructions = 0
+        trace: Optional[List[int]] = [] if collect_trace else None
+        unit_starts: Optional[List[int]] = [] if collect_trace else None
+        pw: Optional[_PredictionWindow] = None
+
+        def result(reason: StopReason,
+                   fault: Optional[PageFault] = None) -> RunResult:
+            if reason is StopReason.RETIRE_LIMIT:
+                # The front end is ahead of retirement: it finishes
+                # decoding the in-flight prediction window(s), firing
+                # decode-time BTB deallocations for instructions that
+                # will never retire (§6.3).
+                self._drain_fetch_ahead(state, pw)
+                do_spec = (self.config.spec_lookahead > 0
+                           if speculate_on_stop is None
+                           else speculate_on_stop)
+                if do_spec:
+                    self._speculative_lookahead(state)
+            elif reason in (StopReason.HALT, StopReason.SYSCALL):
+                # Fetch ran ahead of the halting/trapping instruction
+                # too: the rest of its prediction window was decoded,
+                # so decode-time BTB effects still fire.
+                self._drain_fetch_ahead(state, pw)
+            return RunResult(
+                reason=reason, retired=retired, instructions=instructions,
+                cycles=self.cycles - start_cycles, fault=fault,
+                trace=trace, unit_starts=unit_starts,
+            )
+
+        while True:
+            if instructions >= guard:
+                raise ExecutionLimitExceeded(
+                    f"{instructions} instructions without stopping")
+            pc = state.rip
+            if pw is None:
+                self.cycles += self.config.fetch_cycles
+                pw = self._open_window(pc)
+
+            # A predicted branch-end byte we have walked past did not
+            # align with any instruction: false hit, deallocate.
+            while pw.pred_end is not None and pw.pred_end < pc:
+                self._false_hit(pw, pc)
+
+            if pc >= pw.limit:
+                # Bundle ran to the 32-byte boundary: next PW.
+                pw = None
+                continue
+
+            try:
+                instruction, length = self._decode(state, pc)
+            except PageFault as fault:
+                return result(StopReason.PAGE_FAULT, fault)
+
+            predicted_here = self._settle_prediction(pw, pc, length,
+                                                     instruction)
+
+            # ----- macro-fusion lookahead ------------------------------
+            fused_next: Optional[Tuple[Instruction, int]] = None
+            if (self.config.fusion_enabled and instruction.spec.fusible
+                    and not predicted_here):
+                try:
+                    candidate = self._decode(state, pc + length)
+                    if can_fuse(instruction, candidate[0]):
+                        fused_next = candidate
+                except (PageFault, InvalidInstruction):
+                    fused_next = None
+
+            # ----- architectural execution -----------------------------
+            try:
+                outcome = execute(state, instruction, pc)
+            except PageFault as fault:
+                return result(StopReason.PAGE_FAULT, fault)
+            instructions += 1
+            self.cycles += self._issue_cost + self._extra_cost.get(
+                instruction.mnemonic, 0.0)
+            if trace is not None:
+                trace.append(pc)
+            if unit_starts is not None:
+                unit_starts.append(pc)
+            state.rip = outcome.next_pc
+
+            pw_ended = False
+            if instruction.is_control:
+                pw_ended = self._resolve_control(
+                    pw, pc, length, instruction, outcome, predicted_here)
+            if outcome.halt:
+                retired += 1
+                return result(StopReason.HALT)
+            if outcome.syscall:
+                retired += 1
+                return result(StopReason.SYSCALL)
+
+            # ----- execute the fused Jcc as part of this retire unit ---
+            if fused_next is not None and state.rip == pc + length:
+                jcc, jcc_length = fused_next
+                jcc_pc = state.rip
+                while pw.pred_end is not None and pw.pred_end < jcc_pc:
+                    self._false_hit(pw, jcc_pc)
+                if jcc_pc >= pw.limit:
+                    # The jcc begins a new bundle; fusion still holds
+                    # micro-architecturally (one retire unit).
+                    self.cycles += self.config.fetch_cycles
+                    pw = self._open_window(jcc_pc)
+                jcc_predicted = self._settle_prediction(
+                    pw, jcc_pc, jcc_length, jcc)
+                try:
+                    jcc_outcome = execute(state, jcc, jcc_pc)
+                except PageFault as fault:
+                    retired += 1
+                    return result(StopReason.PAGE_FAULT, fault)
+                instructions += 1
+                self.cycles += self._issue_cost
+                if trace is not None:
+                    trace.append(jcc_pc)
+                state.rip = jcc_outcome.next_pc
+                pw_ended = self._resolve_control(
+                    pw, jcc_pc, jcc_length, jcc, jcc_outcome,
+                    jcc_predicted)
+
+            retired += 1
+            self.total_retired += 1
+            if pw_ended:
+                pw = None
+            if max_retired is not None and retired >= max_retired:
+                return result(StopReason.RETIRE_LIMIT)
+
+    # ------------------------------------------------------------------
+    # prediction machinery
+    # ------------------------------------------------------------------
+    def _open_window(self, pc: int) -> _PredictionWindow:
+        entry = self.btb.lookup(pc)
+        pred_end = (self.btb.predicted_end_byte(pc, entry)
+                    if entry is not None else None)
+        return _PredictionWindow(
+            entry=entry, pred_end=pred_end, limit=block_end(pc))
+
+    def _false_hit(self, pw: _PredictionWindow, pc: int,
+                   charge: bool = True) -> None:
+        """Squash + deallocate + re-predict from ``pc`` (Takeaway 1)."""
+        assert pw.entry is not None
+        if charge:
+            self.cycles += self.config.squash_penalty
+        self.btb.deallocate(pw.entry)
+        pw.entry = self.btb.lookup(pc)
+        pw.pred_end = (self.btb.predicted_end_byte(pc, pw.entry)
+                       if pw.entry is not None else None)
+
+    def _settle_prediction(self, pw: _PredictionWindow, pc: int,
+                           length: int, instruction: Instruction,
+                           charge: bool = True) -> bool:
+        """Reconcile the BTB prediction with the decoded instruction at
+        ``[pc, pc+length)``.
+
+        Returns True when the prediction legitimately points at this
+        instruction (a control transfer whose last byte is the
+        predicted end byte).  Any prediction landing *inside* the
+        instruction otherwise is a false hit: deallocate and re-check
+        (several aliasing entries can burn down in sequence).
+        """
+        while pw.pred_end is not None and pc <= pw.pred_end < pc + length:
+            if (instruction.is_control
+                    and pw.pred_end == pc + length - 1):
+                return True
+            self._false_hit(pw, pc, charge)
+        return False
+
+    def _resolve_control(self, pw: _PredictionWindow, pc: int,
+                         length: int, instruction: Instruction,
+                         outcome: Outcome, predicted_here: bool) -> bool:
+        """Handle prediction bookkeeping for a control transfer.
+
+        Returns True when the PW ends (taken transfer or redirect).
+        """
+        entry = pw.entry if predicted_here else None
+        if outcome.taken:
+            mispredicted = True
+            if entry is not None and entry.target == outcome.next_pc:
+                mispredicted = False
+                self.btb.touch(entry)
+            # LBR logs with the *pre-penalty* retire time: the penalty
+            # delays everything after the branch, not the branch itself.
+            self.lbr.record(pc, outcome.next_pc, self.cycles, mispredicted)
+            if mispredicted:
+                self.cycles += self.config.squash_penalty
+                if entry is not None:
+                    # Right location, wrong target: fix the entry.
+                    self.btb.update_target(entry, outcome.next_pc,
+                                           instruction.kind)
+                else:
+                    # Unpredicted taken transfer: allocate, indexed by
+                    # the branch's last byte (§2.1).  Note: an entry
+                    # predicting a *later* position in the window is
+                    # left alone — Figure 4's data shows jmp L2's
+                    # execution does not disturb jmp L1's entry.
+                    self.btb.allocate(pc + length - 1, outcome.next_pc,
+                                      instruction.kind)
+            return True
+        # Not-taken conditional.
+        if entry is not None:
+            # BTB said taken, execution fell through: squash; the entry
+            # survives (direction mispredict, not a false hit).
+            self.cycles += self.config.squash_penalty
+            return True  # redirect restarts fetch at the fall-through
+        return False
+
+    # ------------------------------------------------------------------
+    # fetch-ahead drain past a single-step stop (§6.3)
+    # ------------------------------------------------------------------
+    def _drain_fetch_ahead(self, state: MachineState,
+                           pw: Optional[_PredictionWindow]) -> None:
+        """Finish fetching+decoding the in-flight prediction window(s).
+
+        Runs in decode-only mode: no architectural state changes, no
+        cycle charges, but Takeaway-1 deallocations fire exactly as
+        they do on hardware (the BTB entry dies "as soon as
+        instruction decoding finishes and even if the instruction
+        causing the false hit doesn't retire", §1).  Follows predicted
+        redirects and decode-resolvable direct jumps; stops at
+        conditional/indirect transfers it cannot resolve, at NX pages
+        (speculative fetches do not fault architecturally), and after
+        ``config.drain_windows`` windows.
+        """
+        budget = self.config.drain_windows
+        if budget <= 0 or pw is None:
+            # The unit ended with a taken transfer (or redirect): the
+            # squash drained the pipeline and the pending interrupt
+            # preempts the refetch, so there is nothing in flight.
+            return
+        cur = state.rip
+        windows_used = 1
+        guard = 0
+        while guard < 64 * budget:
+            guard += 1
+            if pw is None:
+                if windows_used >= budget:
+                    return
+                pw = self._open_window(cur)
+                windows_used += 1
+            while pw.pred_end is not None and pw.pred_end < cur:
+                self._false_hit(pw, cur, charge=False)
+            if cur >= pw.limit:
+                pw = None
+                continue
+            try:
+                instruction, length = self._decode(state, cur)
+            except PageFault:
+                return          # NX page: speculative fetch stalls
+            except InvalidInstruction:
+                # Junk bytes still flow through the decoders (real
+                # ISAs decode almost anything); a prediction claiming
+                # a branch ends inside junk is a false hit like any
+                # other non-control-transfer byte.
+                if pw.pred_end is not None and pw.pred_end == cur:
+                    self._false_hit(pw, cur, charge=False)
+                cur += 1
+                continue
+            predicted_here = self._settle_prediction(
+                pw, cur, length, instruction, charge=False)
+            if instruction.is_control:
+                if predicted_here:
+                    cur = pw.entry.target      # follow the prediction
+                    pw = None
+                    continue
+                if instruction.kind in (Kind.DIRECT_JUMP, Kind.CALL):
+                    # Decode-resolvable target: the branch-address
+                    # calculator redirects fetch at decode and the BTB
+                    # entry is installed right away — unretired direct
+                    # transfers therefore leave allocations behind
+                    # (the effect that makes Fig. 5 cases 1/2 visible
+                    # to a single-stepping attacker).  Any entry
+                    # predicting a later position is left alone
+                    # (Figure 4).
+                    target = cur + length + instruction.operands[0]
+                    self.btb.allocate(cur + length - 1, target,
+                                      instruction.kind)
+                    cur = target
+                    pw = None
+                    continue
+                if instruction.kind is Kind.COND_JUMP:
+                    # BTB miss: static prediction is not-taken, the
+                    # front end keeps fetching the fall-through path
+                    cur += length
+                    continue
+                return   # ret/indirect: decode cannot resolve; the
+                         # speculative execute pass handles these
+            cur += length
+
+    # ------------------------------------------------------------------
+    # speculative look-ahead past a single-step stop (§6.3)
+    # ------------------------------------------------------------------
+    def _speculative_lookahead(self, state: MachineState) -> None:
+        """Let the front end run ``spec_lookahead`` more instructions,
+        updating the BTB but never committing architectural state."""
+        depth = self.config.spec_lookahead
+        if depth <= 0:
+            return
+        spec_state = MachineState(memory=_SpecMemory(state.memory),
+                                  rip=state.rip)
+        spec_state.regs = state.regs.copy()
+        pw: Optional[_PredictionWindow] = None
+        for _ in range(depth):
+            pc = spec_state.rip
+            if pw is None:
+                pw = self._open_window(pc)
+            while pw.pred_end is not None and pw.pred_end < pc:
+                self._false_hit(pw, pc, charge=False)
+            if pc >= pw.limit:
+                pw = self._open_window(pc)
+            try:
+                instruction, length = self._decode(spec_state, pc)
+            except (PageFault, InvalidInstruction):
+                return
+            if instruction.mnemonic == "lfence":
+                return  # serializing: speculation drains
+            predicted_here = self._settle_prediction(
+                pw, pc, length, instruction, charge=False)
+            try:
+                outcome = execute(spec_state, instruction, pc)
+            except Exception:
+                return  # any spec-path trap just drains the pipeline
+            if outcome.halt or outcome.syscall:
+                return
+            if instruction.is_control and outcome.taken:
+                entry = pw.entry if predicted_here else None
+                if entry is not None and entry.target != outcome.next_pc:
+                    # Speculative target verification: the entry is
+                    # corrected before retirement (§6.3) — and the
+                    # resulting squash plus the pending interrupt end
+                    # speculation here.
+                    self.btb.update_target(entry, outcome.next_pc,
+                                           instruction.kind)
+                    return
+                if entry is None:
+                    self.btb.allocate(pc + length - 1, outcome.next_pc,
+                                      instruction.kind)
+                    return   # mispredicted: squash ends speculation
+                pw = None    # correctly predicted: keep speculating
+            elif instruction.is_control and pw.entry is not None \
+                    and predicted_here:
+                return       # predicted taken, fell through: squash
+            spec_state.rip = outcome.next_pc

@@ -1,0 +1,138 @@
+"""Fast functional interpreter — the ground-truth oracle.
+
+Runs programs architecturally with *no* micro-architectural modelling
+(no BTB, no cycles, no fusion).  Used for:
+
+* ground-truth dynamic PC traces to validate NightVision's extraction
+  accuracy (Figures 12/13, the §7.2 accuracy numbers);
+* cheap corpus-scale trace generation for the fingerprint evaluation;
+* differential testing of the cycle-accounted core (both must agree on
+  architectural state — see the property tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ExecutionLimitExceeded, InvalidInstruction, PageFault
+from ..isa.encoding import decode as decode_bytes
+from ..isa.instructions import Instruction, SPECS_BY_OPCODE
+from .semantics import execute
+from .state import MachineState
+
+#: optional syscall hook: handler(state) -> True to continue, False to stop
+SyscallHandler = Callable[[MachineState], bool]
+
+
+class InterpStop(enum.Enum):
+    HALT = "halt"
+    SYSCALL = "syscall"
+    LIMIT = "limit"
+    RETURNED = "returned"   # ret with empty call depth (run_function)
+
+
+@dataclass
+class InterpResult:
+    reason: InterpStop
+    instructions: int
+    #: dynamic PC trace of every executed instruction, in order
+    trace: List[int] = field(default_factory=list)
+    #: (pc, taken) for every conditional branch executed
+    branch_events: List[Tuple[int, bool]] = field(default_factory=list)
+
+
+def _fetch(state: MachineState, pc: int) -> Tuple[Instruction, int]:
+    memory = state.memory
+    cached = memory.icache.get(pc)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    first = memory.read_bytes(pc, 1, access="execute")
+    spec = SPECS_BY_OPCODE.get(first[0])
+    if spec is None:
+        raise InvalidInstruction(f"bad opcode {first[0]:#04x} at {pc:#x}")
+    blob = memory.read_bytes(pc, spec.length, access="execute")
+    instruction, length = decode_bytes(blob, 0)
+    memory.icache[pc] = (instruction, length)
+    return instruction, length
+
+
+def interpret(state: MachineState, *,
+              max_instructions: int = 5_000_000,
+              collect_trace: bool = True,
+              syscall_handler: Optional[SyscallHandler] = None,
+              raise_on_limit: bool = True) -> InterpResult:
+    """Run until ``hlt``, an unhandled syscall, or the budget."""
+    trace: List[int] = []
+    branch_events: List[Tuple[int, bool]] = []
+    count = 0
+    while count < max_instructions:
+        pc = state.rip
+        instruction, _ = _fetch(state, pc)
+        outcome = execute(state, instruction, pc)
+        count += 1
+        if collect_trace:
+            trace.append(pc)
+        if outcome.taken is not None and instruction.spec.cond is not None:
+            branch_events.append((pc, outcome.taken))
+        state.rip = outcome.next_pc
+        if outcome.halt:
+            return InterpResult(InterpStop.HALT, count, trace,
+                                branch_events)
+        if outcome.syscall:
+            if syscall_handler is None:
+                return InterpResult(InterpStop.SYSCALL, count, trace,
+                                    branch_events)
+            if not syscall_handler(state):
+                return InterpResult(InterpStop.SYSCALL, count, trace,
+                                    branch_events)
+    if raise_on_limit:
+        raise ExecutionLimitExceeded(
+            f"interpreter exceeded {max_instructions} instructions")
+    return InterpResult(InterpStop.LIMIT, count, trace, branch_events)
+
+
+def run_function(state: MachineState, entry: int, *,
+                 args: Optional[List[int]] = None,
+                 max_instructions: int = 5_000_000,
+                 collect_trace: bool = True,
+                 syscall_handler: Optional[SyscallHandler] = None,
+                 ) -> InterpResult:
+    """Call the function at ``entry`` with the standard convention
+    (args in rdi/rsi/rdx/rcx/r8/r9) and run until it returns.
+
+    The function's return is detected with a sentinel return address.
+    """
+    sentinel = 0xDEAD_0000_0000_0000 & ((1 << 48) - 1)  # canonical-ish
+    arg_regs = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+    for register, value in zip(arg_regs, args or []):
+        state.regs[register] = value
+    state.push(sentinel)
+    state.rip = entry
+
+    trace: List[int] = []
+    branch_events: List[Tuple[int, bool]] = []
+    count = 0
+    while count < max_instructions:
+        pc = state.rip
+        if pc == sentinel:
+            return InterpResult(InterpStop.RETURNED, count, trace,
+                                branch_events)
+        instruction, _ = _fetch(state, pc)
+        outcome = execute(state, instruction, pc)
+        count += 1
+        if collect_trace:
+            trace.append(pc)
+        if outcome.taken is not None and instruction.spec.cond is not None:
+            branch_events.append((pc, outcome.taken))
+        state.rip = outcome.next_pc
+        if outcome.halt:
+            return InterpResult(InterpStop.HALT, count, trace,
+                                branch_events)
+        if outcome.syscall:
+            if syscall_handler is None or not syscall_handler(state):
+                return InterpResult(InterpStop.SYSCALL, count, trace,
+                                    branch_events)
+    raise ExecutionLimitExceeded(
+        f"run_function exceeded {max_instructions} instructions")

@@ -1,0 +1,67 @@
+"""Architectural machine state: registers + memory + program counter.
+
+One :class:`MachineState` belongs to one process (or enclave thread).
+The micro-architectural state (BTB, LBR, cycle counter) lives in the
+:class:`~repro.cpu.core.Core` and is *shared* between processes on the
+same core — that sharing is the side channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa.registers import RSP, RegisterFile
+from ..memory.memory import VirtualMemory
+
+
+class MachineState:
+    """Registers, flags, memory and RIP for one hardware thread."""
+
+    __slots__ = ("regs", "memory", "rip")
+
+    def __init__(self, memory: Optional[VirtualMemory] = None,
+                 rip: int = 0):
+        self.regs = RegisterFile()
+        self.memory = memory if memory is not None else VirtualMemory()
+        self.rip = rip
+
+    # ------------------------------------------------------------------
+    # stack helpers
+    # ------------------------------------------------------------------
+    @property
+    def rsp(self) -> int:
+        return self.regs.read(RSP)
+
+    @rsp.setter
+    def rsp(self, value: int) -> None:
+        self.regs.write(RSP, value)
+
+    def push(self, value: int) -> None:
+        self.rsp = self.rsp - 8
+        self.memory.write_u64(self.rsp, value)
+
+    def pop(self) -> int:
+        value = self.memory.read_u64(self.rsp)
+        self.rsp = self.rsp + 8
+        return value
+
+    def setup_stack(self, top: int, size: int = 64 * 1024) -> None:
+        """Map a stack region ending at ``top`` and point RSP at it."""
+        self.memory.map_range(top - size, size, "rw")
+        self.rsp = top
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore (deterministic replay for multi-pass attacks)
+    # ------------------------------------------------------------------
+    def snapshot_registers(self) -> Dict[str, int]:
+        snap = self.regs.snapshot()
+        snap["__rip__"] = self.rip
+        return snap
+
+    def restore_registers(self, snapshot: Dict[str, int]) -> None:
+        clean = dict(snapshot)
+        self.rip = clean.pop("__rip__")
+        self.regs.restore(clean)
+
+    def __repr__(self) -> str:
+        return f"MachineState(rip={self.rip:#x})"

@@ -1,0 +1,42 @@
+"""Defense and mitigation models: the §5 software arms race (branch
+balancing, -falign-jumps, CFR), the §4.1/§8.2 hardware mitigations
+(IBRS/IBPB, BTB flush, BTB partitioning), and the §8.2 data-oblivious
+GCD — the only software defense that actually stops use case 1."""
+
+from .hardware import (
+    HARDWARE_MITIGATIONS,
+    flush_on_switch,
+    ibrs_ibpb,
+    partitioned_btb,
+    stock,
+)
+from .oblivious import (
+    OBLIVIOUS_GCD_SOURCE,
+    REDUCTION_ITERATIONS,
+    build_oblivious_gcd_victim,
+)
+from .software import (
+    SOFTWARE_DEFENSES,
+    align_jumps,
+    balanced_cfr,
+    baseline,
+    branch_balancing,
+    control_flow_randomization,
+)
+
+__all__ = [
+    "HARDWARE_MITIGATIONS",
+    "OBLIVIOUS_GCD_SOURCE",
+    "REDUCTION_ITERATIONS",
+    "SOFTWARE_DEFENSES",
+    "align_jumps",
+    "balanced_cfr",
+    "baseline",
+    "branch_balancing",
+    "build_oblivious_gcd_victim",
+    "control_flow_randomization",
+    "flush_on_switch",
+    "ibrs_ibpb",
+    "partitioned_btb",
+    "stock",
+]

@@ -1,0 +1,48 @@
+"""Hardware-level BTB mitigations (§4.1 and §8.2).
+
+Builders return a :class:`CpuGeneration` with the mitigation enabled:
+
+* :func:`ibrs_ibpb` — Intel's deployed Spectre-v2 mitigations.  They
+  invalidate only *indirect-branch* BTB entries on domain switches;
+  the direct-jump entries NightVision primes survive, so the attack
+  is unaffected (the paper verified this empirically, §4.1).
+* :func:`flush_on_switch` — flush the whole BTB on every context
+  switch.  Defeats NightVision; not deployed due to cost (§8.2).
+* :func:`partitioned_btb` — tag entries with a security-domain id so
+  cross-domain collisions are impossible [38, 70].  Defeats
+  NightVision; also not deployed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..cpu.config import CpuGeneration, generation
+
+
+def stock(name: str = "coffeelake", **overrides) -> CpuGeneration:
+    """Unmitigated core (the paper's evaluation machines)."""
+    return generation(name, **overrides)
+
+
+def ibrs_ibpb(name: str = "coffeelake", **overrides) -> CpuGeneration:
+    return generation(name, ibrs_ibpb=True, **overrides)
+
+
+def flush_on_switch(name: str = "coffeelake",
+                    **overrides) -> CpuGeneration:
+    return generation(name, flush_btb_on_switch=True, **overrides)
+
+
+def partitioned_btb(name: str = "coffeelake",
+                    **overrides) -> CpuGeneration:
+    return generation(name, btb_partitioning=True, **overrides)
+
+
+#: name -> builder, in the order the E14 benchmark reports them
+HARDWARE_MITIGATIONS: Dict[str, object] = {
+    "stock": stock,
+    "ibrs+ibpb": ibrs_ibpb,
+    "btb-flush-on-switch": flush_on_switch,
+    "btb-partitioning": partitioned_btb,
+}

@@ -1,0 +1,105 @@
+"""Data-oblivious GCD (§8.2: "the only reliable software mitigation").
+
+A branch-free binary GCD over u64 operands: every iteration computes
+all five possible reduction actions and selects among them with
+``cmp``/``setcc`` arithmetic (``sel(c,x,y) = c*x + (1-c)*y``); loop
+trip counts are fixed.  The resulting control flow — and therefore the
+dynamic PC trace — is completely independent of the operands, so
+NightVision's per-iteration arm monitoring reads pure noise.
+
+(Note §8.2's caveat survives here too: the *fingerprinting* use case
+is unaffected, because the oblivious GCD still has a distinctive PC
+trace — it just no longer depends on the secret.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang import CompileOptions, Compiler, parse_module
+from ..victims.library import DataLayout, USER_DATA_BASE, VictimProgram
+
+#: fixed reduction iterations: enough for any pair of 64-bit operands
+REDUCTION_ITERATIONS = 130
+#: fixed left-shift loop bound for restoring common powers of two
+SHIFT_ITERATIONS = 64
+
+OBLIVIOUS_GCD_SOURCE = f"""
+# sel(c, x, y) with c in {{0, 1}}
+func ob_sel(c, x, y) {{
+  return c * x + (1 - c) * y;
+}}
+
+func gcd_oblivious(a, b) {{
+  k = 0;
+  n = 0;
+  while (n < {REDUCTION_ITERATIONS}) {{
+    a_nz = a != 0;
+    ae = (a & 1) == 0;
+    be = (b & 1) == 0;
+    c_both = a_nz * ae * be;
+    c_ae = a_nz * ae * (1 - be);
+    c_be = a_nz * (1 - ae) * be;
+    ageb = a >= b;
+    c_sub = a_nz * (1 - ae) * (1 - be) * ageb;
+    c_swap = a_nz * (1 - ae) * (1 - be) * (1 - ageb);
+    half_a = a >> 1;
+    half_diff_ab = (a - b) >> 1;
+    half_diff_ba = (b - a) >> 1;
+    na = ob_sel(c_both, half_a,
+         ob_sel(c_ae, half_a,
+         ob_sel(c_sub, half_diff_ab,
+         ob_sel(c_swap, half_diff_ba, a))));
+    nb = ob_sel(c_both, b >> 1,
+         ob_sel(c_be, b >> 1,
+         ob_sel(c_swap, a, b)));
+    k = k + c_both;
+    a = na;
+    b = nb;
+    n = n + 1;
+  }}
+  # result = b << k, with a data-independent shift loop
+  i = 0;
+  while (i < {SHIFT_ITERATIONS}) {{
+    grow = i < k;
+    b = ob_sel(grow, b << 1, b);
+    i = i + 1;
+  }}
+  return b;
+}}
+"""
+
+
+def build_oblivious_gcd_victim(
+        *, options: Optional[CompileOptions] = None,
+        with_yield: bool = True,
+        data_base: int = USER_DATA_BASE) -> VictimProgram:
+    """Compile the oblivious GCD as a victim comparable to the leaky
+    one: same data layout (``g``/``ta``/``tb``), single-limb operands.
+
+    ``with_yield`` inserts the same per-iteration ``sched_yield`` as
+    the leaky victim so NV-U gets the same fragment granularity.
+    """
+    options = options if options is not None else CompileOptions()
+    layout = DataLayout(data_base)
+    g = layout.add("g", 1)
+    ta = layout.add("ta", 1)
+    tb = layout.add("tb", 1)
+    source = OBLIVIOUS_GCD_SOURCE
+    if with_yield:
+        source = source.replace("    n = n + 1;",
+                                "    yield;\n    n = n + 1;")
+    source += f"""
+func main() {{
+  p = {ta.address};
+  q = {tb.address};
+  r = {g.address};
+  result = gcd_oblivious(p[0], q[0]);
+  r[0] = result;
+  return 0;
+}}
+"""
+    compiled = Compiler(options).compile(parse_module(source),
+                                         start="main")
+    return VictimProgram(compiled, layout, 1,
+                         secret_function="gcd_oblivious")

@@ -1,0 +1,64 @@
+"""Software control-flow-leakage defenses (the §5 arms race).
+
+Each helper returns :class:`CompileOptions` enabling one prior-work
+defense.  All of them stop *earlier* attacks and none stops
+NightVision — that asymmetry is the paper's use-case-1 result and is
+what the E8 benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..lang import CompileOptions
+
+
+def baseline(opt_level: int = 2, **kwargs) -> CompileOptions:
+    """No defense."""
+    return CompileOptions(opt_level=opt_level, **kwargs)
+
+
+def branch_balancing(opt_level: int = 2, **kwargs) -> CompileOptions:
+    """Branch balancing [42, 46]: pad both if/else arms to identical
+    byte counts.  Defeats instruction-counting attacks (CopyCat);
+    NightVision ignores counts and reads *addresses*."""
+    return CompileOptions(opt_level=opt_level,
+                          balance_branches=True, **kwargs)
+
+
+def align_jumps(opt_level: int = 2, **kwargs) -> CompileOptions:
+    """``-falign-jumps=16`` — aligns branch targets to the 16-byte
+    fetch window, the documented mitigation for the Frontal attack
+    (§7.2).  NightVision observes byte-granular addresses, so
+    alignment is irrelevant."""
+    return CompileOptions(opt_level=opt_level, align_jumps=16,
+                          **kwargs)
+
+
+def control_flow_randomization(opt_level: int = 2,
+                               seed: int = 1234,
+                               **kwargs) -> CompileOptions:
+    """CFR [25]: secret branches become cmov-selected targets
+    dispatched through indirect jumps at randomized addresses.
+    Protects the *branch decision* (and IBRS protects the indirect
+    dispatch) — but NightVision watches the arm bodies, whose
+    addresses CFR does not move."""
+    return CompileOptions(opt_level=opt_level, cfr=True,
+                          cfr_seed=seed, **kwargs)
+
+
+def balanced_cfr(opt_level: int = 2, seed: int = 1234,
+                 **kwargs) -> CompileOptions:
+    """The Fig. 8(b) combination: balancing + CFR together."""
+    return CompileOptions(opt_level=opt_level, balance_branches=True,
+                          cfr=True, cfr_seed=seed, **kwargs)
+
+
+#: name -> builder, in the order the E8 benchmark reports them
+SOFTWARE_DEFENSES: Dict[str, object] = {
+    "none": baseline,
+    "balancing": branch_balancing,
+    "align-jumps-16": align_jumps,
+    "cfr": control_flow_randomization,
+    "balancing+cfr": balanced_cfr,
+}

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the NightVision reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch simulation problems without also swallowing Python
+built-ins.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA/toolchain errors."""
+
+
+class EncodeError(IsaError):
+    """An instruction could not be encoded (bad operand, range overflow)."""
+
+
+class DecodeError(IsaError):
+    """Bytes at an address do not decode to a valid instruction."""
+
+
+class AssemblerError(IsaError):
+    """Assembly-level problem: unknown label, misuse of a directive, ..."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-system errors (named to avoid shadowing)."""
+
+
+class PageFault(MemoryError_):
+    """Access to an unmapped page or one lacking the needed permission.
+
+    Page faults are *architectural events*: the kernel model catches them
+    to implement controlled-channel attacks and demand mapping.
+    """
+
+    def __init__(self, address: int, access: str, message: str = ""):
+        self.address = address
+        self.access = access  # "read" | "write" | "execute"
+        super().__init__(
+            message or f"page fault: {access} at {address:#x}"
+        )
+
+
+class ProtectionFault(MemoryError_):
+    """An access that the memory model refuses outright (e.g. EPC read
+    from outside the owning enclave)."""
+
+
+class CpuError(ReproError):
+    """Base class for CPU-model errors."""
+
+
+class HaltError(CpuError):
+    """The core executed ``hlt`` outside of a context that allows it."""
+
+
+class ExecutionLimitExceeded(CpuError):
+    """A run exceeded its instruction or cycle budget (runaway guard)."""
+
+
+class InvalidInstruction(CpuError):
+    """The core fetched bytes that do not decode (usually a wild jump)."""
+
+
+class SystemError_(ReproError):
+    """Base class for kernel/scheduler errors."""
+
+
+class NoRunnableProcess(SystemError_):
+    """The scheduler has nothing left to run."""
+
+
+class SgxError(ReproError):
+    """Base class for enclave-model errors."""
+
+
+class EnclaveAccessError(SgxError):
+    """Non-enclave code touched EPC memory."""
+
+
+class AttackError(ReproError):
+    """Base class for NightVision attack-layer errors."""
+
+
+class CalibrationError(AttackError):
+    """The probe threshold calibration failed to separate hit from miss."""
+
+
+class CompileError(ReproError):
+    """Base class for the mini-compiler."""
+
+
+class ParseError(CompileError):
+    """The DSL source text did not parse."""
+
+
+class DivideError(CpuError):
+    """Division by zero or quotient overflow in ``div``."""

@@ -1,0 +1,50 @@
+"""Experiment harnesses: one module per paper figure/table.  The
+benchmarks and examples are thin wrappers over these, so every result
+is reproducible (and testable) as library code."""
+
+from .common import CallHarness, FigureResult, Series
+from .exp_btb_dealloc import run_figure2
+from .exp_cfl import (LeakResult, run_bncmp_leak, run_defense_grid,
+                      run_gcd_leak)
+from .exp_chained import ChainedResult, run_figure7
+from .exp_fingerprint import (ExtractionArtifacts, FingerprintResult,
+                              extract_victim_function, run_figure12)
+from .exp_generations import GenerationResult, run_generation_sweep
+from .exp_mitigations import (ObliviousResult, run_hardware_grid,
+                              run_oblivious)
+from .exp_overlap import OverlapResult, run_figure5
+from .exp_pw_range import run_figure4
+from .exp_traversal import TraversalResult, run_figure10
+from .exp_versions import (SimilarityMatrix, run_figure13_optlevels,
+                           run_figure13_versions, version_groups)
+
+__all__ = [
+    "CallHarness",
+    "ChainedResult",
+    "ExtractionArtifacts",
+    "FigureResult",
+    "FingerprintResult",
+    "GenerationResult",
+    "LeakResult",
+    "ObliviousResult",
+    "OverlapResult",
+    "Series",
+    "SimilarityMatrix",
+    "TraversalResult",
+    "extract_victim_function",
+    "run_bncmp_leak",
+    "run_defense_grid",
+    "run_figure10",
+    "run_figure12",
+    "run_figure13_optlevels",
+    "run_figure13_versions",
+    "run_figure2",
+    "run_figure4",
+    "run_figure5",
+    "run_figure7",
+    "run_gcd_leak",
+    "run_generation_sweep",
+    "run_hardware_grid",
+    "run_oblivious",
+    "version_groups",
+]

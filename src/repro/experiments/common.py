@@ -1,0 +1,88 @@
+"""Shared harness utilities for the figure/table experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cpu.config import CpuGeneration
+from ..cpu.core import Core
+from ..cpu.state import MachineState
+from ..isa.assembler import AssembledProgram, Assembler
+from ..memory.memory import VirtualMemory
+
+#: where experiment harnesses park their halt gadget
+HALT_GADGET = 0x0060_0000
+
+
+@dataclass
+class CallHarness:
+    """Minimal single-core machine for the §2 reverse-engineering
+    experiments: load programs, call code addresses, read the LBR.
+
+    ``call`` pushes the halt gadget as the return address and runs to
+    the ``hlt`` — the same structure as the paper's Experiment 1/2
+    driver loops.
+    """
+
+    config: CpuGeneration
+    core: Core = field(init=False)
+    memory: VirtualMemory = field(init=False)
+    state: MachineState = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.core = Core(self.config)
+        self.memory = VirtualMemory()
+        self.state = MachineState(self.memory)
+        self.state.setup_stack(0x7FFF_0000_0000)
+        gadget = Assembler(base=HALT_GADGET)
+        gadget.label("halt")
+        gadget.emit("hlt")
+        gadget.assemble().load_into(self.memory)
+
+    def load(self, program: AssembledProgram) -> None:
+        program.load_into(self.memory)
+
+    def call(self, address: int) -> None:
+        """Run the code at ``address`` until it returns (to the halt
+        gadget) and the core halts."""
+        self.state.push(HALT_GADGET)
+        self.state.rip = address
+        self.core.run(self.state)
+
+    def flush_btb(self) -> None:
+        """The experiments' ``flushBTB()`` (the paper uses the BTB
+        cleanup routine from BranchScope [18])."""
+        self.core.btb.flush()
+        self.core.lbr.clear()
+
+    def elapsed_after(self, from_pc: int) -> Optional[int]:
+        return self.core.lbr.elapsed_after(from_pc)
+
+
+@dataclass
+class Series:
+    """One measured curve of a figure."""
+
+    label: str
+    xs: List[int] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: int, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: named series + headline findings."""
+
+    name: str
+    series: List[Series] = field(default_factory=list)
+    findings: Dict[str, object] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(label)

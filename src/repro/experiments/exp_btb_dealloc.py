@@ -1,0 +1,101 @@
+"""Experiment 1 — Figure 2: non-control-transfer BTB deallocation.
+
+Reproduces §2.3: ``F1`` holds a 2-byte ``jmp L1``; ``F2`` is a nop
+sled placed one tag-truncation alias away (4/8/16 GiB, per CPU
+generation).  Sweeping F2's start address around F1 and measuring the
+LBR elapsed cycles between ``jmp L1``'s retire and the subsequent
+``ret`` shows the deallocation window: the gap between the
+with-F2 and without-F2 curves opens exactly while ``F2 < F1 + 2`` —
+i.e. while some nop aliases a byte of the jump.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cpu.config import CpuGeneration, generation
+from ..isa.assembler import AssembledProgram, Assembler
+from ..memory.address import BLOCK_SIZE
+from .common import CallHarness, FigureResult, Series
+
+#: F1's offset within its fetch block (paper varies this; any works)
+F1_BLOCK_OFFSET = 8
+#: base address of the block holding F1 (32-byte aligned)
+F1_BLOCK = 0x0040_0000
+
+
+def _build_program(config: CpuGeneration, f2_delta: int,
+                   nops: int = 16) -> AssembledProgram:
+    """F1: jmp L1 / L1: ret, plus the aliased nop sled at
+    ``F1 + collision_distance + f2_delta``."""
+    f1 = F1_BLOCK + F1_BLOCK_OFFSET
+    asm = Assembler(base=f1)
+    asm.label("F1")
+    asm.emit("jmp8", "L1")
+    # Keep L1 outside F1's fetch block so the ret's own BTB entry
+    # cannot alias the swept nop range.
+    asm.align(BLOCK_SIZE)
+    asm.nops(2)
+    asm.label("L1")
+    asm.emit("ret")
+    asm.org(f1 + config.collision_distance + f2_delta)
+    asm.label("F2")
+    asm.nops(nops)
+    asm.emit("ret")
+    return asm.assemble()
+
+
+def measure_point(config: CpuGeneration, f2_delta: int, *,
+                  call_f2: bool, iterations: int = 10) -> float:
+    """Average elapsed cycles between ``jmp L1``'s retire and the
+    following ``ret``'s retire (the Figure 2 y-axis)."""
+    program = _build_program(config, f2_delta)
+    harness = CallHarness(config)
+    harness.load(program)
+    f1 = program.address_of("F1")
+    f2 = program.address_of("F2")
+    total = 0.0
+    samples = 0
+    for _ in range(iterations):
+        harness.flush_btb()
+        harness.call(f1)            # allocate the BTB entry
+        if call_f2:
+            harness.call(f2)        # maybe deallocate it
+        harness.call(f1)            # measure the prediction outcome
+        elapsed = harness.elapsed_after(f1)
+        if elapsed is not None:
+            total += elapsed
+            samples += 1
+    return total / max(samples, 1)
+
+
+def run_figure2(config: Optional[CpuGeneration] = None, *,
+                deltas: Optional[List[int]] = None,
+                iterations: int = 10) -> FigureResult:
+    """Sweep F2 around F1 and produce both Figure 2 curves."""
+    config = config if config is not None else generation("skylake")
+    if deltas is None:
+        deltas = list(range(-8, 9))
+    with_f2 = Series("with F2 call")
+    without_f2 = Series("without F2 call")
+    for delta in deltas:
+        with_f2.add(delta, measure_point(
+            config, delta, call_f2=True, iterations=iterations))
+        without_f2.add(delta, measure_point(
+            config, delta, call_f2=False, iterations=iterations))
+    result = FigureResult("figure2", [with_f2, without_f2])
+    # Headline finding: the gap exists exactly while F2 < F1 + 2.
+    gap_deltas = [
+        delta for delta, with_y, without_y
+        in zip(deltas, with_f2.ys, without_f2.ys)
+        if with_y - without_y > config.squash_penalty / 2
+    ]
+    result.findings["gap_deltas"] = gap_deltas
+    result.findings["expected_gap_deltas"] = [
+        delta for delta in deltas if delta < 2
+    ]
+    result.findings["boundary_correct"] = (
+        result.findings["gap_deltas"]
+        == result.findings["expected_gap_deltas"]
+    )
+    return result

@@ -1,0 +1,110 @@
+"""Experiment 2 — Figure 4: prediction-window range semantics.
+
+Reproduces §2.4: ``jmp L1`` is fixed at block offsets [0x1e, 0x1f];
+a second jump ``jmp L2`` (same tag/set, different offset, placed one
+alias away) occupies [F2, F2+1].  Executing a nop sled starting at
+offset F1 then measures whether the BTB lookup from F1 selects
+``jmp L2``'s entry: the with-F2 curve shows a constant extra cost
+exactly while ``F1 < F2 + 2`` (entry offset >= fetch offset), proving
+the range-query lookup of Takeaway 2.
+
+Layout note: both return targets live in distant blocks so their own
+BTB entries cannot perturb the measured set (the paper's Fig. 3 keeps
+``L2: ret`` away from the jumps for the same reason).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cpu.config import CpuGeneration, generation
+from ..isa.assembler import AssembledProgram, Assembler
+from .common import CallHarness, FigureResult, Series
+
+#: 32-byte-aligned base of the measured block
+BLOCK = 0x0040_0000
+#: offset of jmp L1's first byte (fixed by the paper at 0x1e)
+J1_OFFSET = 0x1E
+
+
+def _build_program(config: CpuGeneration, f1_offset: int,
+                   f2_offset: int) -> AssembledProgram:
+    asm = Assembler(base=BLOCK + f1_offset)
+    asm.label("F1")
+    asm.nops(J1_OFFSET - f1_offset)
+    asm.label("J1")
+    asm.emit("jmp8", "L1")            # occupies [0x1e, 0x1f]
+    asm.org(BLOCK + 0x60)             # L1 outside the measured block
+    asm.label("L1")
+    asm.emit("ret")
+    alias = BLOCK + config.collision_distance
+    asm.org(alias + f2_offset)
+    asm.label("F2")
+    asm.emit("jmp8", "L2")            # occupies [F2, F2+1]
+    asm.org(alias + 0x80)             # L2 in its own distant block
+    asm.label("L2")
+    asm.emit("ret")
+    return asm.assemble()
+
+
+def measure_point(config: CpuGeneration, f1_offset: int,
+                  f2_offset: int, *, call_f2: bool,
+                  iterations: int = 10) -> float:
+    """Average cycles to execute the PW from F1 through ``jmp L1``'s
+    return (the Figure 4 y-axis)."""
+    program = _build_program(config, f1_offset, f2_offset)
+    harness = CallHarness(config)
+    harness.load(program)
+    j1 = program.address_of("J1")
+    f1 = program.address_of("F1")
+    f2 = program.address_of("F2")
+    total = 0.0
+    for _ in range(iterations):
+        harness.flush_btb()
+        harness.call(j1)              # allocate jmp L1's entry
+        if call_f2:
+            harness.call(f2)          # allocate jmp L2's entry
+        start = harness.core.cycles
+        harness.call(f1)              # execute the measured PW
+        total += harness.core.cycles - start
+    return total / iterations
+
+
+def run_figure4(config: Optional[CpuGeneration] = None, *,
+                f2_offset: int = 8,
+                f1_offsets: Optional[List[int]] = None,
+                iterations: int = 10) -> FigureResult:
+    """Sweep the PW start offset F1 and produce both Figure 4 curves."""
+    config = config if config is not None else generation("skylake")
+    if f1_offsets is None:
+        f1_offsets = list(range(0, J1_OFFSET + 1))
+    with_f2 = Series("with F2 call")
+    without_f2 = Series("without F2 call")
+    for f1_offset in f1_offsets:
+        with_f2.add(f1_offset, measure_point(
+            config, f1_offset, f2_offset, call_f2=True,
+            iterations=iterations))
+        without_f2.add(f1_offset, measure_point(
+            config, f1_offset, f2_offset, call_f2=False,
+            iterations=iterations))
+    result = FigureResult("figure4", [with_f2, without_f2])
+    gap_offsets = [
+        offset for offset, with_y, without_y
+        in zip(f1_offsets, with_f2.ys, without_f2.ys)
+        if with_y - without_y > config.squash_penalty / 2
+    ]
+    result.findings["f2_offset"] = f2_offset
+    result.findings["gap_offsets"] = gap_offsets
+    result.findings["expected_gap_offsets"] = [
+        offset for offset in f1_offsets if offset < f2_offset + 2
+    ]
+    result.findings["boundary_correct"] = (
+        gap_offsets == result.findings["expected_gap_offsets"]
+    )
+    # The no-F2 curve must decrease monotonically (fewer nops).
+    baseline = without_f2.ys
+    result.findings["baseline_monotonic"] = all(
+        earlier >= later - 1e-9
+        for earlier, later in zip(baseline, baseline[1:])
+    )
+    return result

@@ -1,0 +1,64 @@
+"""Figure 10: PW traversal pass structure and run counts.
+
+The paper's traversal splits the 4 KiB page into 128 32-byte PWs,
+tests N per NV-Core call (``128/N`` enclave executions for pass #1),
+then halves per extra run until byte granularity.  This experiment
+runs the *paper-strategy* traversal on a small enclave and reports the
+per-pass run counts alongside the byte-level extraction accuracy —
+plus the adaptive strategy's run count for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cpu.config import CpuGeneration, generation
+from ..cpu.core import Core
+from ..core.nv_supervisor import NvSupervisor
+from ..lang import CompileOptions
+from ..system.kernel import Kernel
+from ..victims.library import ENCLAVE_DATA_BASE, build_gcd_victim
+
+
+@dataclass
+class TraversalResult:
+    pws_per_call: int
+    expected_sweep_runs: int       # ceil(128 / N), the Fig. 10 number
+    paper_runs: int
+    paper_accuracy: float
+    adaptive_runs: int
+    adaptive_accuracy: float
+    steps: int
+
+
+def run_figure10(config: Optional[CpuGeneration] = None, *,
+                 pws_per_call: int = 8,
+                 inputs: Optional[dict] = None) -> TraversalResult:
+    config = config if config is not None else generation("coffeelake")
+    victim = build_gcd_victim(
+        "3.0", options=CompileOptions(opt_level=2), nlimbs=1,
+        with_yield=False, data_base=ENCLAVE_DATA_BASE)
+    if inputs is None:
+        inputs = {"ta": 12, "tb": 8}     # short trace, full structure
+    expected = victim.expected_unit_starts(inputs, config)
+
+    results: Dict[str, tuple] = {}
+    for strategy in ("paper", "adaptive"):
+        kernel = Kernel(Core(config))
+        supervisor = NvSupervisor(kernel, pws_per_call=pws_per_call,
+                                  strategy=strategy)
+        trace = supervisor.extract_trace(victim, inputs)
+        results[strategy] = (trace.runs,
+                             trace.accuracy_against(expected))
+
+    blocks = 4096 // 32
+    return TraversalResult(
+        pws_per_call=pws_per_call,
+        expected_sweep_runs=-(-blocks // pws_per_call),
+        paper_runs=results["paper"][0],
+        paper_accuracy=results["paper"][1],
+        adaptive_runs=results["adaptive"][0],
+        adaptive_accuracy=results["adaptive"][1],
+        steps=len(expected),
+    )

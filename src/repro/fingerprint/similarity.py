@@ -1,0 +1,109 @@
+"""Fingerprint similarity (§6.4 step 2).
+
+The paper's metric: convert the victim's function-level dynamic trace
+``t`` to a set ``S`` of position-independent PCs, keep a reference set
+``S*`` of static PCs per known function, and score
+
+    similarity = |S ∩ S*| / |S|.
+
+Variable-length encoding does the heavy lifting: instruction lengths
+depend on opcodes and addressing modes, so the set of relative PC
+values is a high-entropy signature of the instruction sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .slicing import FunctionTrace
+
+
+def set_similarity(victim: Iterable[int],
+                   reference: Iterable[int]) -> float:
+    """``|S ∩ S*| / |S|`` over position-independent PC sets."""
+    victim_set = frozenset(victim)
+    if not victim_set:
+        return 0.0
+    reference_set = frozenset(reference)
+    return len(victim_set & reference_set) / len(victim_set)
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Ranked similarity of one victim trace against one reference."""
+
+    reference: str
+    similarity: float
+
+
+class FingerprintIndex:
+    """Reference-function database (the attacker's offline corpus).
+
+    References are *static* relative-PC sets — the paper deliberately
+    avoids enumerating dynamic paths of reference functions (§6.4).
+    """
+
+    def __init__(self) -> None:
+        self._references: Dict[str, frozenset] = {}
+
+    def add_reference(self, name: str,
+                      static_pcs: Iterable[int]) -> None:
+        """Register reference function ``name`` with its static PCs
+        (already relative to the function entry)."""
+        self._references[name] = frozenset(static_pcs)
+
+    def add_compiled_function(self, name: str, compiled,
+                              function: str) -> None:
+        """Convenience: pull a function's static PCs out of a
+        :class:`CompiledModule` and normalize to its entry."""
+        info = compiled.info(function)
+        entry = info.entry
+        self.add_reference(name, (
+            pc - entry for pc in compiled.static_pcs(function)
+            if pc >= entry
+        ))
+
+    def __len__(self) -> int:
+        return len(self._references)
+
+    def references(self) -> List[str]:
+        return sorted(self._references)
+
+    # ------------------------------------------------------------------
+    def score(self, victim: FunctionTrace,
+              reference: str) -> float:
+        return set_similarity(victim.normalized(),
+                              self._references[reference])
+
+    def match(self, victim: FunctionTrace,
+              top: Optional[int] = None) -> List[MatchResult]:
+        """Similarities of ``victim`` against every reference,
+        best first."""
+        results = [
+            MatchResult(name, set_similarity(victim.normalized(), pcs))
+            for name, pcs in self._references.items()
+        ]
+        results.sort(key=lambda r: r.similarity, reverse=True)
+        return results[:top] if top is not None else results
+
+    def best_match(self, victim: FunctionTrace) -> MatchResult:
+        matches = self.match(victim, top=1)
+        if not matches:
+            raise ValueError("empty fingerprint index")
+        return matches[0]
+
+
+def rank_victims(victims: Sequence[Tuple[str, FunctionTrace]],
+                 reference_pcs: Iterable[int],
+                 top: Optional[int] = None
+                 ) -> List[Tuple[str, float]]:
+    """Score many victim traces against ONE reference — the Fig. 12
+    view (which victim looks most like GCD / bn_cmp?)."""
+    reference_set = frozenset(reference_pcs)
+    scored = [
+        (name, set_similarity(trace.normalized(), reference_set))
+        for name, trace in victims
+    ]
+    scored.sort(key=lambda item: item[1], reverse=True)
+    return scored[:top] if top is not None else scored

@@ -1,0 +1,75 @@
+"""ISA and toolchain: registers, instruction table, encoder/decoder,
+assembler, disassembler.
+
+Public surface::
+
+    from repro.isa import Assembler, make, decode, encode
+
+The instruction set is a clean-slate 64-bit design with x86-64-like
+instruction *lengths*; see :mod:`repro.isa.instructions` for rationale.
+"""
+
+from .assembler import AssembledProgram, Assembler, Ref, abs_, rel, relocate
+from .disassembler import disassemble, format_instruction, listing
+from .encoding import decode, encode, make
+from .instructions import (
+    ALL_MNEMONICS,
+    CONTROL_KINDS,
+    INDIRECT_KINDS,
+    Cond,
+    Format,
+    Instruction,
+    InstrSpec,
+    Kind,
+    SPECS_BY_NAME,
+    SPECS_BY_OPCODE,
+    evaluate_cond,
+    spec_for,
+)
+from .registers import (
+    Flags,
+    MASK64,
+    NUM_REGISTERS,
+    REGISTER_NAMES,
+    RegisterFile,
+    register_name,
+    register_number,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "ALL_MNEMONICS",
+    "AssembledProgram",
+    "Assembler",
+    "CONTROL_KINDS",
+    "Cond",
+    "Flags",
+    "Format",
+    "INDIRECT_KINDS",
+    "Instruction",
+    "InstrSpec",
+    "Kind",
+    "MASK64",
+    "NUM_REGISTERS",
+    "REGISTER_NAMES",
+    "Ref",
+    "RegisterFile",
+    "SPECS_BY_NAME",
+    "SPECS_BY_OPCODE",
+    "abs_",
+    "decode",
+    "disassemble",
+    "encode",
+    "evaluate_cond",
+    "format_instruction",
+    "listing",
+    "make",
+    "register_name",
+    "register_number",
+    "rel",
+    "relocate",
+    "spec_for",
+    "to_signed",
+    "to_unsigned",
+]

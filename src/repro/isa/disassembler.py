@@ -1,0 +1,71 @@
+"""Disassembler: bytes back to readable text.
+
+Used by examples, debugging helpers and the fingerprint tooling (which
+renders reference functions the way Figure 11 of the paper does).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..errors import DecodeError
+from .encoding import decode
+from .instructions import Format, Instruction
+from .registers import register_name
+
+
+def format_instruction(instruction: Instruction, pc: int = 0) -> str:
+    """Render one instruction, resolving relative targets against ``pc``."""
+    spec = instruction.spec
+    ops = instruction.operands
+    fmt = spec.fmt
+    if fmt in (Format.NONE, Format.PAD1, Format.PAD2):
+        return spec.mnemonic
+    if fmt in (Format.REL8, Format.REL32, Format.REL32_PAD):
+        target = pc + spec.length + ops[0]
+        return f"{spec.mnemonic} {target:#x}"
+    if fmt in (Format.REG, Format.REG_PAD):
+        return f"{spec.mnemonic} {register_name(ops[0])}"
+    if fmt in (Format.REG_REG, Format.REG_REG_PAD2):
+        return (f"{spec.mnemonic} {register_name(ops[0])}, "
+                f"{register_name(ops[1])}")
+    if fmt in (Format.REG_IMM8, Format.REG_IMM32, Format.REG_IMM64):
+        return f"{spec.mnemonic} {register_name(ops[0])}, {ops[1]:#x}"
+    if fmt in (Format.REG_REG_DISP8, Format.REG_REG_DISP32):
+        if spec.mnemonic in ("store", "storew"):
+            return (f"{spec.mnemonic} [{register_name(ops[0])}"
+                    f"{ops[2]:+#x}], {register_name(ops[1])}")
+        return (f"{spec.mnemonic} {register_name(ops[0])}, "
+                f"[{register_name(ops[1])}{ops[2]:+#x}]")
+    raise DecodeError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def disassemble(blob: bytes, base: int = 0,
+                stop_on_error: bool = True) -> Iterator[
+                    Tuple[int, Instruction, str]]:
+    """Yield ``(address, instruction, text)`` for each instruction.
+
+    With ``stop_on_error=False`` undecodable bytes are skipped one at a
+    time and reported as ``.byte`` lines.
+    """
+    offset = 0
+    while offset < len(blob):
+        pc = base + offset
+        try:
+            instruction, length = decode(blob, offset)
+        except DecodeError:
+            if stop_on_error:
+                raise
+            yield pc, None, f".byte {blob[offset]:#04x}"  # type: ignore
+            offset += 1
+            continue
+        yield pc, instruction, format_instruction(instruction, pc)
+        offset += length
+
+
+def listing(blob: bytes, base: int = 0) -> str:
+    """Return a full textual listing, one instruction per line."""
+    lines: List[str] = []
+    for pc, _, text in disassemble(blob, base, stop_on_error=False):
+        lines.append(f"{pc:#010x}: {text}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Register file definition for the simulated ISA.
+
+The machine is a 64-bit, 16-GPR design modelled on x86-64.  Register
+*names* follow x86 so victim code and the paper's listings read
+naturally, but nothing in the simulator depends on x86 encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+#: Canonical register names in encoding order (number = index).
+REGISTER_NAMES: Tuple[str, ...] = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+#: name -> register number
+REGISTER_NUMBERS: Dict[str, int] = {
+    name: number for number, name in enumerate(REGISTER_NAMES)
+}
+
+#: Number of general-purpose registers.
+NUM_REGISTERS = len(REGISTER_NAMES)
+
+#: Stack pointer register number.
+RSP = REGISTER_NUMBERS["rsp"]
+
+MASK64 = (1 << 64) - 1
+SIGN64 = 1 << 63
+
+
+def register_name(number: int) -> str:
+    """Return the canonical name for register ``number``."""
+    return REGISTER_NAMES[number]
+
+
+def register_number(name: str) -> int:
+    """Return the register number for ``name`` (case-insensitive)."""
+    return REGISTER_NUMBERS[name.lower()]
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as two's-complement signed."""
+    value &= MASK64
+    return value - (1 << 64) if value & SIGN64 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap an arbitrary Python int into the 64-bit unsigned range."""
+    return value & MASK64
+
+
+class Flags:
+    """Condition flags (the subset our ALU maintains).
+
+    Attributes mirror x86: ``zf`` (zero), ``sf`` (sign), ``cf`` (carry,
+    i.e. unsigned overflow/borrow) and ``of`` (signed overflow).
+    """
+
+    __slots__ = ("zf", "sf", "cf", "of")
+
+    def __init__(self, zf: bool = False, sf: bool = False,
+                 cf: bool = False, of: bool = False):
+        self.zf = zf
+        self.sf = sf
+        self.cf = cf
+        self.of = of
+
+    def copy(self) -> "Flags":
+        return Flags(self.zf, self.sf, self.cf, self.of)
+
+    def as_tuple(self) -> Tuple[bool, bool, bool, bool]:
+        return (self.zf, self.sf, self.cf, self.of)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Flags):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __repr__(self) -> str:
+        bits = "".join(
+            name.upper() if value else name
+            for name, value in zip("zsco", self.as_tuple())
+        )
+        return f"Flags({bits})"
+
+
+class RegisterFile:
+    """The 16 general-purpose registers plus flags.
+
+    Values are stored as Python ints already wrapped to 64 bits; writes
+    wrap automatically so ALU code can use ordinary arithmetic.
+    """
+
+    __slots__ = ("_values", "flags")
+
+    def __init__(self) -> None:
+        self._values = [0] * NUM_REGISTERS
+        self.flags = Flags()
+
+    def read(self, number: int) -> int:
+        return self._values[number]
+
+    def write(self, number: int, value: int) -> None:
+        self._values[number] = value & MASK64
+
+    def __getitem__(self, key) -> int:
+        if isinstance(key, str):
+            key = register_number(key)
+        return self._values[key]
+
+    def __setitem__(self, key, value: int) -> None:
+        if isinstance(key, str):
+            key = register_number(key)
+        self._values[key] = value & MASK64
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        for number, name in enumerate(REGISTER_NAMES):
+            yield name, self._values[number]
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a name->value dict (used for checkpoint/restore)."""
+        return dict(self.items())
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        for name, value in snapshot.items():
+            self[name] = value
+
+    def copy(self) -> "RegisterFile":
+        clone = RegisterFile()
+        clone._values = list(self._values)
+        clone.flags = self.flags.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        populated = {
+            name: f"{value:#x}" for name, value in self.items() if value
+        }
+        return f"RegisterFile({populated})"

@@ -1,0 +1,28 @@
+"""Mini-compiler: a C-like DSL over u64 scalars and arrays, compiled to
+the simulated ISA with gcc-like optimization levels (O0/O2/O3) and the
+paper's defense passes (branch balancing, -falign-jumps=16, CFR)."""
+
+from . import ast
+from .codegen import (
+    ARG_REGS,
+    ArmRegion,
+    CompileOptions,
+    CompiledModule,
+    Compiler,
+    FunctionInfo,
+    inline_leaf_calls,
+)
+from .parser import parse_function, parse_module
+
+__all__ = [
+    "ArmRegion",
+    "ARG_REGS",
+    "CompileOptions",
+    "CompiledModule",
+    "Compiler",
+    "FunctionInfo",
+    "ast",
+    "inline_leaf_calls",
+    "parse_function",
+    "parse_module",
+]

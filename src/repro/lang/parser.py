@@ -1,0 +1,261 @@
+"""Textual front end for the mini-language.
+
+Grammar (C-flavoured)::
+
+    module   := function*
+    function := 'func' NAME '(' params? ')' block
+    block    := '{' stmt* '}'
+    stmt     := NAME '=' expr ';'
+              | expr '[' expr ']' '=' expr ';'      (store)
+              | 'if' '(' expr ')' block ('else' block)?
+              | 'while' '(' expr ')' block
+              | 'return' expr? ';'
+              | 'yield' ';'
+              | expr ';'                            (call statement)
+    expr     := comparison with ==, !=, <, <=, >, >= (unsigned)
+                and s<, s<=, s>, s>= (signed), over
+                | ^ & << >> + - * / %  with C-ish precedence
+    primary  := NUMBER | NAME | NAME '(' args ')' | expr '[' expr ']'
+              | '(' expr ')'
+
+Numbers may be decimal or ``0x...`` hex.  ``#`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from . import ast as A
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<op>s<=|s>=|s<|s>|<<|>>|==|!=|<=|>=|[-+*/%&|^<>=(){}\[\],;])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+""", re.VERBOSE)
+
+_KEYWORDS = {"func", "if", "else", "while", "return", "yield"}
+
+
+def _tokenize(source: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    position = 0
+    line = 1
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"line {line}: unexpected character {source[position]!r}")
+        line += source[position:match.end()].count("\n")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "name" and text in _KEYWORDS:
+            kind = text
+        tokens.append((kind, text, line))
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Tuple[str, str, int]:
+        return self.tokens[self.position]
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> str:
+        token_kind, token_text, line = self.peek()
+        if token_kind != kind or (text is not None and token_text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"line {line}: expected {wanted!r}, found "
+                f"{token_text or token_kind!r}")
+        self.advance()
+        return token_text
+
+    def accept(self, kind: str, text: Optional[str] = None) -> bool:
+        token_kind, token_text, _ = self.peek()
+        if token_kind == kind and (text is None or token_text == text):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse_module(self) -> A.Module:
+        functions: List[A.Function] = []
+        while not self.accept("eof"):
+            functions.append(self.parse_function())
+        return A.Module(tuple(functions))
+
+    def parse_function(self) -> A.Function:
+        self.expect("func")
+        name = self.expect("name")
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.expect("name"))
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self.parse_block()
+        return A.Function(name, tuple(params), body)
+
+    def parse_block(self) -> Tuple[A.Stmt, ...]:
+        self.expect("op", "{")
+        stmts: List[A.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_stmt())
+        return tuple(stmts)
+
+    def parse_stmt(self) -> A.Stmt:
+        kind, text, line = self.peek()
+        if kind == "if":
+            self.advance()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            then = self.parse_block()
+            orelse: Tuple[A.Stmt, ...] = ()
+            if self.accept("else"):
+                orelse = self.parse_block()
+            return A.If(cond, then, orelse)
+        if kind == "while":
+            self.advance()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            return A.While(cond, self.parse_block())
+        if kind == "return":
+            self.advance()
+            if self.accept("op", ";"):
+                return A.Return(None)
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return A.Return(value)
+        if kind == "yield":
+            self.advance()
+            self.expect("op", ";")
+            return A.Yield()
+        # assignment, store or expression statement
+        if kind == "name":
+            next_kind, next_text, _ = self.tokens[self.position + 1]
+            if next_kind == "op" and next_text == "=":
+                name = self.expect("name")
+                self.expect("op", "=")
+                value = self.parse_expr()
+                self.expect("op", ";")
+                return A.Assign(name, value)
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, A.Load):
+                raise ParseError(
+                    f"line {line}: only 'base[index]' may be assigned")
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return A.Store(expr.base, expr.index, value)
+        self.expect("op", ";")
+        return A.ExprStmt(expr)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _COMPARISONS = {"==", "!=", "<", "<=", ">", ">=",
+                    "s<", "s<=", "s>", "s>="}
+
+    def parse_expr(self) -> A.Expr:
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> A.Expr:
+        left = self.parse_bitor()
+        kind, text, _ = self.peek()
+        if kind == "op" and text in self._COMPARISONS:
+            self.advance()
+            right = self.parse_bitor()
+            return A.Cmp(text, left, right)
+        return left
+
+    def _binary(self, operators, next_level):
+        left = next_level()
+        while True:
+            kind, text, _ = self.peek()
+            if kind == "op" and text in operators:
+                self.advance()
+                left = A.BinOp(text, left, next_level())
+            else:
+                return left
+
+    def parse_bitor(self) -> A.Expr:
+        return self._binary({"|"}, self.parse_bitxor)
+
+    def parse_bitxor(self) -> A.Expr:
+        return self._binary({"^"}, self.parse_bitand)
+
+    def parse_bitand(self) -> A.Expr:
+        return self._binary({"&"}, self.parse_shift)
+
+    def parse_shift(self) -> A.Expr:
+        return self._binary({"<<", ">>"}, self.parse_additive)
+
+    def parse_additive(self) -> A.Expr:
+        return self._binary({"+", "-"}, self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> A.Expr:
+        return self._binary({"*", "/", "%"}, self.parse_postfix)
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while self.accept("op", "["):
+            index = self.parse_expr()
+            self.expect("op", "]")
+            expr = A.Load(expr, index)
+        return expr
+
+    def parse_primary(self) -> A.Expr:
+        kind, text, line = self.peek()
+        if kind == "num":
+            self.advance()
+            return A.Const(int(text, 0))
+        if kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                args: List[A.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return A.Call(text, tuple(args))
+            return A.Var(text)
+        if kind == "op" and text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"line {line}: unexpected token {text or kind!r}")
+
+
+def parse_module(source: str) -> A.Module:
+    """Parse DSL source text into a :class:`Module`."""
+    return _Parser(source).parse_module()
+
+
+def parse_function(source: str) -> A.Function:
+    """Parse a single function definition."""
+    module = parse_module(source)
+    if len(module.functions) != 1:
+        raise ParseError("expected exactly one function")
+    return module.functions[0]

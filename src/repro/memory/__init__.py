@@ -1,0 +1,54 @@
+"""Virtual memory substrate: sparse storage, 4 KiB paging with R/W/X
+permissions and accessed/dirty bits, and address arithmetic helpers
+(32-byte fetch blocks, BTB tag truncation)."""
+
+from .address import (
+    ADDRESS_BITS,
+    ADDRESS_MASK,
+    BLOCK_MASK,
+    BLOCK_SHIFT,
+    BLOCK_SIZE,
+    PAGE_MASK,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    align_up,
+    bits,
+    block_base,
+    block_end,
+    block_offset,
+    page_base,
+    page_number,
+    page_offset,
+    ranges_overlap,
+    same_block,
+    same_page,
+    truncate,
+)
+from .memory import VirtualMemory
+from .paging import PageEntry, PageTable
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "BLOCK_MASK",
+    "BLOCK_SHIFT",
+    "BLOCK_SIZE",
+    "PAGE_MASK",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PageEntry",
+    "PageTable",
+    "VirtualMemory",
+    "align_up",
+    "bits",
+    "block_base",
+    "block_end",
+    "block_offset",
+    "page_base",
+    "page_number",
+    "page_offset",
+    "ranges_overlap",
+    "same_block",
+    "same_page",
+    "truncate",
+]

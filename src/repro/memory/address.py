@@ -1,0 +1,91 @@
+"""Address arithmetic helpers shared across the simulator.
+
+Two granularities matter throughout the paper:
+
+* 4 KiB pages — the controlled-channel attack and SGX paging operate
+  here;
+* 32-byte fetch blocks — prediction windows (PWs) are confined to one
+  32-byte-aligned block, and the BTB's 5-bit offset field addresses
+  bytes within such a block.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT          # 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+BLOCK_SHIFT = 5
+BLOCK_SIZE = 1 << BLOCK_SHIFT        # 32
+BLOCK_MASK = BLOCK_SIZE - 1
+
+ADDRESS_BITS = 64
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+
+def page_number(address: int) -> int:
+    """Virtual page number of ``address``."""
+    return address >> PAGE_SHIFT
+
+
+def page_offset(address: int) -> int:
+    """Offset of ``address`` within its 4 KiB page."""
+    return address & PAGE_MASK
+
+
+def page_base(address: int) -> int:
+    """First address of the page containing ``address``."""
+    return address & ~PAGE_MASK
+
+
+def block_base(address: int) -> int:
+    """First address of the 32-byte fetch block containing ``address``."""
+    return address & ~BLOCK_MASK
+
+
+def block_offset(address: int) -> int:
+    """Offset of ``address`` within its 32-byte fetch block (the BTB
+    'offset' field, 5 bits)."""
+    return address & BLOCK_MASK
+
+
+def block_end(address: int) -> int:
+    """One past the last address of the fetch block of ``address``."""
+    return block_base(address) + BLOCK_SIZE
+
+
+def bits(value: int, low: int, high: int) -> int:
+    """Extract bits ``[low, high)`` of ``value`` (LSB = bit 0)."""
+    if not 0 <= low <= high:
+        raise ValueError(f"invalid bit range [{low}, {high})")
+    return (value >> low) & ((1 << (high - low)) - 1)
+
+
+def truncate(address: int, keep_bits: int) -> int:
+    """Keep only the low ``keep_bits`` bits of ``address``.
+
+    This is the BTB tag-truncation behaviour: SkyLake-family BTBs ignore
+    address bits 33 and above (``keep_bits = 33``), IceLake ignores 34
+    and above (``keep_bits = 34``) — paper §2.3, footnote 1.
+    """
+    return address & ((1 << keep_bits) - 1)
+
+
+def same_page(a: int, b: int) -> bool:
+    return page_number(a) == page_number(b)
+
+
+def same_block(a: int, b: int) -> bool:
+    return block_base(a) == block_base(b)
+
+
+def align_up(address: int, boundary: int) -> int:
+    """Round ``address`` up to the next multiple of ``boundary``."""
+    if boundary <= 0 or boundary & (boundary - 1):
+        raise ValueError(f"boundary must be a power of two: {boundary}")
+    return (address + boundary - 1) & ~(boundary - 1)
+
+
+def ranges_overlap(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    """Half-open interval overlap test."""
+    return a_start < b_end and b_start < a_end

@@ -1,0 +1,157 @@
+"""Sparse virtual memory with paging and an access-control hook.
+
+One :class:`VirtualMemory` instance is one address space (one process).
+Storage is sparse — pages materialize on first touch — so experiments
+can place code regions 4/8 GiB apart (the paper's BTB tag-truncation
+setup) without cost.
+
+The ``access_filter`` hook lets the SGX layer enforce EPC isolation:
+it is consulted *before* page-table checks and can reject an access
+outright (raising :class:`ProtectionFault`) or redact reads.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional
+
+from ..errors import PageFault, ProtectionFault
+from .address import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, page_number
+from .paging import PageEntry, PageTable
+
+#: access_filter(address, size, access, context) -> None or raises.
+AccessFilter = Callable[[int, int, str, Optional[object]], None]
+
+
+class VirtualMemory:
+    """A 64-bit sparse byte-addressable address space."""
+
+    def __init__(self, page_table: Optional[PageTable] = None):
+        self.pages: Dict[int, bytearray] = {}
+        self.page_table = page_table if page_table is not None else PageTable()
+        #: decoded-instruction cache: address -> (Instruction, length).
+        #: Maintained by the CPU front end; writes invalidate it.
+        self.icache: Dict[int, object] = {}
+        self.access_filter: Optional[AccessFilter] = None
+        #: Current execution context (e.g. an Enclave object) used by
+        #: the access filter; ``None`` means normal/untrusted mode.
+        self.context: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # mapping helpers
+    # ------------------------------------------------------------------
+    def map_range(self, start: int, size: int, perms: str = "rw") -> None:
+        """Map every page overlapping ``[start, start+size)``."""
+        if size <= 0:
+            return
+        first = page_number(start)
+        last = page_number(start + size - 1)
+        for vpn in range(first, last + 1):
+            self.page_table.map_page(vpn, perms)
+
+    def is_mapped(self, address: int) -> bool:
+        return self.page_table.is_mapped(address)
+
+    def _backing(self, vpn: int) -> bytearray:
+        page = self.pages.get(vpn)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self.pages[vpn] = page
+        return page
+
+    def _check(self, address: int, size: int, access: str,
+               check: bool) -> None:
+        if self.access_filter is not None:
+            self.access_filter(address, size, access, self.context)
+        if not check:
+            return
+        first = page_number(address)
+        last = page_number(address + size - 1)
+        for vpn in range(first, last + 1):
+            self.page_table.check(vpn << PAGE_SHIFT, access)
+
+    # ------------------------------------------------------------------
+    # raw byte access
+    # ------------------------------------------------------------------
+    def read_bytes(self, address: int, size: int, *,
+                   access: str = "read", check: bool = True) -> bytes:
+        if size <= 0:
+            return b""
+        self._check(address, size, access, check)
+        out = bytearray()
+        remaining = size
+        cursor = address
+        while remaining:
+            vpn = page_number(cursor)
+            offset = cursor & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page = self.pages.get(vpn)
+            if page is None:
+                out += b"\x00" * chunk
+            else:
+                out += page[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes, *,
+                    check: bool = True) -> None:
+        if not data:
+            return
+        self._check(address, len(data), "write", check)
+        if self.icache:
+            # Invalidate any cached decode overlapping the written range
+            # (instructions are at most 10 bytes long).
+            for stale in range(address - 9, address + len(data)):
+                self.icache.pop(stale, None)
+        cursor = address
+        view = memoryview(data)
+        while view:
+            vpn = page_number(cursor)
+            offset = cursor & PAGE_MASK
+            chunk = min(len(view), PAGE_SIZE - offset)
+            self._backing(vpn)[offset:offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    # ------------------------------------------------------------------
+    # typed access
+    # ------------------------------------------------------------------
+    def read_u64(self, address: int, *, check: bool = True) -> int:
+        return struct.unpack(
+            "<Q", self.read_bytes(address, 8, check=check)
+        )[0]
+
+    def write_u64(self, address: int, value: int, *,
+                  check: bool = True) -> None:
+        self.write_bytes(
+            address, struct.pack("<Q", value & (1 << 64) - 1), check=check
+        )
+
+    def read_u8(self, address: int, *, check: bool = True) -> int:
+        return self.read_bytes(address, 1, check=check)[0]
+
+    def fetch(self, address: int, size: int) -> bytes:
+        """Instruction fetch: execute-permission-checked read."""
+        return self.read_bytes(address, size, access="execute")
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def load_program(self, program, perms: str = "rx") -> None:
+        """Map and copy an :class:`AssembledProgram` into this space."""
+        program.load_into(self, perms)
+
+    def protect(self, start: int, size: int, perms: str) -> None:
+        """Change permissions for every page in ``[start, start+size)``."""
+        first = page_number(start)
+        last = page_number(start + size - 1)
+        for vpn in range(first, last + 1):
+            self.page_table.set_perms(vpn, perms)
+
+    def page_entry(self, address: int) -> Optional[PageEntry]:
+        return self.page_table.entry_for_address(address)
+
+    def footprint_pages(self) -> int:
+        """Number of materialized backing pages (for resource tests)."""
+        return len(self.pages)

@@ -1,0 +1,19 @@
+"""SGX model: enclaves with EPC isolation and PCL code confidentiality,
+SGX-Step single-stepping, and controlled-channel page tracking."""
+
+from .controlled_channel import CodePageTracker, DataAccessMonitor
+from .enclave import Enclave
+from .pcl import SealedImage, SealedSegment, seal, unseal
+from .sgxstep import SgxStepper, StepResult
+
+__all__ = [
+    "CodePageTracker",
+    "DataAccessMonitor",
+    "Enclave",
+    "SealedImage",
+    "SealedSegment",
+    "SgxStepper",
+    "StepResult",
+    "seal",
+    "unseal",
+]

@@ -1,0 +1,118 @@
+"""Controlled-channel attacks (Xu et al. [64], paper §6.3/§6.4).
+
+Two attacker capabilities built purely on page-table control:
+
+* :class:`CodePageTracker` — keep every enclave code page
+  non-executable; each fault reveals (and re-enables) the page the
+  enclave is about to execute.  This supplies the *virtual page
+  number* half of every extracted PC (Fig. 9, lines 2–4); NightVision
+  supplies the page-offset half.
+
+* :class:`DataAccessMonitor` — clear accessed/dirty bits before a
+  step and read them after; a suspected ``call``/``ret`` is confirmed
+  by its stack (data-page) access (§6.4 step 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..errors import PageFault
+from ..memory.address import PAGE_SIZE, page_number
+from ..system.kernel import Kernel
+from ..system.process import Process
+from .enclave import Enclave
+
+
+class CodePageTracker:
+    """Page-granular PC tracking via execute-permission faults."""
+
+    def __init__(self, kernel: Kernel, host: Process, enclave: Enclave):
+        self.kernel = kernel
+        self.host = host
+        self.enclave = enclave
+        self._code_pages: Set[int] = set(enclave.code_pages())
+        self.current_page: Optional[int] = None
+        #: every observed page transition, in order
+        self.page_trace: List[int] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Mark all enclave code pages NX and hook page faults."""
+        table = self.host.memory.page_table
+        for vpn in self._code_pages:
+            table.set_perms(vpn, "r--")
+        previous = self.kernel.fault_handler
+        if previous is not None:
+            raise RuntimeError("kernel already has a fault handler")
+        self.kernel.fault_handler = self._on_fault
+        self._installed = True
+
+    def uninstall(self) -> None:
+        table = self.host.memory.page_table
+        for vpn in self._code_pages:
+            table.set_perms(vpn, "r-x")
+        if self._installed:
+            self.kernel.fault_handler = None
+            self._installed = False
+
+    # ------------------------------------------------------------------
+    def _on_fault(self, kernel: Kernel, process: Process,
+                  fault: PageFault) -> bool:
+        if process is not self.host or fault.access != "execute":
+            return False
+        vpn = page_number(fault.address)
+        if vpn not in self._code_pages:
+            return False
+        table = self.host.memory.page_table
+        if self.current_page is not None:
+            table.set_perms(self.current_page, "r--")
+        table.set_perms(vpn, "r-x")
+        self.current_page = vpn
+        self.page_trace.append(vpn)
+        return True     # retry the faulting fetch
+
+    # ------------------------------------------------------------------
+    def page_base(self) -> Optional[int]:
+        """Base address of the page currently executing, if known."""
+        if self.current_page is None:
+            return None
+        return self.current_page * PAGE_SIZE
+
+
+class DataAccessMonitor:
+    """Accessed/dirty-bit monitoring of the enclave's data pages."""
+
+    def __init__(self, host: Process, enclave: Enclave):
+        self.host = host
+        self.enclave = enclave
+        table = host.memory.page_table
+        self._data_pages: Set[int] = set()
+        for start, end in enclave.epc_ranges:
+            for vpn in range(page_number(start), page_number(end - 1) + 1):
+                entry = table.entry(vpn)
+                if entry is not None and entry.writable:
+                    self._data_pages.add(vpn)
+
+    def arm(self) -> None:
+        """Clear A/D bits on the enclave's data pages."""
+        table = self.host.memory.page_table
+        for vpn in self._data_pages:
+            entry = table.entry(vpn)
+            if entry is not None:
+                entry.accessed = False
+                entry.dirty = False
+
+    def touched(self) -> Set[int]:
+        """Data pages accessed since :meth:`arm`."""
+        table = self.host.memory.page_table
+        out: Set[int] = set()
+        for vpn in self._data_pages:
+            entry = table.entry(vpn)
+            if entry is not None and entry.accessed:
+                out.add(vpn)
+        return out
+
+    def touched_any(self) -> bool:
+        return bool(self.touched())

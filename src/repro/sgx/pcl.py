@@ -1,0 +1,73 @@
+"""Protected Code Loader model (SGX PCL, §6.1).
+
+The real PCL ships the enclave binary encrypted and decrypts it only
+once it is inside the enclave, so the platform owner never sees
+plaintext code.  We model that with a deterministic keystream cipher:
+the *ciphertext* is what sits in untrusted memory / on disk, and
+decryption happens during enclave load into EPC pages the attacker
+cannot read.
+
+The cipher is not meant to be cryptographically strong — it only has to
+make the property testable: ciphertext bytes share no structure with
+the plaintext, so nothing in the attack stack can "accidentally" use
+the code bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + nonce + counter.to_bytes(8, "little")).digest()
+        out += block
+        counter += 1
+    return bytes(out[:length])
+
+
+def seal(data: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Encrypt ``data`` (involutive: seal(seal(x)) == x)."""
+    stream = _keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+unseal = seal  # XOR keystream: same operation
+
+
+@dataclass(frozen=True)
+class SealedSegment:
+    """One encrypted code/data segment of an enclave image."""
+
+    base: int
+    ciphertext: bytes
+
+    def decrypt(self, key: bytes) -> bytes:
+        return unseal(self.ciphertext, key,
+                      self.base.to_bytes(8, "little"))
+
+
+@dataclass(frozen=True)
+class SealedImage:
+    """The encrypted enclave binary as shipped to the platform."""
+
+    segments: Tuple[SealedSegment, ...]
+    entry: int
+
+    @classmethod
+    def seal_segments(cls, segments: List[Tuple[int, bytes]],
+                      entry: int, key: bytes) -> "SealedImage":
+        sealed = tuple(
+            SealedSegment(base, seal(blob, key,
+                                     base.to_bytes(8, "little")))
+            for base, blob in segments
+        )
+        return cls(segments=sealed, entry=entry)
+
+    def decrypt_segments(self, key: bytes) -> List[Tuple[int, bytes]]:
+        return [(s.base, s.decrypt(key)) for s in self.segments]

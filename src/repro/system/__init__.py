@@ -1,0 +1,23 @@
+"""OS model: processes, a kernel with cooperative and preemptive
+scheduling, syscalls, and supervisor facilities (single-stepping,
+page-fault hooks) used by the privileged attacker."""
+
+from .kernel import Kernel
+from .process import DEFAULT_STACK_TOP, Process, ProcessStatus
+from .syscalls import (
+    DEFAULT_SYSCALLS,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_SCHED_YIELD,
+)
+
+__all__ = [
+    "DEFAULT_STACK_TOP",
+    "DEFAULT_SYSCALLS",
+    "Kernel",
+    "Process",
+    "ProcessStatus",
+    "SYS_EXIT",
+    "SYS_GETPID",
+    "SYS_SCHED_YIELD",
+]

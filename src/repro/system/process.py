@@ -1,0 +1,70 @@
+"""Processes: one address space + architectural state + scheduling info.
+
+Micro-architectural state (BTB/LBR/cycles) deliberately does *not* live
+here — it belongs to the :class:`~repro.cpu.core.Core` and is shared by
+every process scheduled onto it.  That is the channel.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from ..cpu.state import MachineState
+from ..isa.assembler import AssembledProgram
+from ..memory.memory import VirtualMemory
+
+_pids = itertools.count(1)
+
+#: default stack top for new processes
+DEFAULT_STACK_TOP = 0x7FFF_FFF0_0000
+
+
+class ProcessStatus(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+
+
+class Process:
+    """One schedulable entity."""
+
+    def __init__(self, name: str = "",
+                 memory: Optional[VirtualMemory] = None,
+                 entry: int = 0, *,
+                 domain: Optional[int] = None,
+                 stack_top: int = DEFAULT_STACK_TOP):
+        self.pid = next(_pids)
+        self.name = name or f"proc{self.pid}"
+        self.memory = memory if memory is not None else VirtualMemory()
+        self.state = MachineState(self.memory, rip=entry)
+        self.state.setup_stack(stack_top)
+        self.status = ProcessStatus.READY
+        #: security-domain id for the BTB-partitioning mitigation; by
+        #: default each process is its own domain
+        self.domain = domain if domain is not None else self.pid
+        self.exit_code: Optional[int] = None
+        #: cumulative retired instruction count (for accounting tests)
+        self.retired = 0
+
+    @classmethod
+    def from_program(cls, program: AssembledProgram, name: str = "",
+                     perms: str = "rx", **kwargs) -> "Process":
+        """Create a process with ``program`` loaded and RIP at its entry."""
+        memory = VirtualMemory()
+        program.load_into(memory, perms)
+        return cls(name=name, memory=memory, entry=program.entry, **kwargs)
+
+    @property
+    def alive(self) -> bool:
+        return self.status is not ProcessStatus.EXITED
+
+    def exit(self, code: int = 0) -> None:
+        self.status = ProcessStatus.EXITED
+        self.exit_code = code
+
+    def __repr__(self) -> str:
+        return (f"Process(pid={self.pid}, name={self.name!r}, "
+                f"status={self.status.value}, rip={self.state.rip:#x})")

@@ -1,0 +1,48 @@
+"""Syscall numbers and the dispatch table.
+
+A tiny Linux-flavoured ABI: the syscall number goes in ``rax``,
+arguments in ``rdi``/``rsi``/``rdx``, the return value back in ``rax``.
+Only what the paper's workloads need is implemented:
+
+* ``sched_yield`` — the victim-side half of the (simulated) preemptive
+  scheduling attack; the paper's own evaluation (§7.2) drives the
+  attack with explicit ``sched_yield()`` calls, which is exactly what
+  our victims do.
+* ``exit`` — terminate the process.
+* ``getpid`` — handy for tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+    from .process import Process
+
+SYS_SCHED_YIELD = 24
+SYS_EXIT = 60
+SYS_GETPID = 39
+
+#: handler(kernel, process) -> None; may change process status.
+SyscallHandler = Callable[["Kernel", "Process"], None]
+
+
+def _sys_sched_yield(kernel: "Kernel", process: "Process") -> None:
+    process.state.regs["rax"] = 0
+    kernel.note_yield(process)
+
+
+def _sys_exit(kernel: "Kernel", process: "Process") -> None:
+    process.exit(process.state.regs["rdi"])
+
+
+def _sys_getpid(kernel: "Kernel", process: "Process") -> None:
+    process.state.regs["rax"] = process.pid
+
+
+DEFAULT_SYSCALLS: Dict[int, SyscallHandler] = {
+    SYS_SCHED_YIELD: _sys_sched_yield,
+    SYS_EXIT: _sys_exit,
+    SYS_GETPID: _sys_getpid,
+}

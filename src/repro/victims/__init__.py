@@ -1,0 +1,70 @@
+"""Victim programs: bignum substrate (DSL + Python reference), the
+mbedTLS-style GCD in eight library versions, the IPP-style bn_cmp, and
+the RSA keygen driver that feeds the attacked GCD."""
+
+from .bignum import (
+    BIGNUM_SOURCE,
+    binary_gcd,
+    binary_gcd_branch_trace,
+    bytes_to_limbs,
+    from_limbs,
+    limbs_to_bytes,
+    ref_cmp,
+    to_limbs,
+)
+from .bn_cmp import bn_cmp_module, bn_cmp_source
+from .gcd import (
+    GCD_VERSIONS,
+    VERSION_GROUPS,
+    gcd_module,
+    gcd_source,
+    secret_branch_function,
+)
+from .library import (
+    ENCLAVE_DATA_BASE,
+    USER_DATA_BASE,
+    ArraySpec,
+    DataLayout,
+    VictimProgram,
+    build_bn_cmp_victim,
+    build_gcd_victim,
+)
+from .rsa import (
+    E_DEFAULT,
+    RsaKey,
+    generate_key,
+    generate_keys,
+    is_probable_prime,
+    random_prime,
+)
+
+__all__ = [
+    "ArraySpec",
+    "BIGNUM_SOURCE",
+    "DataLayout",
+    "E_DEFAULT",
+    "ENCLAVE_DATA_BASE",
+    "GCD_VERSIONS",
+    "RsaKey",
+    "USER_DATA_BASE",
+    "VERSION_GROUPS",
+    "VictimProgram",
+    "binary_gcd",
+    "binary_gcd_branch_trace",
+    "bn_cmp_module",
+    "bn_cmp_source",
+    "build_bn_cmp_victim",
+    "build_gcd_victim",
+    "bytes_to_limbs",
+    "from_limbs",
+    "gcd_module",
+    "gcd_source",
+    "generate_key",
+    "generate_keys",
+    "is_probable_prime",
+    "limbs_to_bytes",
+    "random_prime",
+    "ref_cmp",
+    "secret_branch_function",
+    "to_limbs",
+]

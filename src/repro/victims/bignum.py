@@ -1,0 +1,176 @@
+"""Multi-limb big-number routines, in DSL source form.
+
+These are the substrate the paper's two victim functions sit on: the
+mbedTLS GCD calls into compare/subtract/shift helpers exactly like
+``mbedtls_mpi`` does, which gives the dynamic PC traces their
+call/ret structure (needed by the fingerprint slicing of §6.4).
+
+Numbers are little-endian arrays of u64 limbs.  A Python reference
+implementation of each routine lives alongside for differential
+testing and for generating ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+MASK64 = (1 << 64) - 1
+
+#: DSL source of the bignum helper library.
+BIGNUM_SOURCE = """
+# ---------------------------------------------------------------- bignum
+func bn_is_zero(a, n) {
+  i = 0;
+  while (i < n) {
+    if (a[i] != 0) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+
+func bn_is_even(a) {
+  return (a[0] & 1) == 0;
+}
+
+func bn_cmp(a, b, n) {
+  # 0: a == b, 1: a > b, 2: a < b  (cpCmp_BNU-style, most
+  # significant limb first)
+  i = n;
+  while (i != 0) {
+    i = i - 1;
+    if (a[i] != b[i]) {
+      if (a[i] < b[i]) { return 2; }
+      return 1;
+    }
+  }
+  return 0;
+}
+
+func bn_sub(r, a, b, n) {
+  # r = a - b (mod 2^(64n)); returns the final borrow
+  borrow = 0;
+  i = 0;
+  while (i < n) {
+    av = a[i];
+    bv = b[i];
+    d1 = av - bv;
+    b1 = av < bv;
+    d2 = d1 - borrow;
+    b2 = d1 < borrow;
+    r[i] = d2;
+    borrow = b1 | b2;
+    i = i + 1;
+  }
+  return borrow;
+}
+
+func bn_shr1(a, n) {
+  # a >>= 1 in place; returns the bit shifted out
+  carry = 0;
+  i = n;
+  while (i != 0) {
+    i = i - 1;
+    v = a[i];
+    a[i] = (v >> 1) | (carry << 63);
+    carry = v & 1;
+  }
+  return carry;
+}
+
+func bn_shl1(a, n) {
+  # a <<= 1 in place; returns the bit shifted out
+  carry = 0;
+  i = 0;
+  while (i < n) {
+    v = a[i];
+    a[i] = (v << 1) | carry;
+    carry = v >> 63;
+    i = i + 1;
+  }
+  return carry;
+}
+
+func bn_copy(d, s, n) {
+  i = 0;
+  while (i < n) {
+    d[i] = s[i];
+    i = i + 1;
+  }
+  return 0;
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Python reference model (differential testing / ground truth)
+# ----------------------------------------------------------------------
+def to_limbs(value: int, nlimbs: int) -> List[int]:
+    """Split ``value`` into ``nlimbs`` little-endian u64 limbs."""
+    if value < 0:
+        raise ValueError("negative bignum")
+    if value >> (64 * nlimbs):
+        raise ValueError(f"{value:#x} does not fit in {nlimbs} limbs")
+    return [(value >> (64 * index)) & MASK64 for index in range(nlimbs)]
+
+
+def from_limbs(limbs: List[int]) -> int:
+    """Inverse of :func:`to_limbs`."""
+    value = 0
+    for index, limb in enumerate(limbs):
+        value |= (limb & MASK64) << (64 * index)
+    return value
+
+
+def limbs_to_bytes(limbs: List[int]) -> bytes:
+    out = bytearray()
+    for limb in limbs:
+        out += (limb & MASK64).to_bytes(8, "little")
+    return bytes(out)
+
+
+def bytes_to_limbs(blob: bytes) -> List[int]:
+    if len(blob) % 8:
+        raise ValueError("bignum byte length must be a multiple of 8")
+    return [int.from_bytes(blob[index:index + 8], "little")
+            for index in range(0, len(blob), 8)]
+
+
+def ref_cmp(a: int, b: int) -> int:
+    """Reference for the DSL ``bn_cmp``: 0 equal, 1 greater, 2 less."""
+    if a == b:
+        return 0
+    return 1 if a > b else 2
+
+
+def binary_gcd_branch_trace(a: int, b: int) -> Tuple[int, List[bool]]:
+    """Reference binary GCD, recording the *secret* balanced-branch
+    direction per iteration (True = 'then' arm, TA >= TB).
+
+    This mirrors ``mbedtls_mpi_gcd``'s structure and is the ground
+    truth the §7.2 accuracy numbers are computed against.
+    """
+    if a == 0 and b == 0:
+        return 0, []
+    ta, tb = a, b
+    count = 0
+    while ta and tb and ta % 2 == 0 and tb % 2 == 0:
+        ta >>= 1
+        tb >>= 1
+        count += 1
+    directions: List[bool] = []
+    while ta != 0:
+        while ta % 2 == 0:
+            ta >>= 1
+        while tb % 2 == 0:
+            tb >>= 1
+        if ta >= tb:
+            directions.append(True)
+            ta = (ta - tb) >> 1
+        else:
+            directions.append(False)
+            tb = (tb - ta) >> 1
+    return tb << count, directions
+
+
+def binary_gcd(a: int, b: int) -> int:
+    return binary_gcd_branch_trace(a, b)[0]

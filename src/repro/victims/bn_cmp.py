@@ -1,0 +1,65 @@
+"""The IPP-Crypto-style big-number comparison victim (§7.2).
+
+Intel IPP's ``cpCmp_BNU`` scans limbs from the most significant and, on
+the first difference, takes a perfectly balanced branch on which
+operand is larger.  The attacker leaks that branch's direction — i.e.
+the sign of a secret comparison — with NV-U.
+
+The attacked wrapper compares a secret against a public threshold in a
+loop (one comparison per iteration, one ``sched_yield`` after it),
+mirroring how the paper measures 100 runs of the function.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast as A
+from ..lang.parser import parse_module
+from .bignum import BIGNUM_SOURCE
+
+_BN_CMP = """
+# cpCmp_BNU-style comparison with the balanced secret branch
+func ipp_bn_cmp(a, b, n) {
+  i = n;
+  while (i != 0) {
+    i = i - 1;
+    av = a[i];
+    bv = b[i];
+    if (av != bv) {
+      if (av < bv) {
+        # a < b  (else-direction of the secret)
+        r = 2;
+        r = r + 0;
+        return r;
+      } else {
+        # a > b  (then-direction of the secret)
+        r = 1;
+        r = r + 0;
+        return r;
+      }
+    }
+  }
+  return 0;
+}
+
+# attacked wrapper: one secret comparison per iteration, yielding to
+# the (simulated) preemptive scheduler after each — §7.2 methodology
+func cmp_loop(a, b, n, iters, out) {
+  k = 0;
+  while (k < iters) {
+    r = ipp_bn_cmp(a, b, n);
+    out[k] = r;
+    {yield}
+    k = k + 1;
+  }
+  return 0;
+}
+"""
+
+
+def bn_cmp_source(*, with_yield: bool = False) -> str:
+    yield_stmt = "yield;" if with_yield else ""
+    return BIGNUM_SOURCE + _BN_CMP.replace("{yield}", yield_stmt)
+
+
+def bn_cmp_module(*, with_yield: bool = False) -> A.Module:
+    return parse_module(bn_cmp_source(with_yield=with_yield))

@@ -1,0 +1,103 @@
+"""RSA key-generation driver (pure Python).
+
+The paper attacks the GCD *inside* mbedTLS's RSA key generation: the
+keygen computes ``gcd(E, phi)`` (checking coprimality of the public
+exponent with Euler's phi) on secret-derived values, and the balanced
+branch inside GCD leaks them.  Only the GCD runs on the simulated CPU;
+this module supplies the surrounding keygen — prime sampling, phi,
+and the per-run ground-truth branch directions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .bignum import binary_gcd_branch_trace
+
+E_DEFAULT = 65537
+
+
+def is_probable_prime(candidate: int, rng: random.Random,
+                      rounds: int = 16) -> bool:
+    """Miller–Rabin primality test."""
+    if candidate < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if candidate % small == 0:
+            return candidate == small
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, candidate - 1)
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Sample a random prime with exactly ``bits`` bits."""
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaKey:
+    p: int
+    q: int
+    e: int
+
+    @property
+    def n(self) -> int:
+        return self.p * self.q
+
+    @property
+    def phi(self) -> int:
+        return (self.p - 1) * (self.q - 1)
+
+    def gcd_inputs(self) -> Tuple[int, int]:
+        """The (a, b) operands of the attacked GCD call — mbedTLS
+        checks ``gcd(E, phi) == 1`` during keygen."""
+        return self.e, self.phi
+
+    def secret_branch_directions(self) -> List[bool]:
+        """Ground-truth balanced-branch directions for this key's
+        GCD run (what NightVision tries to recover)."""
+        a, b = self.gcd_inputs()
+        return binary_gcd_branch_trace(a, b)[1]
+
+
+def generate_key(bits_per_prime: int = 32, e: int = E_DEFAULT,
+                 seed: int = 0) -> RsaKey:
+    """Generate one RSA key (scaled-down primes for simulation speed;
+    the GCD loop structure is identical at any width)."""
+    rng = random.Random(seed)
+    while True:
+        p = random_prime(bits_per_prime, rng)
+        q = random_prime(bits_per_prime, rng)
+        if p == q:
+            continue
+        key = RsaKey(p, q, e)
+        from math import gcd as _gcd
+        if _gcd(e, key.phi) == 1:
+            return key
+
+
+def generate_keys(count: int, bits_per_prime: int = 32,
+                  e: int = E_DEFAULT, seed: int = 0) -> List[RsaKey]:
+    """A deterministic batch of keys (one per attack run, §7.2)."""
+    return [generate_key(bits_per_prime, e, seed=seed * 100_003 + i)
+            for i in range(count)]

@@ -1,0 +1,79 @@
+"""Statistics and rendering helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (accuracy, ascii_table,
+                            confidence_interval_95, mean, median, pct,
+                            percentile, series_block, spark, stdev,
+                            summarize)
+
+_values = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                             allow_nan=False), min_size=1, max_size=50)
+
+
+class TestStats:
+    @given(_values)
+    def test_mean_within_bounds(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+    @given(_values)
+    def test_median_within_bounds(self, values):
+        assert min(values) <= median(values) <= max(values)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev(self):
+        assert stdev([1.0]) == 0.0
+        assert stdev([2.0, 4.0]) == pytest.approx(2.0 ** 0.5)
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 100) == 100
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+
+    @given(_values)
+    def test_confidence_interval_contains_mean(self, values):
+        low, high = confidence_interval_95(values)
+        assert low <= mean(values) <= high
+
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+        assert accuracy([1, 2], [1, 2, 3]) == pytest.approx(2 / 3)
+        assert accuracy([], []) == 1.0
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert set(summary) == {"n", "mean", "stdev", "min", "median",
+                                "max"}
+
+
+class TestRendering:
+    def test_ascii_table(self):
+        text = ascii_table(("name", "value"),
+                           [("alpha", 1), ("b", 123456)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "alpha" in lines[2]
+        assert all(len(line) <= len(max(lines, key=len))
+                   for line in lines)
+
+    def test_spark_monotone(self):
+        text = spark([0, 1, 2, 3])
+        assert len(text) == 4
+        assert text[0] != text[-1]
+
+    def test_spark_constant(self):
+        assert len(spark([5, 5, 5])) == 3
+
+    def test_series_block_mentions_range(self):
+        text = series_block("label", [0, 1, 2], [1.0, 9.0, 5.0],
+                            "cycles")
+        assert "label" in text and "cycles" in text
+
+    def test_pct(self):
+        assert pct(0.993) == "99.3%"

@@ -1,0 +1,159 @@
+"""NV-Core / NV-U: the prime+probe primitive and fragment monitoring."""
+
+import pytest
+
+from repro.core import NvCore, NvUser, PwRange
+from repro.cpu import Core, generation
+from repro.isa import Assembler
+from repro.system import Kernel, Process, SYS_SCHED_YIELD
+
+RANGE = PwRange(0x400200, 0x400220)
+
+
+def _kernel(**overrides):
+    return Kernel(Core(generation("coffeelake", **overrides)))
+
+
+def _victim_program(kind):
+    asm = Assembler(base=0x400000)
+    asm.label("entry")
+    if kind == "through":
+        asm.org(0x400200)
+        asm.label("entry2")
+        asm.nops(40)
+    elif kind == "branch_inside":
+        asm.nops(0x200)
+        asm.emit("jmp8", "after")      # jmp at 0x400200
+        asm.org(0x400280)
+        asm.label("after")
+    elif kind == "elsewhere":
+        asm.org(0x400300)
+        asm.label("entry2")
+        asm.nops(16)
+    asm.emit("hlt")
+    return asm.assemble()
+
+
+def _run_fragment(kernel, session, kind):
+    program = _victim_program(kind)
+    entry = program.symbols.get("entry2", 0x400000)
+    victim = Process(name="victim", entry=entry)
+    program.load_into(victim.memory)
+    kernel.add_process(victim)
+    session.prime()
+    kernel.run_slice(victim)
+    return session.probe()
+
+
+class TestNvCore:
+    @pytest.mark.parametrize("detector", ["hybrid", "cycles"])
+    @pytest.mark.parametrize("kind,expected", [
+        ("through", True),
+        ("branch_inside", True),
+        ("elsewhere", False),
+    ])
+    def test_detection(self, detector, kind, expected):
+        kernel = _kernel()
+        nv = NvCore(kernel, detector=detector)
+        session = nv.monitor([RANGE])
+        assert _run_fragment(kernel, session, kind) == [expected]
+
+    def test_detection_with_noise(self):
+        kernel = _kernel(timing_noise=2.0)
+        nv = NvCore(kernel)
+        session = nv.monitor([RANGE])
+        assert _run_fragment(kernel, session, "through") == [True]
+
+    def test_repeatable_rounds(self):
+        """Prime restores state: detection works round after round."""
+        kernel = _kernel()
+        nv = NvCore(kernel)
+        session = nv.monitor([RANGE])
+        outcomes = [_run_fragment(kernel, session, kind)[0]
+                    for kind in ("through", "elsewhere", "through",
+                                 "elsewhere")]
+        assert outcomes == [True, False, True, False]
+
+    def test_ibrs_does_not_stop_detection(self):
+        """§4.1: IBRS/IBPB leaves direct-jump entries alone."""
+        kernel = _kernel(ibrs_ibpb=True)
+        nv = NvCore(kernel)
+        session = nv.monitor([RANGE])
+        assert _run_fragment(kernel, session, "through") == [True]
+
+    def test_flush_on_switch_blinds_the_probe(self):
+        """§8.2: a full flush on every context switch breaks it —
+        everything looks 'matched' whether or not the victim ran
+        through the range (zero information)."""
+        kernel = _kernel(flush_btb_on_switch=True)
+        nv = NvCore(kernel)
+        session = nv.monitor([RANGE])
+        through = _run_fragment(kernel, session, "through")
+        elsewhere = _run_fragment(kernel, session, "elsewhere")
+        assert through == elsewhere
+
+    def test_partitioning_blinds_the_probe(self):
+        kernel = _kernel(btb_partitioning=True)
+        nv = NvCore(kernel)
+        session = nv.monitor([RANGE])
+        through = _run_fragment(kernel, session, "through")
+        elsewhere = _run_fragment(kernel, session, "elsewhere")
+        assert through == elsewhere
+
+    def test_bad_detector_rejected(self):
+        from repro.errors import AttackError
+        with pytest.raises(AttackError):
+            NvCore(_kernel(), detector="psychic")
+
+    def test_probe_reading_exposes_raw_measurements(self):
+        kernel = _kernel()
+        nv = NvCore(kernel)
+        session = nv.monitor([RANGE])
+        session.prime()
+        reading = session.probe_detailed()
+        assert reading.matched == [False]
+        assert reading.own_elapsed[0] is not None
+
+
+class TestNvUser:
+    def _yielding_victim(self, touch_range):
+        asm = Assembler(base=0x400000)
+        asm.label("entry")
+        for _ in range(3):
+            if touch_range:
+                asm.emit("call", "touch")
+            asm.emit("movi", "rax", SYS_SCHED_YIELD)
+            asm.emit("syscall")
+        asm.emit("hlt")
+        asm.org(0x400200)
+        asm.label("touch")
+        asm.nops(8)
+        asm.emit("ret")
+        return asm.assemble()
+
+    def test_per_fragment_matrix(self):
+        kernel = _kernel()
+        nv = NvCore(kernel)
+        nv_user = NvUser(nv)
+        session = nv.monitor([PwRange(0x400204, 0x400214)])
+        program = self._yielding_victim(touch_range=True)
+        victim = Process(name="victim", entry=0x400000)
+        program.load_into(victim.memory)
+        kernel.add_process(victim)
+        result = nv_user.run(victim, session)
+        assert result.victim_exited
+        # three yield fragments + final fragment to hlt
+        assert len(result.observations) == 4
+        assert result.column(0)[:3] == [True, True, True]
+
+    def test_untouched_range_never_matches(self):
+        kernel = _kernel()
+        nv = NvCore(kernel)
+        nv_user = NvUser(nv)
+        session = nv.monitor([PwRange(0x400240, 0x400260)])
+        program = self._yielding_victim(touch_range=True)
+        victim = Process(name="victim", entry=0x400000)
+        program.load_into(victim.memory)
+        kernel.add_process(victim)
+        result = nv_user.run(victim, session)
+        assert not any(result.column(0))

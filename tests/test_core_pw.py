@@ -1,0 +1,146 @@
+"""PW snippet construction."""
+
+import pytest
+
+from repro.core import PwBuilder, PwRange, page_pws
+from repro.errors import AttackError
+from repro.isa import decode
+from repro.memory import BLOCK_SIZE
+
+
+class TestPwRange:
+    def test_size_limits(self):
+        PwRange(0x400000, 0x400002)
+        PwRange(0x400000, 0x400020)
+        with pytest.raises(AttackError):
+            PwRange(0x400000, 0x400001)
+        with pytest.raises(AttackError):
+            PwRange(0x400000, 0x400021)
+
+    def test_block_confinement(self):
+        with pytest.raises(AttackError):
+            PwRange(0x400010, 0x400028)      # crosses a boundary
+        # ...except 2-byte point probes
+        PwRange(0x40001F, 0x400021)
+
+    def test_split(self):
+        parent = PwRange(0x400000, 0x400020)
+        halves = parent.split(2)
+        assert [(p.start, p.end) for p in halves] == [
+            (0x400000, 0x400010), (0x400010, 0x400020)]
+        quarters = parent.split(4)
+        assert all(q.size == 8 for q in quarters)
+
+    def test_split_respects_minimum(self):
+        tiny = PwRange(0x400000, 0x400004)
+        assert all(p.size >= 2 for p in tiny.split(8))
+        assert PwRange(0x400000, 0x400002).split(2) == \
+            [PwRange(0x400000, 0x400002)]
+
+    def test_overlaps(self):
+        pw = PwRange(0x400000, 0x400010)
+        assert pw.overlaps(0x40000F, 0x400011)
+        assert not pw.overlaps(0x400010, 0x400020)
+
+
+def test_page_pws_cover_page_disjointly():
+    pws = page_pws(0x5000)
+    assert len(pws) == 128
+    assert pws[0].start == 0x5000
+    assert pws[-1].end == 0x6000
+    for left, right in zip(pws, pws[1:]):
+        assert left.end == right.start
+
+
+class TestBuilder:
+    def test_alias_address(self):
+        builder = PwBuilder(33, alias_index=2)
+        assert builder.attacker_address(0x400010) == \
+            0x400010 + (2 << 33)
+
+    def test_snippet_structure_single(self):
+        builder = PwBuilder(33)
+        code = builder.build([PwRange(0x400400, 0x400420)])
+        assert len(code.jmp_pcs) == 1
+        jmp_pc = code.jmp_pcs[0]
+        assert jmp_pc == builder.attacker_address(0x40041E)
+        # the snippet bytes: nops then a 2-byte jmp8
+        blob = {base: data for base, data in code.program.segments}
+        start = builder.attacker_address(0x400400)
+        for base, data in blob.items():
+            if base <= jmp_pc < base + len(data):
+                inst, _ = decode(data, jmp_pc - base)
+                assert inst.mnemonic == "jmp8"
+                first, _ = decode(data, start - base)
+                assert first.mnemonic == "nop"
+
+    def test_adjacent_ranges_chain_without_glue(self):
+        builder = PwBuilder(33)
+        code = builder.build([
+            PwRange(0x400400, 0x400420),
+            PwRange(0x400420, 0x400440),
+        ])
+        assert code.jmp_pcs[1] - code.jmp_pcs[0] == BLOCK_SIZE
+
+    def test_small_gap_rejected(self):
+        builder = PwBuilder(33)
+        with pytest.raises(AttackError):
+            builder.build([
+                PwRange(0x400400, 0x400410),
+                PwRange(0x400412, 0x400420),
+            ])
+
+    def test_far_ranges_get_glue(self):
+        builder = PwBuilder(33)
+        code = builder.build([
+            PwRange(0x400400, 0x400420),
+            PwRange(0x400500, 0x400520),
+        ])
+        assert len(code.ranges) == 2
+
+    def test_overlapping_ranges_rejected(self):
+        builder = PwBuilder(33)
+        with pytest.raises(AttackError):
+            builder.build([
+                PwRange(0x400400, 0x400420),
+                PwRange(0x400410, 0x400430),
+            ])
+
+    def test_aliasing_ranges_rejected(self):
+        """Two ranges identical modulo the tag truncation collide."""
+        builder = PwBuilder(33)
+        with pytest.raises(AttackError):
+            builder.build([
+                PwRange(0x400400, 0x400420),
+                PwRange(0x400400 + (1 << 33), 0x400420 + (1 << 33)),
+            ])
+
+    def test_ret_probe_for_straddling_range(self):
+        builder = PwBuilder(33)
+        code = builder.build([PwRange(0x40041F, 0x400421)])
+        target = builder.attacker_address(0x400420)
+        assert code.jmp_pcs == (target,)
+        for base, data in code.program.segments:
+            if base <= target < base + len(data):
+                inst, _ = decode(data, target - base)
+                assert inst.mnemonic == "ret"
+
+    def test_stub_in_distinct_btb_set(self):
+        """The stub's entry must never fight monitored entries for
+        ways (regression: same-set stub caused eviction thrash)."""
+        from repro.cpu import BTB, generation
+        btb = BTB(generation("skylake"))
+        builder = PwBuilder(33)
+        code = builder.build(
+            PwRange(0x400400, 0x400420).split(4))
+        _, stub_set, _ = btb.fields(code.entry)
+        for jmp_pc in code.jmp_pcs:
+            assert btb.fields(jmp_pc)[1] != stub_set
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(AttackError):
+            PwBuilder(33).build([])
+
+    def test_bad_alias_index(self):
+        with pytest.raises(AttackError):
+            PwBuilder(33, alias_index=0)

@@ -1,0 +1,30 @@
+"""ExtractedTrace data model."""
+
+from repro.core import ExtractedTrace, StepRecord
+
+
+def _trace(pcs):
+    return ExtractedTrace(steps=[
+        StepRecord(index=i, page_bases=(0x400000,), pc=pc)
+        for i, pc in enumerate(pcs)
+    ])
+
+
+def test_pcs_drop_unresolved():
+    trace = _trace([1, None, 3])
+    assert trace.pcs == [1, 3]
+    assert trace.resolution_rate == 2 / 3
+
+
+def test_accuracy_positional():
+    trace = _trace([1, 2, 3, 4])
+    assert trace.accuracy_against([1, 2, 3, 4]) == 1.0
+    assert trace.accuracy_against([1, 2, 9, 4]) == 0.75
+    # length mismatch counts against
+    assert trace.accuracy_against([1, 2, 3, 4, 5]) == 0.8
+
+
+def test_empty():
+    trace = _trace([])
+    assert trace.resolution_rate == 0.0
+    assert trace.accuracy_against([]) == 1.0

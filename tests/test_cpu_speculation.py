@@ -1,0 +1,208 @@
+"""Post-interrupt fetch-ahead and speculative execution (§6.3) —
+the behaviours NV-S single-stepping fundamentally relies on."""
+
+import pytest
+
+from repro.cpu import Core, MachineState, generation
+from repro.isa import Assembler, Kind
+from repro.memory import VirtualMemory
+
+
+def build(asm_fn, base=0x400000):
+    asm = Assembler(base=base)
+    asm_fn(asm)
+    return asm.assemble()
+
+
+def machine(program, entry=None):
+    memory = VirtualMemory()
+    program.load_into(memory)
+    state = MachineState(memory, rip=entry if entry is not None
+                         else program.entry)
+    state.setup_stack(0x7FFF0000)
+    return state
+
+
+def _alias_sled(config, victim_block_fn):
+    """Program with a jmp entry in one block plus an aliased region
+    built by victim_block_fn."""
+    def body(asm):
+        asm.label("jump")
+        asm.nops(30)
+        asm.emit("jmp8", "land")       # entry at block offset 31
+        asm.label("land")
+        asm.emit("hlt")
+        asm.org(0x400000 + config.collision_distance)
+        asm.label("sled")
+        victim_block_fn(asm)
+    return build(body)
+
+
+class TestDrain:
+    def test_speculation_stops_at_nx_page(self):
+        """Speculative fetch past the stepped instruction never
+        crosses an NX page boundary — and never faults
+        architecturally (controlled-channel NX marking must not be
+        tripped by fetch-ahead)."""
+        config = generation("skylake")
+
+        def body(asm):
+            # stepped instruction is the last one on page 0
+            asm.org(0x400FF8)
+            asm.label("start")
+            asm.emit("movi", "rbx", 1)      # 7 bytes: 0x400FF8..FFE
+            asm.emit("nop")                 # 0x400FFF
+            asm.label("next_page")          # 0x401000 (page 1)
+            asm.emit("jmp8", "later")
+            asm.label("later")
+            asm.emit("hlt")
+        program = build(body)
+        core = Core(config)
+        state = machine(program, entry=program.address_of("start"))
+        state.memory.protect(0x401000, 4096, "r--")   # page 1 NX
+        result = core.run(state, max_retired=2)
+        # both page-0 instructions retired; the page-1 jump was never
+        # speculatively fetched (no allocation, no fault)
+        assert result.retired == 2
+        assert core.btb.occupancy() == 0
+
+    def test_drain_follows_direct_jump_and_allocates(self):
+        """Decode-time allocation: an unretired direct jump leaves a
+        BTB entry behind (what makes Fig. 5 cases 1/2 visible when
+        single-stepping)."""
+        config = generation("skylake")
+
+        def body(asm):
+            asm.label("start")
+            asm.emit("movi", "rax", 1)       # the stepped instruction
+            asm.emit("jmp", "target")        # never retires
+            asm.org(0x400100)
+            asm.label("target")
+            asm.emit("hlt")
+        program = build(body)
+        core = Core(config)
+        state = machine(program)
+        core.run(state, max_retired=1)
+        # only the movi retired...
+        assert state.rip == program.address_of("start") + 7
+        # ...but the jump's entry exists (allocated at decode)
+        jmp_pc = program.address_of("start") + 7
+        assert core.btb.entry_for(jmp_pc + 5 - 1) is not None
+
+    def test_drain_assumes_conditionals_not_taken(self):
+        """Fetch-ahead walks the fall-through of an unpredicted
+        conditional, reaching (and deallocating) later aliases."""
+        config = generation("skylake")
+
+        def victim(asm):
+            asm.nops(8)
+            asm.emit("cmpi8", "rax", 99)
+            asm.emit("je", "far")             # never fuses: je is 6B
+            asm.nops(10)
+            asm.label("far")
+            asm.emit("hlt")
+        program = _alias_sled(config, victim)
+        core = Core(config)
+        core.run(machine(program))            # allocate jmp entry
+        occupancy = core.btb.occupancy()
+        state = machine(program, entry=program.address_of("sled"))
+        core.run(state, max_retired=1)        # step one nop
+        assert core.btb.stats.deallocations >= 1
+
+
+class TestSpeculativeExecution:
+    def test_spec_verifies_ret_target(self):
+        """A predicted ret whose target changed gets corrected
+        speculatively (observable target update)."""
+        config = generation("skylake", spec_lookahead=4)
+
+        def body(asm):
+            asm.label("fn")
+            asm.emit("ret")
+            asm.org(0x400100)
+            asm.label("caller")
+            asm.emit("call", "fn")
+            asm.emit("hlt")
+            asm.org(0x400200)
+            asm.label("caller2")
+            asm.emit("call", "fn")
+            asm.emit("hlt")
+        program = build(body)
+        core = Core(config)
+        core.run(machine(program, entry=program.address_of("caller")))
+        entry = core.btb.entry_for(program.address_of("fn"))
+        assert entry is not None
+        first_target = entry.target
+        # single-step just the call from the second site; the ret
+        # executes only speculatively, yet its entry is re-targeted
+        state = machine(program, entry=program.address_of("caller2"))
+        core.run(state, max_retired=1)
+        assert entry.target != first_target
+
+    def test_spec_disabled_is_precise(self):
+        config = generation("skylake", spec_lookahead=0,
+                            drain_windows=0)
+
+        def body(asm):
+            asm.emit("movi", "rax", 1)
+            asm.emit("jmp8", "next")
+            asm.label("next")
+            asm.emit("hlt")
+        program = build(body)
+        core = Core(config)
+        state = machine(program)
+        core.run(state, max_retired=1)
+        assert core.btb.occupancy() == 0      # nothing ran ahead
+
+    def test_spec_does_not_commit_architectural_state(self):
+        config = generation("skylake", spec_lookahead=8)
+
+        def body(asm):
+            asm.emit("movi", "rax", 1)       # stepped
+            asm.emit("movi", "rbx", 99)      # speculative only
+            asm.emit("storew", "rsp", "rbx", -64)
+            asm.emit("hlt")
+        program = build(body)
+        core = Core(config)
+        state = machine(program)
+        rsp = state.rsp
+        core.run(state, max_retired=1)
+        assert state.regs["rbx"] == 0
+        assert state.memory.read_u64(rsp - 64, check=False) == 0
+
+    def test_spec_stops_at_lfence(self):
+        """lfence serializes *execution*: an indirect jump behind it
+        is never speculatively executed, so its entry never appears.
+        (Fetch/decode may still walk past — direct branches would be
+        decode-allocated — hence the indirect jump here.)"""
+        config = generation("skylake", spec_lookahead=8)
+
+        def body(asm):
+            asm.emit("movabs", "rdi", 0x400100)
+            asm.emit("movi", "rax", 1)       # stepped (2nd unit)
+            asm.emit("lfence")
+            asm.emit("jmpr", "rdi")          # must NOT execute
+            asm.org(0x400100)
+            asm.label("target")
+            asm.emit("hlt")
+        program = build(body)
+        core = Core(config)
+        state = machine(program)
+        core.run(state, max_retired=2)
+        assert core.btb.occupancy() == 0
+
+        # control experiment: without the fence the indirect jump DOES
+        # speculatively execute and allocates its entry
+        config2 = generation("skylake", spec_lookahead=8)
+
+        def body2(asm):
+            asm.emit("movabs", "rdi", 0x400100)
+            asm.emit("movi", "rax", 1)
+            asm.emit("jmpr", "rdi")
+            asm.org(0x400100)
+            asm.label("target")
+            asm.emit("hlt")
+        program2 = build(body2)
+        core2 = Core(config2)
+        core2.run(machine(program2), max_retired=2)
+        assert core2.btb.occupancy() == 1

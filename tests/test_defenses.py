@@ -1,0 +1,82 @@
+"""Defense layer: builders, oblivious GCD, mitigated hardware."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import MachineState, run_function
+from repro.defenses import (HARDWARE_MITIGATIONS, SOFTWARE_DEFENSES,
+                            build_oblivious_gcd_victim, flush_on_switch,
+                            ibrs_ibpb, partitioned_btb, stock)
+
+
+class TestSoftwareBuilders:
+    def test_grid_contents(self):
+        assert set(SOFTWARE_DEFENSES) == {
+            "none", "balancing", "align-jumps-16", "cfr",
+            "balancing+cfr"}
+
+    def test_options_flags(self):
+        assert SOFTWARE_DEFENSES["balancing"]().balance_branches
+        assert SOFTWARE_DEFENSES["align-jumps-16"]().align_jumps == 16
+        assert SOFTWARE_DEFENSES["cfr"]().cfr
+        combo = SOFTWARE_DEFENSES["balancing+cfr"]()
+        assert combo.cfr and combo.balance_branches
+
+
+class TestHardwareBuilders:
+    def test_grid_contents(self):
+        assert set(HARDWARE_MITIGATIONS) == {
+            "stock", "ibrs+ibpb", "btb-flush-on-switch",
+            "btb-partitioning"}
+
+    def test_flags(self):
+        assert not stock().ibrs_ibpb
+        assert ibrs_ibpb().ibrs_ibpb
+        assert flush_on_switch().flush_btb_on_switch
+        assert partitioned_btb().btb_partitioning
+
+    def test_overrides_pass_through(self):
+        config = ibrs_ibpb(timing_noise=3.0)
+        assert config.timing_noise == 3.0
+
+
+class TestObliviousGcd:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        return build_oblivious_gcd_victim(with_yield=False)
+
+    def _run(self, victim, a, b):
+        memory = victim.new_memory({"ta": a, "tb": b})
+        state = MachineState(memory)
+        state.setup_stack(0x7FFF00000000)
+        run_function(state, victim.compiled.info("main").entry,
+                     max_instructions=2_000_000,
+                     syscall_handler=lambda s: True)
+        from repro.victims import bytes_to_limbs, from_limbs
+        return from_limbs(bytes_to_limbs(memory.read_bytes(
+            victim.layout["g"].address, 8, check=False)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, (1 << 48) - 1), st.integers(1, (1 << 48) - 1))
+    def test_computes_gcd(self, victim, a, b):
+        assert self._run(victim, a, b) == math.gcd(a, b)
+
+    def test_trace_is_secret_independent(self, victim):
+        t1 = victim.ground_truth({"ta": 270, "tb": 192}).trace
+        t2 = victim.ground_truth({"ta": 65537, "tb": 99}).trace
+        t3 = victim.ground_truth({"ta": 1, "tb": 1}).trace
+        assert t1 == t2 == t3
+
+    def test_no_secret_dependent_branches(self, victim):
+        """Every conditional inside gcd_oblivious takes the same
+        direction sequence regardless of operands."""
+        info = victim.compiled.info("gcd_oblivious")
+        events = []
+        for inputs in ({"ta": 7, "tb": 21}, {"ta": 9999, "tb": 4}):
+            result = victim.ground_truth(inputs)
+            events.append([(pc, taken)
+                           for pc, taken in result.branch_events
+                           if info.contains(pc)])
+        assert events[0] == events[1]

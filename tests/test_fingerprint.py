@@ -1,0 +1,220 @@
+"""Fingerprinting: slicing, similarity, sequence matcher, corpus."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fingerprint import (FingerprintIndex, FunctionTrace,
+                               apply_measurement_noise, downsample,
+                               function_traces_of_length,
+                               generate_corpus, local_alignment_score,
+                               measured_trace, rank_victims,
+                               retire_unit_starts, sequence_similarity,
+                               set_similarity, slice_trace)
+
+_pc_sets = st.frozensets(st.integers(0, 400), min_size=1, max_size=60)
+
+
+class TestSetSimilarity:
+    @given(_pc_sets, _pc_sets)
+    def test_bounds(self, a, b):
+        assert 0.0 <= set_similarity(a, b) <= 1.0
+
+    @given(_pc_sets)
+    def test_identity(self, a):
+        assert set_similarity(a, a) == 1.0
+
+    @given(_pc_sets)
+    def test_subset_of_reference_is_perfect(self, a):
+        """Missing measurements (fusion drops) cannot hurt: S ⊆ S*
+        scores 1.0 — the property §7.3 relies on."""
+        reference = set(a) | {10_000, 10_001}
+        assert set_similarity(a, reference) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert set_similarity({1, 2}, {3, 4}) == 0.0
+
+    def test_empty_victim(self):
+        assert set_similarity([], {1}) == 0.0
+
+
+class TestSlicing:
+    def test_straightline_single_trace(self):
+        pcs = [0x100, 0x103, 0x106]
+        traces = slice_trace(pcs)
+        assert len(traces) == 1
+        assert traces[0].normalized() == [0, 3, 6]
+
+    def test_call_and_ret(self):
+        # caller at 0x100, call at 0x106 -> callee 0x200 (aligned),
+        # ret back to 0x10B
+        pcs = [0x100, 0x103, 0x106, 0x200, 0x204, 0x10B, 0x10E]
+        traces = slice_trace(pcs)
+        assert len(traces) == 2
+        caller, callee = traces
+        assert caller.pcs == [0x100, 0x103, 0x106, 0x10B, 0x10E]
+        assert callee.entry == 0x200
+        assert callee.pcs == [0x200, 0x204]
+        assert callee.depth == 1
+
+    def test_nested_calls(self):
+        pcs = [0x100, 0x105,            # call -> f
+               0x200, 0x205,            # f: call -> g
+               0x300, 0x303,            # g body
+               0x20A, 0x20D,            # back in f
+               0x10A]                   # back in caller
+        traces = slice_trace(pcs)
+        assert [t.entry for t in traces] == [0x100, 0x200, 0x300]
+        assert traces[1].pcs == [0x200, 0x205, 0x20A, 0x20D]
+
+    def test_data_access_gates_call_detection(self):
+        pcs = [0x100, 0x105, 0x200, 0x204]
+        # the far jump step (index 2) did NOT touch data: plain jump
+        flags = [True, True, False, True]
+        traces = slice_trace(pcs, flags)
+        assert len(traces) == 1
+
+    def test_unaligned_far_jump_is_not_a_call(self):
+        pcs = [0x100, 0x105, 0x209, 0x20C]   # target not 16-aligned
+        traces = slice_trace(pcs)
+        assert len(traces) == 1
+
+    def test_loop_back_edges_stay_in_function(self):
+        pcs = [0x100, 0x103, 0x110, 0x103, 0x110, 0x103]
+        traces = slice_trace(pcs)
+        assert len(traces) == 1
+
+    def test_length_filter(self):
+        traces = [FunctionTrace(entry=0, pcs=[0, 1, 2]),
+                  FunctionTrace(entry=0, pcs=list(range(10)))]
+        assert function_traces_of_length(traces, minimum=4) == \
+            [traces[1]]
+
+    def test_empty_trace(self):
+        assert slice_trace([]) == []
+
+
+class TestMeasurementModel:
+    def test_fusion_drops_jcc(self):
+        from repro.isa import make
+        instructions = {
+            0x100: make("cmpi8", 0, 5),      # fusible, 4 bytes
+            0x104: make("je8", 10),          # fuses
+            0x110: make("nop"),
+        }
+        trace = [0x100, 0x104, 0x110]
+        units = retire_unit_starts(trace, instructions)
+        assert units == [0x100, 0x110]
+
+    def test_non_adjacent_does_not_fuse(self):
+        from repro.isa import make
+        instructions = {
+            0x100: make("cmpi8", 0, 5),
+            0x108: make("je8", 10),          # gap: not adjacent
+        }
+        assert retire_unit_starts([0x100, 0x108], instructions) == \
+            [0x100, 0x108]
+
+    def test_noise_rates(self):
+        units = list(range(0, 10_000, 4))
+        noisy = apply_measurement_noise(units, error_rate=0.1,
+                                        drop_rate=0.1, seed=1)
+        kept = len(noisy) / len(units)
+        assert 0.85 < kept < 0.95
+        flipped = sum(1 for pc in noisy if pc % 4 != 0)
+        assert 0.05 < flipped / len(units) < 0.15
+
+    def test_zero_noise_identity(self):
+        units = [1, 2, 3]
+        assert apply_measurement_noise(units) == units
+
+
+class TestSequenceMatcher:
+    def test_identical_sequences(self):
+        seq = [0, 3, 6, 9, 12]
+        assert sequence_similarity(seq, seq) == 1.0
+
+    def test_disjoint_sequences(self):
+        assert sequence_similarity([0, 3, 6], [100, 200]) < 0.2
+
+    def test_tolerates_small_perturbation(self):
+        reference = list(range(0, 60, 3))
+        victim = [pc + (1 if index == 5 else 0)
+                  for index, pc in enumerate(reference)]
+        assert sequence_similarity(victim, reference) > 0.9
+
+    def test_order_matters_unlike_sets(self):
+        reference = [0, 10, 20, 30, 40, 50]
+        shuffled = [50, 30, 10, 40, 0, 20]
+        assert set_similarity(shuffled, reference) == 1.0
+        assert sequence_similarity(shuffled, reference) < \
+            sequence_similarity(reference, reference)
+
+    def test_downsample(self):
+        assert downsample(list(range(100)), 10) == \
+            [0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+        assert downsample([1, 2], 10) == [1, 2]
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=20),
+           st.lists(st.integers(0, 100), min_size=1, max_size=20))
+    def test_bounds(self, a, b):
+        assert 0.0 <= sequence_similarity(a, b) <= 1.0
+
+
+class TestIndex:
+    def test_ranking(self):
+        index = FingerprintIndex()
+        index.add_reference("f", {0, 3, 6, 9})
+        index.add_reference("g", {0, 5, 10, 15})
+        victim = FunctionTrace(entry=0x100,
+                               pcs=[0x100, 0x103, 0x106, 0x109])
+        matches = index.match(victim)
+        assert matches[0].reference == "f"
+        assert matches[0].similarity == 1.0
+        assert index.best_match(victim).reference == "f"
+
+    def test_rank_victims_view(self):
+        victims = [
+            ("a", FunctionTrace(entry=0, pcs=[0, 3, 6])),
+            ("b", FunctionTrace(entry=0, pcs=[0, 4, 8])),
+        ]
+        ranked = rank_victims(victims, {0, 3, 6})
+        assert ranked[0][0] == "a" and ranked[0][1] == 1.0
+
+    def test_empty_index_raises(self):
+        with pytest.raises(ValueError):
+            FingerprintIndex().best_match(
+                FunctionTrace(entry=0, pcs=[0]))
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(size=60, seed=5)
+
+    def test_size_and_names_unique(self, corpus):
+        assert len(corpus) == 60
+        assert len({fn.name for fn in corpus}) == 60
+
+    def test_deterministic(self, corpus):
+        again = generate_corpus(size=60, seed=5)
+        assert [fn.static_pcs for fn in again] == \
+            [fn.static_pcs for fn in corpus]
+
+    def test_self_similarity_high(self, corpus):
+        sims = [set_similarity(fn.measured, fn.static_pcs)
+                for fn in corpus]
+        assert sorted(sims)[len(sims) // 2] > 0.9
+
+    def test_cross_similarity_lower(self, corpus):
+        import random
+        rng = random.Random(0)
+        cross = []
+        for _ in range(100):
+            a, b = rng.sample(corpus, 2)
+            cross.append(set_similarity(a.measured, b.static_pcs))
+        assert sorted(cross)[50] < 0.6
+
+    def test_traces_normalized(self, corpus):
+        for fn in corpus[:10]:
+            assert all(pc >= -3 for pc in fn.measured)
+            assert 0 in fn.static_pcs or min(fn.static_pcs) >= 0

@@ -1,0 +1,60 @@
+"""Disassembler rendering."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import (ALL_MNEMONICS, Assembler, disassemble, encode,
+                       format_instruction, listing, make, spec_for)
+
+
+def test_relative_targets_resolved():
+    text = format_instruction(make("jmp", 0x100), pc=0x400000)
+    assert text == f"jmp {0x400000 + 5 + 0x100:#x}"
+
+
+def test_register_operands():
+    assert format_instruction(make("mov", 0, 12)) == "mov rax, r12"
+    assert format_instruction(make("push", 5)) == "push rbp"
+
+
+def test_memory_operands_directionality():
+    assert format_instruction(make("load", 0, 1, 8)) == \
+        "load rax, [rcx+0x8]"
+    assert format_instruction(make("store", 1, 0, -8)) == \
+        "store [rcx-0x8], rax"
+
+
+def test_listing_round_trip():
+    asm = Assembler(base=0x1000)
+    asm.emit("movi", "rax", 5)
+    asm.emit("addi8", "rax", 1)
+    asm.emit("jmp8", 0)
+    asm.emit("ret")
+    program = asm.assemble()
+    text = listing(program.segments[0][1], 0x1000)
+    for fragment in ("movi rax, 0x5", "addi8 rax, 0x1", "ret"):
+        assert fragment in text
+
+
+def test_disassemble_skips_junk_when_lenient():
+    blob = b"\x00\x01" + encode(make("ret"))
+    entries = list(disassemble(blob, stop_on_error=False))
+    assert entries[0][2].startswith(".byte")
+    assert entries[-1][2] == "ret"
+
+
+@given(st.sampled_from(ALL_MNEMONICS))
+def test_every_mnemonic_renders(mnemonic):
+    spec = spec_for(mnemonic)
+    from repro.isa.instructions import Format
+    defaults = {
+        Format.NONE: (), Format.PAD1: (), Format.PAD2: (),
+        Format.REL8: (1,), Format.REL32: (1,), Format.REL32_PAD: (1,),
+        Format.REG: (1,), Format.REG_PAD: (1,),
+        Format.REG_REG: (1, 2), Format.REG_REG_PAD2: (1, 2),
+        Format.REG_IMM8: (1, 2), Format.REG_IMM32: (1, 2),
+        Format.REG_IMM64: (1, 2),
+        Format.REG_REG_DISP8: (1, 2, 3),
+        Format.REG_REG_DISP32: (1, 2, 3),
+    }
+    text = format_instruction(make(mnemonic, *defaults[spec.fmt]))
+    assert text.startswith(mnemonic)

@@ -1,0 +1,144 @@
+"""Encoder/decoder: round trips, lengths, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError, EncodeError
+from repro.isa import (ALL_MNEMONICS, SPECS_BY_NAME, SPECS_BY_OPCODE,
+                       decode, encode, make, spec_for)
+from repro.isa.instructions import Format, Instruction
+
+_regs = st.integers(min_value=0, max_value=15)
+_imm8 = st.integers(min_value=-128, max_value=127)
+_imm32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+_imm64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def _operand_strategy(fmt: Format):
+    if fmt in (Format.NONE, Format.PAD1, Format.PAD2):
+        return st.tuples()
+    if fmt is Format.REL8:
+        return st.tuples(_imm8)
+    if fmt in (Format.REL32, Format.REL32_PAD):
+        return st.tuples(_imm32)
+    if fmt in (Format.REG, Format.REG_PAD):
+        return st.tuples(_regs)
+    if fmt in (Format.REG_REG, Format.REG_REG_PAD2):
+        return st.tuples(_regs, _regs)
+    if fmt is Format.REG_IMM8:
+        return st.tuples(_regs, _imm8)
+    if fmt is Format.REG_IMM32:
+        return st.tuples(_regs, _imm32)
+    if fmt is Format.REG_IMM64:
+        return st.tuples(_regs, _imm64)
+    if fmt is Format.REG_REG_DISP8:
+        return st.tuples(_regs, _regs, _imm8)
+    if fmt is Format.REG_REG_DISP32:
+        return st.tuples(_regs, _regs, _imm32)
+    raise AssertionError(fmt)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(ALL_MNEMONICS))
+    spec = spec_for(mnemonic)
+    operands = draw(_operand_strategy(spec.fmt))
+    return Instruction(spec, tuple(operands))
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_identity(self, instruction):
+        blob = encode(instruction)
+        decoded, length = decode(blob)
+        assert length == len(blob) == instruction.length
+        assert decoded.mnemonic == instruction.mnemonic
+        # imm64 values wrap; everything else must be exact
+        if instruction.spec.fmt is Format.REG_IMM64:
+            assert decoded.operands[0] == instruction.operands[0]
+            assert decoded.operands[1] == \
+                instruction.operands[1] & ((1 << 64) - 1)
+        else:
+            assert decoded.operands == instruction.operands
+
+    @given(instructions())
+    def test_length_matches_spec(self, instruction):
+        assert len(encode(instruction)) == instruction.spec.length
+
+
+class TestLengths:
+    """Instruction lengths mirror x86-64 (the fingerprint entropy)."""
+
+    @pytest.mark.parametrize("mnemonic,length", [
+        ("nop", 1), ("ret", 1), ("hlt", 1), ("cmc", 1),
+        ("jmp8", 2), ("je8", 2), ("push", 2), ("pop", 2),
+        ("mov", 3), ("add", 3), ("cmp", 3), ("inc", 3), ("lfence", 3),
+        ("load", 4), ("addi8", 4), ("shl", 4), ("imul", 4),
+        ("jmp", 5), ("call", 5),
+        ("je", 6),
+        ("movi", 7), ("addi", 7), ("loadw", 7), ("lea", 7),
+        ("movabs", 10),
+    ])
+    def test_x86_like_length(self, mnemonic, length):
+        assert spec_for(mnemonic).length == length
+
+
+class TestValidation:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodeError):
+            spec_for("bogus")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodeError):
+            make("push", 16)
+
+    def test_imm8_overflow(self):
+        with pytest.raises(EncodeError):
+            make("jmp8", 200)
+
+    def test_operand_count(self):
+        with pytest.raises(EncodeError):
+            make("mov", 1)
+        with pytest.raises(EncodeError):
+            make("nop", 1)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(b"\x00")
+
+    def test_truncated(self):
+        blob = encode(make("jmp", 1000))
+        with pytest.raises(DecodeError):
+            decode(blob[:3])
+
+    def test_decode_past_end(self):
+        with pytest.raises(DecodeError):
+            decode(b"", 0)
+
+    def test_bad_register_byte(self):
+        # push with register byte 0xFF must not decode
+        push_opcode = spec_for("push").opcode
+        with pytest.raises(DecodeError):
+            decode(bytes([push_opcode, 0xFF]))
+
+
+class TestTables:
+    def test_opcode_table_bijective(self):
+        assert len(SPECS_BY_OPCODE) == len(SPECS_BY_NAME)
+
+    def test_every_control_kind_present(self):
+        from repro.isa import Kind
+        kinds = {spec.kind for spec in SPECS_BY_NAME.values()}
+        for kind in (Kind.DIRECT_JUMP, Kind.COND_JUMP, Kind.CALL,
+                     Kind.RET, Kind.INDIRECT_JUMP, Kind.INDIRECT_CALL,
+                     Kind.SYSCALL):
+            assert kind in kinds
+
+    def test_shortest_control_transfer_is_two_bytes(self):
+        """The attack needs a 2-byte direct jump (§5.2)."""
+        assert spec_for("jmp8").length == 2
+        assert spec_for("jmp8").is_control
+
+    def test_semantics_cover_every_mnemonic(self):
+        from repro.cpu.semantics import covered_mnemonics
+        assert set(ALL_MNEMONICS) <= covered_mnemonics()

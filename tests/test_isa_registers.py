@@ -1,0 +1,98 @@
+"""Register file and flags."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (MASK64, NUM_REGISTERS, REGISTER_NAMES,
+                       RegisterFile, register_name, register_number,
+                       to_signed, to_unsigned)
+from repro.isa.registers import Flags
+
+
+class TestNames:
+    def test_sixteen_registers(self):
+        assert NUM_REGISTERS == 16
+        assert len(REGISTER_NAMES) == 16
+
+    def test_roundtrip(self):
+        for number, name in enumerate(REGISTER_NAMES):
+            assert register_number(name) == number
+            assert register_name(number) == name
+
+    def test_case_insensitive(self):
+        assert register_number("RAX") == 0
+        assert register_number("R15") == 15
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            register_number("eax")
+
+
+class TestSignConversion:
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    def test_negative_one(self):
+        assert to_signed(MASK64) == -1
+        assert to_unsigned(-1) == MASK64
+
+    def test_boundaries(self):
+        assert to_signed(1 << 63) == -(1 << 63)
+        assert to_signed((1 << 63) - 1) == (1 << 63) - 1
+
+
+class TestRegisterFile:
+    def test_initial_zero(self):
+        regs = RegisterFile()
+        assert all(value == 0 for _, value in regs.items())
+
+    def test_write_wraps(self):
+        regs = RegisterFile()
+        regs.write(0, (1 << 64) + 5)
+        assert regs.read(0) == 5
+
+    def test_string_indexing(self):
+        regs = RegisterFile()
+        regs["rbx"] = 42
+        assert regs[3] == 42
+        assert regs["rbx"] == 42
+
+    def test_snapshot_restore(self):
+        regs = RegisterFile()
+        regs["rdi"] = 7
+        regs["r12"] = 13
+        snap = regs.snapshot()
+        regs["rdi"] = 0
+        regs.restore(snap)
+        assert regs["rdi"] == 7
+        assert regs["r12"] == 13
+
+    def test_copy_is_independent(self):
+        regs = RegisterFile()
+        regs["rax"] = 1
+        regs.flags.zf = True
+        clone = regs.copy()
+        clone["rax"] = 2
+        clone.flags.zf = False
+        assert regs["rax"] == 1
+        assert regs.flags.zf is True
+
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers())
+    def test_any_write_read(self, number, value):
+        regs = RegisterFile()
+        regs.write(number, value)
+        assert regs.read(number) == value & MASK64
+
+
+class TestFlags:
+    def test_equality(self):
+        assert Flags(zf=True) == Flags(zf=True)
+        assert Flags(zf=True) != Flags(sf=True)
+
+    def test_copy(self):
+        flags = Flags(cf=True, of=True)
+        clone = flags.copy()
+        clone.cf = False
+        assert flags.cf is True

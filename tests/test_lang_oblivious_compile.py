@@ -1,0 +1,42 @@
+"""Compiler properties the data-oblivious victim depends on: Cmp in
+value position emits no conditional branch."""
+
+from repro.isa import Kind
+from repro.lang import CompileOptions, Compiler, parse_module
+
+
+def _kinds(source, function):
+    compiled = Compiler(CompileOptions(opt_level=2)).compile(
+        parse_module(source))
+    info = compiled.info(function)
+    return [inst.kind for pc, inst in
+            compiled.program.instructions.items()
+            if info.contains(pc)]
+
+
+def test_cmp_as_value_is_branchless():
+    kinds = _kinds("func f(a, b) { r = a < b; return r * 7; }", "f")
+    assert Kind.COND_JUMP not in kinds
+
+
+def test_if_emits_conditional():
+    kinds = _kinds(
+        "func f(a) { r = 0; if (a < 3) { r = 1; } return r; }", "f")
+    assert Kind.COND_JUMP in kinds
+
+
+def test_while_condition_only_branches_on_counter():
+    source = """
+func f(n) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + (s < 100);
+    i = i + 1;
+  }
+  return s;
+}
+"""
+    kinds = _kinds(source, "f")
+    # exactly one conditional: the rotated loop's bottom test
+    assert kinds.count(Kind.COND_JUMP) == 1

@@ -1,0 +1,128 @@
+"""DSL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast as A
+from repro.lang import parse_function, parse_module
+
+
+def test_function_header():
+    fn = parse_function("func f(a, b) { return a; }")
+    assert fn.name == "f"
+    assert fn.params == ("a", "b")
+
+
+def test_no_params():
+    fn = parse_function("func f() { return 1; }")
+    assert fn.params == ()
+
+
+def test_precedence_mul_over_add():
+    fn = parse_function("func f(a) { return a + 2 * 3; }")
+    value = fn.body[0].value
+    assert isinstance(value, A.BinOp) and value.op == "+"
+    assert isinstance(value.right, A.BinOp) and value.right.op == "*"
+
+
+def test_parentheses_override():
+    fn = parse_function("func f(a) { return (a + 2) * 3; }")
+    value = fn.body[0].value
+    assert value.op == "*"
+    assert value.left.op == "+"
+
+
+def test_comparison_is_lowest():
+    fn = parse_function("func f(a, b) { return a + 1 < b * 2; }")
+    value = fn.body[0].value
+    assert isinstance(value, A.Cmp) and value.op == "<"
+
+
+def test_signed_comparison_tokens():
+    fn = parse_function("func f(a, b) { return a s< b; }")
+    assert fn.body[0].value.op == "s<"
+
+
+def test_if_else_and_while():
+    fn = parse_function("""
+func f(a) {
+  r = 0;
+  while (a != 0) {
+    if (a & 1) { r = r + 1; } else { r = r + 2; }
+    a = a >> 1;
+  }
+  return r;
+}
+""")
+    loop = fn.body[1]
+    assert isinstance(loop, A.While)
+    branch = loop.body[0]
+    assert isinstance(branch, A.If)
+    assert len(branch.then) == 1 and len(branch.orelse) == 1
+
+
+def test_if_without_else():
+    fn = parse_function("func f(a) { if (a) { a = 1; } return a; }")
+    assert fn.body[0].orelse == ()
+
+
+def test_array_load_and_store():
+    fn = parse_function("func f(p) { p[2] = p[1] + 1; return p[0]; }")
+    store = fn.body[0]
+    assert isinstance(store, A.Store)
+    assert isinstance(store.value.left, A.Load)
+    assert isinstance(fn.body[1].value, A.Load)
+
+
+def test_call_statement_and_expression():
+    module = parse_module("""
+func g(x) { return x; }
+func f(a) {
+  g(a);
+  return g(a + 1);
+}
+""")
+    fn = module.function("f")
+    assert isinstance(fn.body[0], A.ExprStmt)
+    assert isinstance(fn.body[0].expr, A.Call)
+    assert isinstance(fn.body[1].value, A.Call)
+
+
+def test_yield_statement():
+    fn = parse_function("func f() { yield; return 0; }")
+    assert isinstance(fn.body[0], A.Yield)
+
+
+def test_hex_and_comments():
+    fn = parse_function("""
+func f() {
+  # a comment
+  return 0x10;  # trailing
+}
+""")
+    assert fn.body[0].value.value == 16
+
+
+def test_bare_return():
+    fn = parse_function("func f() { return; }")
+    assert fn.body[0].value is None
+
+
+@pytest.mark.parametrize("source", [
+    "func f( { return 0; }",
+    "func f() { return 0 }",
+    "func f() { 1 = 2; }",
+    "func f() { if a { } }",
+    "f() { return 0; }",
+    "func f() { return $; }",
+])
+def test_syntax_errors(source):
+    with pytest.raises(ParseError):
+        parse_module(source)
+
+
+def test_module_function_lookup():
+    module = parse_module("func a() { return 1; } func b() { return 2; }")
+    assert module.function("b").name == "b"
+    with pytest.raises(KeyError):
+        module.function("c")

@@ -1,0 +1,62 @@
+"""Repository-level hygiene: public surface, examples, docs."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+import repro
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_subpackages_importable():
+    for name in repro.__all__:
+        if name != "__version__":
+            assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("example",
+                         sorted((ROOT / "examples").glob("*.py")),
+                         ids=lambda p: p.name)
+def test_examples_compile(example):
+    py_compile.compile(str(example), doraise=True)
+
+
+@pytest.mark.parametrize("bench",
+                         sorted((ROOT / "benchmarks").glob(
+                             "bench_*.py")),
+                         ids=lambda p: p.name)
+def test_benchmarks_compile(bench):
+    py_compile.compile(str(bench), doraise=True)
+
+
+def test_docs_exist_and_mention_key_things():
+    readme = (ROOT / "README.md").read_text()
+    design = (ROOT / "DESIGN.md").read_text()
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    assert "NightVision" in readme
+    assert "Takeaway 1" in readme
+    assert "Substitution table" in design or "substitution" in design
+    for artefact in ("Figure 2", "Figure 4", "Figure 10",
+                     "Figure 12", "Figure 13"):
+        assert artefact in experiments
+
+
+def test_every_public_module_has_docstring():
+    import importlib
+    import pkgutil
+
+    missing = []
+    for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."):
+        if module_info.name.endswith("__main__"):
+            continue          # importing it would run the CLI
+        module = importlib.import_module(module_info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(module_info.name)
+    assert not missing, f"modules without docstrings: {missing}"

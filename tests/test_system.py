@@ -1,0 +1,152 @@
+"""Kernel, processes, scheduling, syscalls."""
+
+import pytest
+
+from repro.cpu import Core, StopReason, generation
+from repro.errors import PageFault, SystemError_
+from repro.isa import Assembler
+from repro.system import (Kernel, Process, ProcessStatus, SYS_EXIT,
+                          SYS_GETPID, SYS_SCHED_YIELD)
+
+
+def program_yield_twice():
+    asm = Assembler(base=0x400000)
+    for _ in range(2):
+        asm.emit("movi", "rax", SYS_SCHED_YIELD)
+        asm.emit("syscall")
+    asm.emit("movi", "rdi", 5)
+    asm.emit("movi", "rax", SYS_EXIT)
+    asm.emit("syscall")
+    return asm.assemble()
+
+
+def make_kernel():
+    return Kernel(Core(generation("skylake")))
+
+
+def test_run_until_yield_stops_at_each_yield():
+    kernel = make_kernel()
+    process = Process.from_program(program_yield_twice())
+    kernel.add_process(process)
+    kernel.run_slice(process)
+    assert process.alive
+    kernel.run_slice(process)
+    assert process.alive
+    kernel.run_slice(process)
+    assert not process.alive
+    assert process.exit_code == 5
+
+
+def test_getpid_syscall():
+    asm = Assembler(base=0x400000)
+    asm.emit("movi", "rax", SYS_GETPID)
+    asm.emit("syscall")
+    asm.emit("hlt")
+    kernel = make_kernel()
+    process = Process.from_program(asm.assemble())
+    kernel.add_process(process)
+    kernel.run_slice(process)
+    assert process.state.regs["rax"] == process.pid
+
+
+def test_unknown_syscall_raises():
+    asm = Assembler(base=0x400000)
+    asm.emit("movi", "rax", 9999)
+    asm.emit("syscall")
+    kernel = make_kernel()
+    process = Process.from_program(asm.assemble())
+    kernel.add_process(process)
+    with pytest.raises(SystemError_):
+        kernel.run_slice(process)
+
+
+def test_single_step_retires_one_unit():
+    asm = Assembler(base=0x400000)
+    asm.nops(5)
+    asm.emit("hlt")
+    kernel = make_kernel()
+    process = Process.from_program(asm.assemble())
+    kernel.add_process(process)
+    result = kernel.single_step(process)
+    assert result.reason is StopReason.RETIRE_LIMIT
+    assert result.retired == 1
+    assert process.state.rip == 0x400001
+
+
+def test_page_fault_handler_retry():
+    asm = Assembler(base=0x400000)
+    asm.emit("movi", "rbx", 3)
+    asm.emit("hlt")
+    kernel = make_kernel()
+    process = Process.from_program(asm.assemble())
+    kernel.add_process(process)
+    process.memory.protect(0x400000, 16, "r--")
+    fixed = []
+
+    def handler(krnl, proc, fault):
+        proc.memory.protect(0x400000, 16, "r-x")
+        fixed.append(fault.address)
+        return True
+
+    kernel.fault_handler = handler
+    result = kernel.run_slice(process)
+    assert result.reason is StopReason.HALT
+    assert fixed and fixed[0] == 0x400000
+    assert process.state.regs["rbx"] == 3
+
+
+def test_unhandled_fault_propagates():
+    asm = Assembler(base=0x400000)
+    asm.emit("hlt")
+    kernel = make_kernel()
+    process = Process.from_program(asm.assemble())
+    kernel.add_process(process)
+    process.memory.protect(0x400000, 16, "r--")
+    with pytest.raises(PageFault):
+        kernel.run_slice(process)
+
+
+def test_round_robin_runs_everything():
+    kernel = make_kernel()
+    processes = []
+    for index in range(3):
+        asm = Assembler(base=0x400000)
+        asm.emit("movi", "rbx", index + 1)
+        asm.emit("movi", "rdi", index)
+        asm.emit("movi", "rax", SYS_EXIT)
+        asm.emit("syscall")
+        processes.append(
+            kernel.add_process(Process.from_program(asm.assemble())))
+    kernel.schedule()
+    assert all(not p.alive for p in processes)
+    assert [p.exit_code for p in processes] == [0, 1, 2]
+
+
+def test_context_switch_counts():
+    kernel = make_kernel()
+    a = Process.from_program(program_yield_twice())
+    b = Process.from_program(program_yield_twice())
+    kernel.add_process(a)
+    kernel.add_process(b)
+    kernel.run_slice(a)
+    kernel.run_slice(b)
+    kernel.run_slice(a)
+    assert kernel.context_switches == 3
+
+
+def test_dead_process_rejected():
+    kernel = make_kernel()
+    process = Process.from_program(program_yield_twice())
+    kernel.add_process(process)
+    process.exit(0)
+    with pytest.raises(SystemError_):
+        kernel.run_slice(process)
+
+
+def test_process_status_transitions():
+    kernel = make_kernel()
+    process = Process.from_program(program_yield_twice())
+    kernel.add_process(process)
+    assert process.status is ProcessStatus.READY
+    kernel.run_slice(process)
+    assert process.status is ProcessStatus.RUNNING

@@ -44,6 +44,7 @@ from . import (  # noqa: F401  (re-exported subpackages)
     defenses,
     errors,
     experiments,
+    faults,
     fingerprint,
     isa,
     lang,
@@ -61,6 +62,7 @@ __all__ = [
     "defenses",
     "errors",
     "experiments",
+    "faults",
     "fingerprint",
     "isa",
     "lang",

@@ -1,7 +1,8 @@
 """Statistics and plain-text reporting used by the experiment
 harnesses and benchmarks."""
 
-from .report import ascii_table, pct, series_block, spark
+from .report import (ascii_table, degradation_block, pct, series_block,
+                     spark)
 from .stats import (
     accuracy,
     confidence_interval_95,
@@ -16,6 +17,7 @@ __all__ = [
     "accuracy",
     "ascii_table",
     "confidence_interval_95",
+    "degradation_block",
     "mean",
     "median",
     "pct",

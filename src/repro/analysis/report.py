@@ -45,5 +45,28 @@ def series_block(label: str, xs: Sequence[object],
             f"({len(ys)} points, x={xs[0]}..{xs[-1]})")
 
 
+def degradation_block(label: str, xs: Sequence[object],
+                      series: Sequence[Tuple[str, Sequence[float]]]
+                      ) -> str:
+    """Render degradation curves (metric vs stress level) for several
+    configurations side by side — one sparkline per series plus a
+    point-by-point table (the robustness-ablation figures)."""
+    lines = [label]
+    for name, ys in series:
+        if ys:
+            lines.append(f"  {name:<12} {spark(ys)}  "
+                         f"[{min(ys):.3f}..{max(ys):.3f}]")
+        else:
+            lines.append(f"  {name:<12} (no data)")
+    headers = ["x"] + [name for name, _ in series]
+    rows = [
+        [x] + [f"{ys[index]:.3f}" if index < len(ys) else "-"
+               for _, ys in series]
+        for index, x in enumerate(xs)
+    ]
+    lines.append(ascii_table(headers, rows))
+    return "\n".join(lines)
+
+
 def pct(value: float) -> str:
     return f"{100 * value:.1f}%"

@@ -4,10 +4,16 @@ Commands
 --------
 ``list``
     Show every reproducible experiment with its paper artefact.
-``run <experiment> [--fast]``
+``run <experiment> [--fast] [--seed N]``
     Run one experiment harness and print its findings.
 ``demo``
     A 30-second tour: Takeaways 1 & 2 plus one NV-Core detection.
+
+``--seed`` is the single reproducibility knob: it reaches every
+stochastic layer — RSA key generation, LBR timing noise, corpus
+sampling, fault-injection schedules — so two invocations with the same
+seed print identical numbers.  Experiments keep their per-experiment
+default seeds when the flag is omitted.
 """
 
 from __future__ import annotations
@@ -15,12 +21,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from .analysis import ascii_table, pct, series_block
+from .analysis import ascii_table, degradation_block, pct, series_block
 
-#: experiment name -> (paper artefact, runner returning printable text)
-_EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {}
+#: experiment name -> (paper artefact, runner returning printable text).
+#: Runners take ``(fast, seed)``; ``seed is None`` means "use the
+#: experiment's own default".
+_EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool, Optional[int]],
+                                            str]]] = {}
 
 
 def _register(name: str, artefact: str):
@@ -30,10 +39,27 @@ def _register(name: str, artefact: str):
     return wrap
 
 
+def _seeded(seed: Optional[int], **kwargs):
+    """kwargs plus ``seed=`` when the user supplied one."""
+    if seed is not None:
+        kwargs["seed"] = seed
+    return kwargs
+
+
+def _config_for(name: str, seed: Optional[int]):
+    """A generation preset carrying the user's seed (None -> default
+    config, letting the experiment pick its own preset)."""
+    if seed is None:
+        return None
+    from .cpu.config import generation
+    return generation(name, seed=seed)
+
+
 @_register("fig2", "Figure 2 — non-branch BTB deallocation")
-def _fig2(fast: bool) -> str:
+def _fig2(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_figure2
-    result = run_figure2(iterations=2 if fast else 10)
+    result = run_figure2(config=_config_for("skylake", seed),
+                         iterations=2 if fast else 10)
     lines = [series_block(s.label, s.xs, s.ys, "cycles")
              for s in result.series]
     lines.append(f"boundary F2 < F1+2 reproduced: "
@@ -42,9 +68,10 @@ def _fig2(fast: bool) -> str:
 
 
 @_register("fig4", "Figure 4 — PW range-semantics lookup")
-def _fig4(fast: bool) -> str:
+def _fig4(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_figure4
-    result = run_figure4(iterations=2 if fast else 10)
+    result = run_figure4(config=_config_for("skylake", seed),
+                         iterations=2 if fast else 10)
     lines = [series_block(s.label, s.xs, s.ys, "cycles")
              for s in result.series]
     lines.append(f"boundary F1 < F2+2 reproduced: "
@@ -53,9 +80,9 @@ def _fig4(fast: bool) -> str:
 
 
 @_register("fig5", "Figure 5 — overlap scenarios")
-def _fig5(fast: bool) -> str:
+def _fig5(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_figure5
-    result = run_figure5()
+    result = run_figure5(config=_config_for("coffeelake", seed))
     lines = [f"{name}: detected={hit}"
              for name, hit in result.detections.items()]
     lines.append(f"all correct: {result.all_correct}")
@@ -63,35 +90,38 @@ def _fig5(fast: bool) -> str:
 
 
 @_register("fig7", "Figure 7 — chained PWs")
-def _fig7(fast: bool) -> str:
+def _fig7(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_figure7
-    result = run_figure7()
+    result = run_figure7(config=_config_for("coffeelake", seed))
     return (f"localization correct: {result.localization_correct}\n"
             f"victim runs: chained={result.chained_rounds} vs "
             f"single-PW={result.single_pw_rounds}")
 
 
 @_register("gcd-leak", "§7.2 — GCD secret-branch leak (use case 1)")
-def _gcd(fast: bool) -> str:
+def _gcd(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_gcd_leak
-    result = run_gcd_leak(runs=5 if fast else 100)
+    result = run_gcd_leak(runs=5 if fast else 100,
+                          **_seeded(seed))
     return (f"{result.label}: accuracy {pct(result.accuracy)} over "
             f"{result.total_iterations} iterations "
             f"({result.runs} runs; paper: 99.3%)")
 
 
 @_register("bncmp-leak", "§7.2 — bn_cmp leak (use case 1)")
-def _bncmp(fast: bool) -> str:
+def _bncmp(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_bncmp_leak
-    result = run_bncmp_leak(runs=10 if fast else 100)
+    result = run_bncmp_leak(runs=10 if fast else 100,
+                            **_seeded(seed))
     return (f"{result.label}: accuracy {pct(result.accuracy)} "
             f"({result.runs} runs; paper: 100%)")
 
 
 @_register("defenses", "Figure 8 / §5 — software defense grid")
-def _defenses(fast: bool) -> str:
+def _defenses(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_defense_grid
-    grid = run_defense_grid(runs=3 if fast else 20)
+    grid = run_defense_grid(runs=3 if fast else 20,
+                            **_seeded(seed))
     return ascii_table(
         ("defense", "accuracy", "verdict"),
         [(name, pct(r.accuracy),
@@ -100,13 +130,15 @@ def _defenses(fast: bool) -> str:
 
 
 @_register("mitigations", "§8.2 — hardware mitigations + oblivious")
-def _mitigations(fast: bool) -> str:
+def _mitigations(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_hardware_grid, run_oblivious
-    grid = run_hardware_grid(runs=3 if fast else 15)
+    grid = run_hardware_grid(runs=3 if fast else 15,
+                             **_seeded(seed))
     rows = [(name, pct(r.accuracy),
              "LEAKS" if r.accuracy > 0.9 else "holds")
             for name, r in grid.items()]
-    oblivious = run_oblivious(keys=3 if fast else 8)
+    oblivious = run_oblivious(keys=3 if fast else 8,
+                              **_seeded(seed))
     rows.append(("data-oblivious gcd",
                  f"info rate {pct(oblivious.information_rate)}",
                  "holds" if oblivious.information_rate == 0
@@ -115,9 +147,10 @@ def _mitigations(fast: bool) -> str:
 
 
 @_register("traversal", "Figure 10 — PW traversal run counts")
-def _traversal(fast: bool) -> str:
+def _traversal(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_figure10
     result = run_figure10(
+        _config_for("coffeelake", seed),
         inputs={"ta": 6, "tb": 4} if fast else {"ta": 12, "tb": 8})
     return (f"steps={result.steps}; 128/N budget="
             f"{result.expected_sweep_runs}; paper strategy "
@@ -127,9 +160,10 @@ def _traversal(fast: bool) -> str:
 
 
 @_register("fingerprint", "Figure 12 — function fingerprinting")
-def _fingerprint(fast: bool) -> str:
+def _fingerprint(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_figure12
-    result = run_figure12(corpus_size=200 if fast else 2000)
+    extra = {} if seed is None else {"corpus_seed": seed}
+    result = run_figure12(corpus_size=200 if fast else 2000, **extra)
     return "\n".join([
         f"corpus: {result.corpus_size} functions",
         f"GCD self-sim {pct(result.gcd.self_similarity)}, "
@@ -140,7 +174,7 @@ def _fingerprint(fast: bool) -> str:
 
 
 @_register("versions", "Figure 13 — versions × opt levels")
-def _versions(fast: bool) -> str:
+def _versions(fast: bool, seed: Optional[int]) -> str:
     from .experiments import (run_figure13_optlevels,
                               run_figure13_versions, version_groups)
     left = run_figure13_versions()
@@ -153,13 +187,37 @@ def _versions(fast: bool) -> str:
 
 
 @_register("generations", "§2.3 footnote — tag truncation sweep")
-def _generations(fast: bool) -> str:
+def _generations(fast: bool, seed: Optional[int]) -> str:
     from .experiments import run_generation_sweep
     result = run_generation_sweep()
     return ascii_table(
         ("generation", "tag bits", "@8GiB", "@16GiB"),
         [(name, keep, a, b)
          for name, (keep, a, b) in result.table.items()])
+
+
+@_register("robustness", "ablation — accuracy vs injected fault rate")
+def _robustness(fast: bool, seed: Optional[int]) -> str:
+    from .experiments import (run_fingerprint_robustness,
+                              run_leak_robustness)
+    leak = run_leak_robustness(
+        runs=3 if fast else 8,
+        factors=(0.0, 1.0) if fast else (0.0, 1.0, 2.0, 3.0),
+        **_seeded(seed))
+    blocks = [degradation_block(
+        f"{leak.label} (plan: {leak.plan_name})",
+        leak.factors, leak.curves())]
+    blocks.append(f"resilient floor {pct(leak.resilient_floor)} vs "
+                  f"naive floor {pct(leak.naive_floor)}")
+    if not fast:
+        fingerprint = run_fingerprint_robustness(**_seeded(seed))
+        blocks.append(degradation_block(
+            f"{fingerprint.label} (plan: {fingerprint.plan_name})",
+            fingerprint.factors, fingerprint.curves()))
+        failures = sum(p.failed for p in fingerprint.naive)
+        blocks.append(f"naive extractions failed outright: "
+                      f"{failures}/{len(fingerprint.naive)}")
+    return "\n".join(blocks)
 
 
 def _cmd_list() -> int:
@@ -170,7 +228,8 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, fast: bool) -> int:
+def _cmd_run(name: str, fast: bool,
+             seed: Optional[int] = None) -> int:
     if name not in _EXPERIMENTS:
         known = ", ".join(_EXPERIMENTS)
         print(f"unknown experiment {name!r}; known: {known}",
@@ -179,14 +238,14 @@ def _cmd_run(name: str, fast: bool) -> int:
     artefact, runner = _EXPERIMENTS[name]
     print(f"== {artefact} ==")
     started = time.time()
-    print(runner(fast))
+    print(runner(fast, seed))
     print(f"({time.time() - started:.1f}s)")
     return 0
 
 
-def _cmd_demo() -> int:
+def _cmd_demo(seed: Optional[int] = None) -> int:
     for name in ("fig2", "fig4", "fig5"):
-        _cmd_run(name, fast=True)
+        _cmd_run(name, fast=True, seed=seed)
         print()
     return 0
 
@@ -201,14 +260,19 @@ def main(argv=None) -> int:
     run.add_argument("experiment")
     run.add_argument("--fast", action="store_true",
                      help="reduced parameters for a quick look")
-    sub.add_parser("demo", help="30-second tour")
+    run.add_argument("--seed", type=int, default=None,
+                     help="seed every RNG (keys, noise, faults); "
+                          "omit for the experiment's default")
+    demo = sub.add_parser("demo", help="30-second tour")
+    demo.add_argument("--seed", type=int, default=None,
+                      help="seed every RNG in the demo experiments")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.fast)
+        return _cmd_run(args.experiment, args.fast, args.seed)
     if args.command == "demo":
-        return _cmd_demo()
+        return _cmd_demo(args.seed)
     return 2                                      # pragma: no cover
 
 

@@ -9,6 +9,8 @@
 """
 
 from .cfl import CflResult, ControlFlowLeakAttack, Direction, arm_pw
+from .measurement import (DEFAULT_POLICY, MeasuredProbe,
+                          MeasurementPolicy, RangeStatus)
 from .nv_core import NvCore, ProbeReading, ProbeSession
 from .nv_supervisor import NvSupervisor
 from .nv_user import FragmentObservation, NvUser, NvUserResult
@@ -19,9 +21,12 @@ from .traversal import PwTraversal, StepSearch
 __all__ = [
     "CflResult",
     "ControlFlowLeakAttack",
+    "DEFAULT_POLICY",
     "Direction",
     "ExtractedTrace",
     "FragmentObservation",
+    "MeasuredProbe",
+    "MeasurementPolicy",
     "NvCore",
     "NvSupervisor",
     "NvUser",
@@ -32,6 +37,7 @@ __all__ = [
     "PwBuilder",
     "PwRange",
     "PwTraversal",
+    "RangeStatus",
     "StepRecord",
     "StepSearch",
     "arm_pw",

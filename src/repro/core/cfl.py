@@ -29,6 +29,7 @@ from ..memory.address import block_end
 from ..system.kernel import Kernel
 from ..system.process import Process
 from ..victims.library import VictimProgram
+from .measurement import MeasurementPolicy
 from .nv_core import NvCore
 from .nv_user import NvUser
 from .pw import PwRange
@@ -69,6 +70,14 @@ class CflResult:
     directions: List[Direction]
     #: per-fragment raw matches [(then_matched, else_matched), ...]
     raw: List[Tuple[bool, bool]]
+    #: per-fragment confidence (min over the monitored ranges); all
+    #: 1.0 on the naive path
+    confidence: List[float] = field(default_factory=list)
+
+    def mean_confidence(self) -> float:
+        if not self.confidence:
+            return 1.0
+        return sum(self.confidence) / len(self.confidence)
 
     def inferred(self) -> List[bool]:
         """Directions as booleans (True = then), skipping fragments
@@ -100,10 +109,17 @@ class ControlFlowLeakAttack:
     def __init__(self, kernel: Kernel, victim_program: VictimProgram, *,
                  arm_index: Optional[int] = None,
                  detector: str = "hybrid",
-                 monitor_both_arms: bool = True):
+                 monitor_both_arms: bool = True,
+                 policy: Optional[MeasurementPolicy] = None):
         self.kernel = kernel
         self.victim_program = victim_program
-        self.nv = NvCore(kernel, detector=detector)
+        if (policy is not None and policy.constraint is None
+                and monitor_both_arms):
+            # Both arms are monitored and exactly one runs per
+            # fragment — the strongest unknown-resolution prior the
+            # policy supports.
+            policy = policy.with_(constraint="exactly_one")
+        self.nv = NvCore(kernel, detector=detector, policy=policy)
         self.nv_user = NvUser(self.nv)
         self.monitor_both_arms = monitor_both_arms
         self.arm = self._select_arm(arm_index)
@@ -159,6 +175,7 @@ class ControlFlowLeakAttack:
                                    max_fragments=max_fragments)
         directions: List[Direction] = []
         raw: List[Tuple[bool, bool]] = []
+        confidence: List[float] = []
         for observation in outcome.observations:
             if self.monitor_both_arms:
                 then_hit, else_hit = observation.matched
@@ -166,12 +183,24 @@ class ControlFlowLeakAttack:
                 else_hit = observation.matched[0]
                 then_hit = not else_hit
             raw.append((then_hit, else_hit))
+            confidence.append(min(observation.confidence)
+                              if observation.confidence else 1.0)
             if then_hit and else_hit:
                 directions.append(Direction.AMBIGUOUS)
             elif then_hit:
                 directions.append(Direction.THEN)
             elif else_hit:
                 directions.append(Direction.ELSE)
+            elif (observation.confidence is not None
+                  and min(observation.confidence) < 0.5):
+                # Both arms read miss, but at low confidence (dropped
+                # records degraded instead of observed): an iteration
+                # probably did run and its direction was lost.  Report
+                # an explicit unknown rather than NONE — silently
+                # deleting the fragment would shift every later
+                # iteration against the truth sequence.
+                directions.append(Direction.AMBIGUOUS)
             else:
                 directions.append(Direction.NONE)
-        return CflResult(directions=directions, raw=raw)
+        return CflResult(directions=directions, raw=raw,
+                         confidence=confidence)

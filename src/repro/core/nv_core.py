@@ -33,9 +33,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cpu.core import StopReason
-from ..errors import AttackError, CalibrationError
+from ..errors import AttackError, CalibrationError, MeasurementUnstable
 from ..system.kernel import Kernel
 from ..system.process import Process
+from .measurement import (MeasuredProbe, MeasurementPolicy, RangeStatus,
+                          apply_constraint, summarize)
 from .pw import ProbeCode, PwBuilder, PwRange
 
 
@@ -48,31 +50,89 @@ class ProbeReading:
     mispredicted: List[bool]
     prev_mispredicted: List[bool]
     matched: List[bool]
+    #: True where the probe jump produced an LBR record at all; the
+    #: naive ``matched`` treats an absent record as a hit, the policy
+    #: path treats it as :attr:`RangeStatus.UNKNOWN`
+    present: List[bool] = None  # type: ignore[assignment]
+
+
+def _stddev(samples: Sequence[float]) -> float:
+    if len(samples) < 2:
+        return 0.0
+    mean = sum(samples) / len(samples)
+    return (sum((s - mean) ** 2 for s in samples)
+            / (len(samples) - 1)) ** 0.5
+
+
+def _reject_outliers(samples: Sequence[int],
+                     sigma: float) -> List[int]:
+    """Drop samples further than ``sigma`` stddevs from the median."""
+    if len(samples) < 3:
+        return list(samples)
+    ordered = sorted(samples)
+    median = ordered[len(ordered) // 2]
+    spread = _stddev(samples)
+    if spread == 0.0:
+        return list(samples)
+    kept = [s for s in samples if abs(s - median) <= sigma * spread]
+    return kept or list(samples)
 
 
 class ProbeSession:
-    """One monitored PW set: snippet mapped, baselines calibrated."""
+    """One monitored PW set: snippet mapped, baselines calibrated.
 
-    def __init__(self, nv_core: "NvCore", probe_code: ProbeCode):
+    With a :class:`~repro.core.measurement.MeasurementPolicy` attached
+    (either here or on the owning :class:`NvCore`) the session
+    calibrates robustly — dropped records are re-sampled instead of
+    aborting, jitter outliers are rejected, thresholds widen with
+    observed noise — and exposes :meth:`probe_measured`, the
+    confidence-tagged resilient probe path.
+    """
+
+    #: resumptions tolerated per snippet run before giving up
+    MAX_PREEMPTIONS = 32
+
+    def __init__(self, nv_core: "NvCore", probe_code: ProbeCode,
+                 policy: Optional[MeasurementPolicy] = None):
         self.nv = nv_core
         self.code = probe_code
+        self.policy = policy if policy is not None else nv_core.policy
         self.baseline_own: List[float] = []
         self.baseline_next: List[float] = []
+        #: per-range detection thresholds (uniform without a policy,
+        #: widened per-range by calibration noise with one)
+        self.delta_own: List[float] = []
+        self.delta_next: List[float] = []
+        #: snippet executions spent so far (calibration included)
+        self.attempts = 0
         probe_code.program.load_into(self.nv.attacker.memory)
-        self._calibrate()
+        if self.policy is not None:
+            self._calibrate_robust(self.policy)
+        else:
+            self._calibrate()
 
     # ------------------------------------------------------------------
     def _run_snippet(self) -> None:
         attacker = self.nv.attacker
         attacker.state.rip = self.code.entry
-        result = self.nv.kernel.run_slice(attacker)
-        if result.reason is not StopReason.HALT:
+        self.attempts += 1
+        for _ in range(self.MAX_PREEMPTIONS):
+            result = self.nv.kernel.run_slice(attacker)
+            if result.reason is StopReason.HALT:
+                return
+            if result.reason is StopReason.RETIRE_LIMIT:
+                # Involuntary preemption sliced the snippet; resume
+                # where the timer interrupt landed.
+                continue
             raise AttackError(
                 f"probe snippet ended with {result.reason}, not HALT")
+        raise AttackError(
+            f"probe snippet preempted more than "
+            f"{self.MAX_PREEMPTIONS} times")
 
     def _read_lbr(self) -> Tuple[List[Optional[int]],
                                  List[Optional[int]],
-                                 List[bool], List[bool]]:
+                                 List[bool], List[bool], List[bool]]:
         records = self.nv.kernel.core.lbr.records()
         index_of: Dict[int, int] = {}
         for position, record in enumerate(records):
@@ -81,13 +141,20 @@ class ProbeSession:
         nxt: List[Optional[int]] = []
         mispred: List[bool] = []
         prev_mispred: List[bool] = []
+        present: List[bool] = []
         for jmp_pc in self.code.jmp_pcs:
             position = index_of.get(jmp_pc)
             if position is None:
+                # No record for this probe jump (ring-buffer churn, or
+                # a dropped record under fault injection).  The naive
+                # detector keeps its historical reading of this as a
+                # mispredict; the policy path uses ``present`` to
+                # classify it honestly as UNKNOWN.
                 own.append(None)
                 nxt.append(None)
                 mispred.append(True)
                 prev_mispred.append(False)
+                present.append(False)
                 continue
             own.append(records[position].elapsed_cycles)
             nxt.append(records[position + 1].elapsed_cycles
@@ -95,7 +162,8 @@ class ProbeSession:
             mispred.append(records[position].mispredicted)
             prev_mispred.append(records[position - 1].mispredicted
                                 if position > 0 else False)
-        return own, nxt, mispred, prev_mispred
+            present.append(True)
+        return own, nxt, mispred, prev_mispred, present
 
     # ------------------------------------------------------------------
     def prime(self) -> None:
@@ -128,16 +196,17 @@ class ProbeSession:
           own record and its successor, the paper's §2.3 methodology;
           slightly blurrier at chained-PW boundaries.
         """
-        own, nxt, mispred, prev_mispred = self._probe_raw()
-        delta = self.nv.threshold_delta
+        own, nxt, mispred, prev_mispred, present = self._probe_raw()
         matched: List[bool] = []
         for index in range(len(self.code.ranges)):
             own_elevated = (
                 own[index] is not None
-                and own[index] - self.baseline_own[index] > delta)
+                and own[index] - self.baseline_own[index]
+                > self.delta_own[index])
             next_elevated = (
                 nxt[index] is not None
-                and nxt[index] - self.baseline_next[index] > delta)
+                and nxt[index] - self.baseline_next[index]
+                > self.delta_next[index])
             if self.nv.detector == "cycles":
                 hit = own_elevated or next_elevated \
                     or own[index] is None
@@ -145,7 +214,8 @@ class ProbeSession:
                 hit = mispred[index] or (
                     own_elevated and not prev_mispred[index])
             matched.append(hit)
-        return ProbeReading(own, nxt, mispred, prev_mispred, matched)
+        return ProbeReading(own, nxt, mispred, prev_mispred, matched,
+                            present)
 
     # ------------------------------------------------------------------
     def _calibrate(self) -> None:
@@ -156,7 +226,7 @@ class ProbeSession:
         sums_own = [0.0] * len(self.code.ranges)
         sums_next = [0.0] * len(self.code.ranges)
         for _ in range(rounds):
-            own, nxt, _, _ = self._probe_raw()
+            own, nxt, _, _, _ = self._probe_raw()
             for index in range(len(self.code.ranges)):
                 if own[index] is None or nxt[index] is None:
                     raise CalibrationError(
@@ -166,6 +236,176 @@ class ProbeSession:
                 sums_next[index] += nxt[index]
         self.baseline_own = [total / rounds for total in sums_own]
         self.baseline_next = [total / rounds for total in sums_next]
+        delta = self.nv.threshold_delta
+        self.delta_own = [delta] * len(self.code.ranges)
+        self.delta_next = [delta] * len(self.code.ranges)
+
+    def _calibrate_robust(self, policy: MeasurementPolicy) -> None:
+        """Policy-driven calibration that survives fault injection.
+
+        Dropped records are simply re-sampled (up to
+        ``calibration_rounds * calibration_retry_factor`` total rounds)
+        instead of aborting the session, jitter spikes are rejected as
+        outliers around the per-range median, and the detection
+        threshold is widened to ``threshold_sigma`` standard deviations
+        whenever the substrate is noisier than the static default
+        assumes.
+        """
+        count = len(self.code.ranges)
+        self.prime()                      # cold run: allocations
+        samples_own: List[List[int]] = [[] for _ in range(count)]
+        samples_next: List[List[int]] = [[] for _ in range(count)]
+        max_rounds = (policy.calibration_rounds
+                      * policy.calibration_retry_factor)
+        for round_index in range(max_rounds):
+            own, nxt, _, _, _ = self._probe_raw()
+            for index in range(count):
+                if own[index] is not None:
+                    samples_own[index].append(own[index])
+                if nxt[index] is not None:
+                    samples_next[index].append(nxt[index])
+            if round_index + 1 >= policy.calibration_rounds and all(
+                    len(samples_own[i]) >= policy.min_calibration_samples
+                    and len(samples_next[i])
+                    >= policy.min_calibration_samples
+                    for i in range(count)):
+                break
+        static_delta = self.nv.threshold_delta
+        self.baseline_own, self.delta_own = [], []
+        self.baseline_next, self.delta_next = [], []
+        for index in range(count):
+            for samples, baselines, deltas in (
+                    (samples_own[index], self.baseline_own,
+                     self.delta_own),
+                    (samples_next[index], self.baseline_next,
+                     self.delta_next)):
+                if len(samples) < policy.min_calibration_samples:
+                    raise CalibrationError(
+                        f"range {self.code.ranges[index]} produced "
+                        f"{len(samples)} usable LBR records in "
+                        f"{max_rounds} calibration rounds "
+                        f"(needed {policy.min_calibration_samples})")
+                kept = _reject_outliers(samples, policy.outlier_sigma)
+                mean = sum(kept) / len(kept)
+                baselines.append(mean)
+                deltas.append(max(static_delta,
+                                  policy.threshold_sigma * _stddev(kept)))
+
+    # ------------------------------------------------------------------
+    # resilient measurement (policy path)
+    # ------------------------------------------------------------------
+    def _classify(self, reading: ProbeReading) -> List[RangeStatus]:
+        """Map one reading onto honest per-range statuses (the hybrid
+        detector's logic, with absent records kept as UNKNOWN)."""
+        statuses: List[RangeStatus] = []
+        for index in range(len(self.code.ranges)):
+            if not reading.present[index]:
+                statuses.append(RangeStatus.UNKNOWN)
+                continue
+            if reading.mispredicted[index]:
+                statuses.append(RangeStatus.HIT_STRONG)
+                continue
+            own_elevated = (
+                reading.own_elapsed[index] - self.baseline_own[index]
+                > self.delta_own[index])
+            if own_elevated and not reading.prev_mispredicted[index]:
+                statuses.append(RangeStatus.HIT_WEAK)
+            else:
+                statuses.append(RangeStatus.MISS)
+        return statuses
+
+    def probe_measured(self,
+                       policy: Optional[MeasurementPolicy] = None
+                       ) -> MeasuredProbe:
+        """Resilient probe: classify, vote, constrain, retry, degrade.
+
+        The victim's signal is one-shot — the first probe run consumes
+        it — so resilience is layered accordingly:
+
+        1. classify the first reading honestly (absent record =
+           UNKNOWN, not the naive path's implicit hit);
+        2. vote down *weak* hits that recur across ``votes`` follow-up
+           readings (a consumed real signal cannot recur; ambient
+           jitter does);
+        3. resolve UNKNOWNs from the structural ``constraint`` (e.g.
+           exactly one branch arm ran);
+        4. spend the bounded ``max_retries`` budget (with exponential
+           step-back re-primes) confirming the measurement path is
+           healthy again, degrading leftover UNKNOWNs to
+           low-confidence misses;
+        5. if records are *still* missing: ``fail_hard`` raises
+           :class:`~repro.errors.MeasurementUnstable`, otherwise the
+           ranges stay UNKNOWN with rock-bottom confidence and the
+           probe is flagged unstable.
+        """
+        policy = policy if policy is not None else self.policy
+        if policy is None:
+            raise AttackError(
+                "probe_measured requires a MeasurementPolicy")
+        start_attempts = self.attempts
+        reading = self.probe_detailed()
+        statuses = self._classify(reading)
+
+        # A dropped record takes its mispredict *bit* with it, but the
+        # squash penalty still inflates the elapsed cycles of whatever
+        # record follows — so any weak (cycles-only) hit observed
+        # alongside a dropped record is likely that orphaned penalty,
+        # not a victim false hit.  Demote it and let the constraint
+        # work from the surviving evidence.
+        if any(s is RangeStatus.UNKNOWN for s in statuses):
+            statuses = [RangeStatus.MISS_DEGRADED
+                        if s is RangeStatus.HIT_WEAK else s
+                        for s in statuses]
+
+        # -- 2: majority-vote ambient jitter out of weak hits ----------
+        weak = [i for i, s in enumerate(statuses)
+                if s is RangeStatus.HIT_WEAK]
+        if weak and policy.votes > 1:
+            recurrences = [0] * len(statuses)
+            extra = policy.votes - 1
+            for _ in range(extra):
+                follow = self.probe_detailed()
+                follow_statuses = self._classify(follow)
+                for i in weak:
+                    if follow_statuses[i] is RangeStatus.HIT_WEAK:
+                        recurrences[i] += 1
+            for i in weak:
+                if 2 * recurrences[i] >= extra:
+                    # Elevation persists with the signal long consumed:
+                    # ambient jitter, not a victim false hit.
+                    statuses[i] = RangeStatus.MISS_DEGRADED
+
+        # -- 3: structural prior ---------------------------------------
+        statuses = apply_constraint(statuses, policy.constraint)
+
+        # -- 4: bounded retry with exponential step-back ---------------
+        unresolved = [i for i, s in enumerate(statuses)
+                      if s is RangeStatus.UNKNOWN]
+        retries = 0
+        while unresolved and retries < policy.max_retries:
+            for _ in range(policy.backoff_base << retries):
+                self.prime()              # settle the substrate
+            retries += 1
+            follow = self.probe_detailed()
+            for i in unresolved:
+                if follow.present[i]:
+                    # The measurement path works again; the original
+                    # sample is gone for good (signal consumed), so
+                    # record an honest low-confidence miss.
+                    statuses[i] = RangeStatus.MISS_DEGRADED
+            statuses = apply_constraint(statuses, policy.constraint)
+            unresolved = [i for i, s in enumerate(statuses)
+                          if s is RangeStatus.UNKNOWN]
+
+        attempts = self.attempts - start_attempts
+        if unresolved:
+            if policy.fail_hard:
+                raise MeasurementUnstable(
+                    f"{len(unresolved)} range(s) unresolved after "
+                    f"{attempts} probe attempts",
+                    attempts=attempts, unresolved=unresolved)
+            return summarize(statuses, attempts, stable=False)
+        return summarize(statuses, attempts, stable=True)
 
 
 class NvCore:
@@ -176,7 +416,8 @@ class NvCore:
                  alias_index: int = 2,
                  calibration_rounds: int = 3,
                  threshold_delta: Optional[float] = None,
-                 detector: str = "hybrid"):
+                 detector: str = "hybrid",
+                 policy: Optional[MeasurementPolicy] = None):
         if detector not in ("hybrid", "cycles"):
             raise AttackError(f"unknown detector {detector!r}")
         self.kernel = kernel
@@ -189,13 +430,19 @@ class NvCore:
                                  alias_index=alias_index)
         self.calibration_rounds = calibration_rounds
         self.detector = detector
+        #: default measurement policy inherited by new sessions;
+        #: ``None`` keeps the historical fail-fast behaviour
+        self.policy = policy
         self.threshold_delta = (
             threshold_delta if threshold_delta is not None
             else config.squash_penalty * 0.5)
 
-    def monitor(self, ranges: Sequence[PwRange]) -> ProbeSession:
+    def monitor(self, ranges: Sequence[PwRange], *,
+                policy: Optional[MeasurementPolicy] = None
+                ) -> ProbeSession:
         """Build, map and calibrate a probe for ``ranges``."""
-        return ProbeSession(self, self.builder.build(ranges))
+        return ProbeSession(self, self.builder.build(ranges),
+                            policy=policy)
 
     def monitor_range(self, start: int, end: int) -> ProbeSession:
         return self.monitor([PwRange(start, end)])

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import AttackError
+from ..errors import AttackError, BudgetExhausted
 from ..memory.address import PAGE_SIZE
 from ..sgx.controlled_channel import CodePageTracker, DataAccessMonitor
 from ..sgx.enclave import Enclave
@@ -32,6 +32,7 @@ from ..sgx.sgxstep import SgxStepper
 from ..system.kernel import Kernel
 from ..system.process import Process
 from ..victims.library import VictimProgram
+from .measurement import MeasurementPolicy
 from .nv_core import NvCore, ProbeSession
 from .pw import PwRange
 from .traversal import (PwTraversal, StepSearch,
@@ -61,16 +62,22 @@ class NvSupervisor:
                  detector: str = "hybrid",
                  strategy: str = "adaptive",
                  speculate: Optional[bool] = None,
-                 max_steps: int = 200_000):
+                 max_steps: int = 200_000,
+                 policy: Optional[MeasurementPolicy] = None,
+                 probe_budget: Optional[int] = None):
         self.kernel = kernel
         self.nv = NvCore(kernel, detector=detector,
-                         calibration_rounds=1)
+                         calibration_rounds=1, policy=policy)
         self.pws_per_call = pws_per_call
         self.strategy = strategy
         #: run the exhaustive second sweep over suspicious steps
         self.second_round = True
         self.speculate = speculate
         self.max_steps = max_steps
+        #: total prime+probe invocations allowed; when it runs out,
+        #: :meth:`extract_trace` returns a *partial* trace instead of
+        #: finishing the traversal
+        self.probe_budget = probe_budget
         self._sessions: Dict[Tuple[Tuple[int, int], ...],
                              ProbeSession] = {}
         self.probes = 0
@@ -114,6 +121,7 @@ class NvSupervisor:
                  inputs: dict) -> List[StepRecord]:
         run = self._new_run(victim, inputs)
         records: List[StepRecord] = []
+        resilient = self.nv.policy is not None
         try:
             index = 0
             while index < self.max_steps:
@@ -129,13 +137,22 @@ class NvSupervisor:
                         base = vpn * PAGE_SIZE
                         if base not in pages:
                             pages.append(base)
-                    records.append(StepRecord(
-                        index=index,
-                        page_bases=tuple(sorted(pages)),
-                        pc=None,
-                        data_access=run.monitor.touched_any(),
-                    ))
-                    index += 1
+                    # A multi-step interrupt (fault injection) retires
+                    # several units under one "step".  The resilient
+                    # stepper trusts the observable retire count and
+                    # books one record per unit — both units share the
+                    # slice's page candidates — keeping every later
+                    # step index aligned.  The naive path books one
+                    # and silently desynchronizes.
+                    units = step.retired if resilient else 1
+                    for _ in range(units):
+                        records.append(StepRecord(
+                            index=index,
+                            page_bases=tuple(sorted(pages)),
+                            pc=None,
+                            data_access=run.monitor.touched_any(),
+                        ))
+                        index += 1
                 if not step.running:
                     return records
             raise AttackError(
@@ -149,6 +166,7 @@ class NvSupervisor:
     def _run_pass(self, victim: VictimProgram, inputs: dict,
                   traversal: PwTraversal) -> None:
         run = self._new_run(victim, inputs)
+        resilient = self.nv.policy is not None
         try:
             index = 0
             while index < traversal.num_steps:
@@ -158,11 +176,46 @@ class NvSupervisor:
                     session.prime()
                 step = run.stepper.step(speculate=self.speculate)
                 if step.retired and session is not None:
-                    matched = session.probe()
+                    if (self.probe_budget is not None
+                            and self.probes >= self.probe_budget):
+                        raise BudgetExhausted(
+                            "probe budget exhausted mid-traversal",
+                            budget=self.probe_budget,
+                            spent=self.probes)
+                    if resilient and step.retired > 1:
+                        # The interrupt landed late: this reading
+                        # conflates two units' fetches.  Probe anyway
+                        # (consume the stale signal) but record
+                        # nothing — a later pass re-measures this
+                        # step cleanly.
+                        session.probe()
+                    elif session.policy is not None:
+                        # Feed the traversal only the *definitive*
+                        # ranges: a degraded reading (dropped record)
+                        # must not mark its PW as tested-clean, or the
+                        # sweep would confirm a wrong lowest block.
+                        # Dropped ranges get re-queried next pass.
+                        measured = session.probe_measured()
+                        definitive = [
+                            (query, hit)
+                            for query, hit, conf in zip(
+                                queries, measured.matched,
+                                measured.confidence)
+                            if conf >= 0.5]
+                        if definitive:
+                            traversal.record(
+                                index,
+                                [query for query, _ in definitive],
+                                [hit for _, hit in definitive])
+                    else:
+                        matched = session.probe()
+                        traversal.record(index, list(queries), matched)
                     self.probes += 1
-                    traversal.record(index, list(queries), matched)
                 if step.retired:
-                    index += 1
+                    # Trusting the observable retire count keeps the
+                    # resilient stepper aligned across multi-steps;
+                    # the naive path drifts one step per fault.
+                    index += step.retired if resilient else 1
                 if not step.running:
                     break
         finally:
@@ -180,6 +233,11 @@ class NvSupervisor:
         get a second, exhaustive sweep round restricted to them, and
         the combined candidate sets go through the paper's cross-step
         disambiguation.
+
+        With a ``probe_budget`` configured, running out of probes does
+        *not* raise: extraction stops where it stands and returns a
+        trace with ``partial=True``, every step tagged with the
+        confidence its search had reached (graceful degradation).
         """
         records = self.discover(victim, inputs)
         page_bases = [list(record.page_bases) or [0]
@@ -191,14 +249,21 @@ class NvSupervisor:
             strategy=self.strategy,
         )
         runs = 1                       # the discovery run
-        while not traversal.finished:
-            self._run_pass(victim, inputs, traversal)
-            traversal.advance()
+        partial = False
+        try:
+            while not traversal.finished:
+                self._run_pass(victim, inputs, traversal)
+                traversal.advance()
+                runs += 1
+        except BudgetExhausted:
+            partial = True
             runs += 1
         values = traversal.value_sets()
         chosen = disambiguate_values(values)
+        confidence = [traversal.confidence_for(i)
+                      for i in range(len(records))]
         retry = suspicious_steps(chosen, values)
-        if retry and self.second_round:
+        if retry and self.second_round and not partial:
             second = PwTraversal(
                 num_steps=len(records),
                 page_bases=page_bases,
@@ -208,16 +273,32 @@ class NvSupervisor:
                 tested_preseed=[search.tested
                                 for search in traversal.steps],
             )
-            while not second.finished:
-                self._run_pass(victim, inputs, second)
-                second.advance()
+            try:
+                while not second.finished:
+                    self._run_pass(victim, inputs, second)
+                    second.advance()
+                    runs += 1
+            except BudgetExhausted:
+                partial = True
                 runs += 1
             for index, extra in enumerate(second.value_sets()):
                 if extra:
                     values[index] = sorted(set(values[index]) |
                                            set(extra))
+                    confidence[index] = max(
+                        confidence[index], second.confidence_for(index))
             chosen = disambiguate_values(values)
-        for record, base in zip(records, chosen):
+        for index, (record, base) in enumerate(zip(records, chosen)):
             record.pc = base
+            record.confidence = (confidence[index] if base is not None
+                                 else 0.0)
+            if base is None and partial:
+                # Budget ran out before byte-level resolution: surface
+                # the best block-granular guess rather than nothing.
+                search = traversal.steps[index]
+                if search.lanes:
+                    record.pc = search.lanes[0].candidate.start
+                    record.confidence = min(0.4,
+                                            confidence[index] or 0.4)
         return ExtractedTrace(steps=records, runs=runs,
-                              probes=self.probes)
+                              probes=self.probes, partial=partial)

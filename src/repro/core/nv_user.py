@@ -31,6 +31,12 @@ class FragmentObservation:
     matched: List[bool]
     #: retire units the victim spent in this fragment
     victim_retired: int
+    #: per-range confidence when the session ran under a
+    #: :class:`~repro.core.measurement.MeasurementPolicy`; ``None``
+    #: for the naive path
+    confidence: Optional[List[float]] = None
+    #: False when the policy's retry budget left ranges unresolved
+    stable: bool = True
 
 
 @dataclass
@@ -71,10 +77,17 @@ class NvUser:
                 break
             session.prime()
             run = self.kernel.run_slice(victim)
-            matched = session.probe()
-            observation = FragmentObservation(
-                index=index, matched=matched,
-                victim_retired=run.retired)
+            if session.policy is not None:
+                measured = session.probe_measured()
+                observation = FragmentObservation(
+                    index=index, matched=measured.matched,
+                    victim_retired=run.retired,
+                    confidence=measured.confidence,
+                    stable=measured.stable)
+            else:
+                observation = FragmentObservation(
+                    index=index, matched=session.probe(),
+                    victim_retired=run.retired)
             result.observations.append(observation)
             if on_fragment is not None:
                 on_fragment(observation)

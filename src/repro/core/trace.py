@@ -24,6 +24,9 @@ class StepRecord:
     pc: Optional[int]
     #: did this step touch a data page? (call/ret classifier input)
     data_access: bool = False
+    #: how much the extractor trusts ``pc``: 1.0 = fully confirmed,
+    #: 0.0 = unresolved (graceful-degradation metadata)
+    confidence: float = 1.0
 
 
 @dataclass
@@ -35,11 +38,21 @@ class ExtractedTrace:
     runs: int = 0
     #: total NV-Core prime+probe invocations
     probes: int = 0
+    #: True when extraction stopped early (probe budget exhausted) and
+    #: the trailing steps carry whatever was resolved so far
+    partial: bool = False
 
     @property
     def pcs(self) -> List[int]:
         """Resolved PCs, in dynamic order (unresolved steps dropped)."""
         return [step.pc for step in self.steps if step.pc is not None]
+
+    @property
+    def mean_confidence(self) -> float:
+        if not self.steps:
+            return 0.0
+        return (sum(step.confidence for step in self.steps)
+                / len(self.steps))
 
     @property
     def resolution_rate(self) -> float:

@@ -368,6 +368,23 @@ class PwTraversal:
     def bases(self) -> List[Optional[int]]:
         return [s.resolved for s in self.steps]
 
+    def confidence_for(self, index: int) -> float:
+        """How far step ``index``'s search progressed, as a confidence
+        in [0, 1] — graceful-degradation metadata for partial
+        extractions (budget ran out mid-traversal)."""
+        search = self.steps[index]
+        resolved = [lane for lane in search.lanes
+                    if lane.resolved is not None]
+        if resolved:
+            return 0.95 if len(resolved) == 1 else 0.8
+        if not search.sweep_done:
+            return 0.0
+        if search.lanes:
+            # Block(s) found, byte-level resolution still pending: the
+            # best guess is the lane start, accurate to a fetch block.
+            return 0.4
+        return 0.0
+
     def value_sets(self) -> List[List[int]]:
         """Per-step lane resolutions (pre-disambiguation candidates)."""
         return [

@@ -72,6 +72,7 @@ class BTBStats:
     target_updates: int = 0
     deallocations: int = 0
     evictions: int = 0
+    spurious_evictions: int = 0
     indirect_flushes: int = 0
     full_flushes: int = 0
 
@@ -203,6 +204,19 @@ class BTB:
         if entry.valid:
             entry.valid = False
             self.stats.deallocations += 1
+
+    def evict_spurious(self, rng) -> Optional[BTBEntry]:
+        """Invalidate one random valid entry (fault injection's
+        co-resident-noise model).  Goes through the same
+        entry-invalidation state change as a capacity eviction — the
+        lookup/allocate semantics are never bypassed."""
+        candidates = self.valid_entries()
+        if not candidates:
+            return None
+        victim = rng.choice(candidates)
+        victim.valid = False
+        self.stats.spurious_evictions += 1
+        return victim
 
     def touch(self, entry: BTBEntry) -> None:
         """Refresh replacement state after a correct prediction."""

@@ -127,11 +127,12 @@ class Core:
     #: hard runaway guard (architectural instructions per run call)
     DEFAULT_INSTRUCTION_GUARD = 20_000_000
 
-    def __init__(self, config: Optional[CpuGeneration] = None):
+    def __init__(self, config: Optional[CpuGeneration] = None, *,
+                 lbr_rng=None):
         self.config = config if config is not None else DEFAULT_GENERATION
         self.btb = BTB(self.config)
         self.lbr = LBR(timing_noise=self.config.timing_noise,
-                       seed=self.config.seed)
+                       seed=self.config.seed, rng=lbr_rng)
         self.cycles: float = 0.0
         self.total_retired: int = 0
         #: extra issue cost for slow instructions, in cycles

@@ -42,13 +42,21 @@ class LBR:
     DEPTH = 32
 
     def __init__(self, depth: int = DEPTH, timing_noise: float = 0.0,
-                 seed: int = 0):
+                 seed: int = 0, rng: Optional[random.Random] = None):
         self.depth = depth
         self.timing_noise = timing_noise
-        self._rng = random.Random(seed)
+        #: measurement-noise RNG.  Callers that need coordinated
+        #: reproducibility (the --seed plumbing, fault sweeps) inject
+        #: their own ``random.Random``; the seeded default keeps the
+        #: no-injection path deterministic too — there is no unseeded
+        #: RNG anywhere in the measurement channel.
+        self._rng = rng if rng is not None else random.Random(seed)
         self._records: Deque[LbrRecord] = deque(maxlen=depth)
         self._last_retire_cycles: Optional[float] = None
         self.enabled = True
+        #: optional :class:`repro.faults.FaultInjector` (entry drops,
+        #: extra timestamp jitter); None on a clean substrate
+        self.fault_injector = None
 
     def record(self, from_pc: int, to_pc: int, cycles_now: float,
                mispredicted: bool) -> None:
@@ -64,6 +72,14 @@ class LBR:
             elapsed = cycles_now - self._last_retire_cycles
         if self.timing_noise > 0.0:
             elapsed += self._rng.gauss(0.0, self.timing_noise)
+        if self.fault_injector is not None:
+            dropped, jitter = self.fault_injector.lbr_fault()
+            if dropped:
+                # The branch retired but its record never made it into
+                # the buffer; the timestamp still advances.
+                self._last_retire_cycles = cycles_now
+                return
+            elapsed += jitter
         self._records.append(LbrRecord(
             from_pc=from_pc,
             to_pc=to_pc,

@@ -49,7 +49,21 @@ class PageFault(MemoryError_):
 
 class ProtectionFault(MemoryError_):
     """An access that the memory model refuses outright (e.g. EPC read
-    from outside the owning enclave)."""
+    from outside the owning enclave).
+
+    Like :class:`PageFault` it carries the faulting address and access
+    kind so handlers can triage without parsing the message; both
+    default to ``None``/``""`` for refusals without a single address.
+    """
+
+    def __init__(self, message: str = "", *,
+                 address: int = None, access: str = ""):
+        self.address = address
+        self.access = access
+        if not message and address is not None:
+            message = f"protection fault: {access or 'access'} " \
+                      f"at {address:#x}"
+        super().__init__(message)
 
 
 class CpuError(ReproError):
@@ -90,6 +104,36 @@ class AttackError(ReproError):
 
 class CalibrationError(AttackError):
     """The probe threshold calibration failed to separate hit from miss."""
+
+
+class MeasurementError(AttackError):
+    """Base class for resilient-measurement-policy errors."""
+
+
+class MeasurementUnstable(MeasurementError):
+    """A probe reading stayed unresolvable (missing LBR records /
+    constraint violations) after the policy's retries.
+
+    Carries the per-range resolution state so callers can degrade
+    gracefully instead of discarding the whole measurement.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 unresolved=()):  # unresolved: range indices
+        self.attempts = attempts
+        self.unresolved = tuple(unresolved)
+        super().__init__(message)
+
+
+class BudgetExhausted(MeasurementError):
+    """A bounded retry/probe budget ran out before the measurement
+    (or extraction) converged."""
+
+    def __init__(self, message: str, *, budget: int = 0,
+                 spent: int = 0):
+        self.budget = budget
+        self.spent = spent
+        super().__init__(message)
 
 
 class CompileError(ReproError):

@@ -14,6 +14,9 @@ from .exp_mitigations import (ObliviousResult, run_hardware_grid,
                               run_oblivious)
 from .exp_overlap import OverlapResult, run_figure5
 from .exp_pw_range import run_figure4
+from .exp_robustness import (RobustnessPoint, RobustnessResult,
+                             run_fingerprint_robustness,
+                             run_leak_robustness)
 from .exp_traversal import TraversalResult, run_figure10
 from .exp_versions import (SimilarityMatrix, run_figure13_optlevels,
                            run_figure13_versions, version_groups)
@@ -28,6 +31,8 @@ __all__ = [
     "LeakResult",
     "ObliviousResult",
     "OverlapResult",
+    "RobustnessPoint",
+    "RobustnessResult",
     "Series",
     "SimilarityMatrix",
     "TraversalResult",
@@ -42,7 +47,9 @@ __all__ = [
     "run_figure4",
     "run_figure5",
     "run_figure7",
+    "run_fingerprint_robustness",
     "run_gcd_leak",
+    "run_leak_robustness",
     "run_generation_sweep",
     "run_hardware_grid",
     "run_oblivious",

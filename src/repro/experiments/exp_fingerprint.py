@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cpu.config import CpuGeneration, generation
 from ..cpu.core import Core
+from ..core.measurement import MeasurementPolicy
 from ..core.nv_supervisor import NvSupervisor
 from ..fingerprint.corpus import CorpusFunction, generate_corpus
 from ..fingerprint.similarity import set_similarity
@@ -42,6 +43,11 @@ class ExtractionArtifacts:
     reference: Tuple[int, ...]
     self_similarity: float
     extraction_runs: int
+    #: True when extraction stopped early (probe budget exhausted)
+    #: and the artifacts below are best-effort
+    partial: bool = False
+    #: mean per-step confidence of the underlying extracted trace
+    confidence: float = 1.0
 
 
 @dataclass
@@ -76,24 +82,50 @@ def _reference_pcs(victim: VictimProgram) -> Tuple[int, ...]:
 
 
 def extract_victim_function(victim: VictimProgram, inputs: dict,
-                            config: CpuGeneration
+                            config: CpuGeneration, *,
+                            policy: Optional[MeasurementPolicy] = None,
+                            probe_budget: Optional[int] = None,
+                            fault_injector=None
                             ) -> ExtractionArtifacts:
     """Run the full NV-S pipeline and slice out the secret function's
-    invocation trace."""
+    invocation trace.
+
+    Degrades gracefully: a budget-truncated or fault-mangled trace
+    yields low-confidence (possibly empty) artifacts rather than an
+    exception, so corpus-scale fingerprinting campaigns survive
+    individual bad extractions.
+    """
     kernel = Kernel(Core(config))
-    supervisor = NvSupervisor(kernel)
+    supervisor = NvSupervisor(kernel, policy=policy,
+                              probe_budget=probe_budget)
+    if fault_injector is not None:
+        # Attached before any probe session calibrates, so the whole
+        # extraction — calibration included — runs under faults.
+        fault_injector.attach(kernel)
     trace = supervisor.extract_trace(victim, inputs)
     data_access = [step.data_access for step in trace.steps]
     pcs = [step.pc for step in trace.steps if step.pc is not None]
     flags = [flag for step, flag in zip(trace.steps, data_access)
              if step.pc is not None]
     sliced = function_traces_of_length(slice_trace(pcs, flags))
+    reference = _reference_pcs(victim)
+    if not sliced:
+        # Nothing function-shaped survived slicing (heavily truncated
+        # partial trace): report a zero-similarity artifact.
+        return ExtractionArtifacts(
+            victim=victim,
+            normalized=(),
+            reference=reference,
+            self_similarity=0.0,
+            extraction_runs=trace.runs,
+            partial=True,
+            confidence=trace.mean_confidence,
+        )
     info = victim.compiled.info(victim.fingerprint_function)
     # the longest invocation entering at (or ±8 bytes around, for
     # extraction error) the target function's entry
     near = [t for t in sliced if abs(t.entry - info.entry) <= 8]
     best = max(near or sliced, key=len)
-    reference = _reference_pcs(victim)
     normalized = tuple(best.normalized())
     return ExtractionArtifacts(
         victim=victim,
@@ -101,6 +133,8 @@ def extract_victim_function(victim: VictimProgram, inputs: dict,
         reference=reference,
         self_similarity=set_similarity(normalized, reference),
         extraction_runs=trace.runs,
+        partial=trace.partial,
+        confidence=trace.mean_confidence,
     )
 
 

@@ -1,0 +1,173 @@
+"""The seeded fault injector and its wiring into the simulation.
+
+One :class:`FaultInjector` owns an independent RNG stream per fault
+surface, derived deterministically from ``(seed, surface)``.  Surfaces
+consult their own stream only, so e.g. the LBR drop schedule does not
+shift when BTB evictions are enabled on top — a property the
+determinism tests pin down.
+
+Wiring is explicit: :meth:`FaultInjector.attach` installs the injector
+on a :class:`repro.system.kernel.Kernel` (and the core's LBR);
+:meth:`FaultInjector.detach` restores the clean substrate.  The hooks
+on the consuming side are all "consult if present":
+
+* ``LBR.record`` asks :meth:`lbr_fault` whether the record drops and
+  how much extra jitter it gets;
+* ``Kernel.run_slice`` calls :meth:`on_slice` (spurious BTB evictions)
+  and :meth:`preempt_limit` (involuntary preemption);
+* ``SgxStepper.step`` asks :meth:`step_fault` for zero/multi-step.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .plans import FaultPlan
+
+
+class StepFault(enum.Enum):
+    """Outcome class of one SGX-Step interrupt."""
+
+    NONE = "none"
+    ZERO_STEP = "zero-step"
+    MULTI_STEP = "multi-step"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for diagnostics and determinism tests."""
+
+    surface: str          # "cpu.lbr" | "cpu.btb" | "sgx.sgxstep" | ...
+    kind: str             # "drop" | "jitter" | "evict" | "zero-step" ...
+    detail: float = 0.0   # magnitude (jitter cycles, evicted count, ...)
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` + seed into a deterministic fault
+    schedule, delivered through the simulation's own surfaces."""
+
+    SURFACES: Tuple[str, ...] = (
+        "cpu.lbr", "cpu.btb", "sgx.sgxstep", "system.kernel",
+    )
+
+    def __init__(self, plan: FaultPlan, seed: int = 0, *,
+                 record_events: bool = True):
+        self.plan = plan
+        self.seed = seed
+        self.record_events = record_events
+        #: every injected fault, in injection order (per-surface order
+        #: is deterministic; cross-surface interleaving depends on the
+        #: workload, which is why tests compare per-surface views)
+        self.events: List[FaultEvent] = []
+        self._rngs = {
+            surface: random.Random(f"faults:{seed}:{surface}")
+            for surface in self.SURFACES
+        }
+        self._attached: List[object] = []
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _note(self, surface: str, kind: str,
+              detail: float = 0.0) -> None:
+        if self.record_events:
+            self.events.append(FaultEvent(surface, kind, detail))
+
+    def events_for(self, surface: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.surface == surface]
+
+    def schedule_signature(self) -> Tuple[Tuple[str, str, float], ...]:
+        """Hashable summary of every injected fault (determinism
+        tests: same plan + seed + workload ⇒ identical signature)."""
+        return tuple((e.surface, e.kind, e.detail) for e in self.events)
+
+    # ------------------------------------------------------------------
+    # cpu.lbr
+    # ------------------------------------------------------------------
+    def lbr_fault(self) -> Tuple[bool, float]:
+        """Per LBR record: ``(dropped, extra_jitter_cycles)``."""
+        rng = self._rngs["cpu.lbr"]
+        dropped = rng.random() < self.plan.lbr_drop_rate
+        jitter = 0.0
+        if self.plan.lbr_jitter_sigma > 0.0:
+            jitter = rng.gauss(0.0, self.plan.lbr_jitter_sigma)
+        if dropped:
+            self._note("cpu.lbr", "drop")
+            return True, 0.0
+        if jitter:
+            self._note("cpu.lbr", "jitter", jitter)
+        return False, jitter
+
+    # ------------------------------------------------------------------
+    # cpu.btb (fired from the kernel at slice boundaries)
+    # ------------------------------------------------------------------
+    def on_slice(self, core) -> None:
+        """Slice boundary: maybe evict entries from the shared BTB,
+        through the BTB's normal invalidation path."""
+        if self.plan.btb_evict_rate <= 0.0:
+            return
+        rng = self._rngs["cpu.btb"]
+        if rng.random() >= self.plan.btb_evict_rate:
+            return
+        evicted = 0
+        for _ in range(self.plan.btb_evictions_per_event):
+            if core.btb.evict_spurious(rng) is not None:
+                evicted += 1
+        if evicted:
+            self._note("cpu.btb", "evict", float(evicted))
+
+    # ------------------------------------------------------------------
+    # sgx.sgxstep
+    # ------------------------------------------------------------------
+    def step_fault(self) -> StepFault:
+        """Classify the next single-step interrupt."""
+        zero = self.plan.zero_step_rate
+        multi = self.plan.multi_step_rate
+        if zero <= 0.0 and multi <= 0.0:
+            return StepFault.NONE
+        roll = self._rngs["sgx.sgxstep"].random()
+        if roll < zero:
+            self._note("sgx.sgxstep", "zero-step")
+            return StepFault.ZERO_STEP
+        if roll < zero + multi:
+            self._note("sgx.sgxstep", "multi-step")
+            return StepFault.MULTI_STEP
+        return StepFault.NONE
+
+    # ------------------------------------------------------------------
+    # system.kernel
+    # ------------------------------------------------------------------
+    def preempt_limit(self) -> Optional[int]:
+        """If the upcoming cooperative slice gets preempted, the
+        retire-unit count at which the involuntary interrupt lands."""
+        if self.plan.preempt_rate <= 0.0:
+            return None
+        rng = self._rngs["system.kernel"]
+        if rng.random() >= self.plan.preempt_rate:
+            return None
+        limit = rng.randint(self.plan.preempt_min_retired,
+                            self.plan.preempt_max_retired)
+        self._note("system.kernel", "preempt", float(limit))
+        return limit
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, kernel) -> "FaultInjector":
+        """Install this injector on ``kernel`` and its core's LBR."""
+        kernel.fault_injector = self
+        kernel.core.lbr.fault_injector = self
+        self._attached.append(kernel)
+        return self
+
+    def detach(self, kernel) -> None:
+        """Remove this injector from ``kernel`` (no-op if absent)."""
+        if getattr(kernel, "fault_injector", None) is self:
+            kernel.fault_injector = None
+        if getattr(kernel.core.lbr, "fault_injector", None) is self:
+            kernel.core.lbr.fault_injector = None
+        if kernel in self._attached:
+            self._attached.remove(kernel)

@@ -1,0 +1,158 @@
+"""Fault plans: named, composable descriptions of environmental noise.
+
+A :class:`FaultPlan` is pure data — per-surface rates and magnitudes.
+The :class:`repro.faults.FaultInjector` turns a plan plus a seed into a
+deterministic fault schedule.  Plans are frozen so a sweep can derive
+scaled variants with :meth:`FaultPlan.scaled` without aliasing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+def _clamp_rate(value: float) -> float:
+    return min(max(value, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-surface fault rates for one simulated environment."""
+
+    name: str = "clean"
+
+    # ----- cpu.lbr -----------------------------------------------------
+    #: probability each retired-taken-branch record is silently dropped
+    lbr_drop_rate: float = 0.0
+    #: stddev of *additional* Gaussian jitter on elapsed-cycle readings
+    #: (on top of the CpuGeneration.timing_noise the core always has)
+    lbr_jitter_sigma: float = 0.0
+
+    # ----- cpu.btb -----------------------------------------------------
+    #: probability that a scheduler slice boundary evicts BTB entries
+    #: (modelling a co-resident process touching the shared BTB)
+    btb_evict_rate: float = 0.0
+    #: entries evicted per eviction event
+    btb_evictions_per_event: int = 1
+
+    # ----- sgx.sgxstep -------------------------------------------------
+    #: probability a single-step interrupt fires before anything
+    #: retires (SGX-Step's zero-step problem)
+    zero_step_rate: float = 0.0
+    #: probability a single-step interrupt lands one unit late, so two
+    #: retire units pass under one "step" (multi-step)
+    multi_step_rate: float = 0.0
+
+    # ----- system.kernel -----------------------------------------------
+    #: probability a cooperative slice is cut short by an involuntary
+    #: preemption (timer interrupt at a random point)
+    preempt_rate: float = 0.0
+    #: the premature interrupt lands uniformly in this retire-unit range
+    preempt_min_retired: int = 50
+    preempt_max_retired: int = 400
+
+    def __post_init__(self) -> None:
+        for field_name in ("lbr_drop_rate", "btb_evict_rate",
+                           "zero_step_rate", "multi_step_rate",
+                           "preempt_rate"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{field_name} must be in [0, 1]: {value}")
+        if self.lbr_jitter_sigma < 0.0:
+            raise ValueError("lbr_jitter_sigma must be >= 0")
+        if self.zero_step_rate + self.multi_step_rate > 1.0:
+            raise ValueError(
+                "zero_step_rate + multi_step_rate must be <= 1")
+        if self.btb_evictions_per_event < 1:
+            raise ValueError("btb_evictions_per_event must be >= 1")
+        if not 0 < self.preempt_min_retired <= self.preempt_max_retired:
+            raise ValueError("preempt retire window must be ordered "
+                             "and positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Does this plan inject anything at all?"""
+        return any((
+            self.lbr_drop_rate, self.lbr_jitter_sigma,
+            self.btb_evict_rate, self.zero_step_rate,
+            self.multi_step_rate, self.preempt_rate,
+        ))
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """A copy with every rate/magnitude scaled by ``factor``
+        (rates clamped to 1; the step-fault pair renormalised if the
+        scale would push their sum past 1)."""
+        if factor < 0.0:
+            raise ValueError("scale factor must be >= 0")
+        zero = _clamp_rate(self.zero_step_rate * factor)
+        multi = _clamp_rate(self.multi_step_rate * factor)
+        total = zero + multi
+        if total > 1.0:
+            zero, multi = zero / total, multi / total
+        return replace(
+            self,
+            name=f"{self.name}x{factor:g}",
+            lbr_drop_rate=_clamp_rate(self.lbr_drop_rate * factor),
+            lbr_jitter_sigma=self.lbr_jitter_sigma * factor,
+            btb_evict_rate=_clamp_rate(self.btb_evict_rate * factor),
+            zero_step_rate=zero,
+            multi_step_rate=multi,
+            preempt_rate=_clamp_rate(self.preempt_rate * factor),
+        )
+
+    def with_(self, **overrides) -> "FaultPlan":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: no faults at all (attaching this injector is a no-op)
+CLEAN_PLAN = FaultPlan(name="clean")
+
+#: the ISSUE acceptance scenario: 5 % LBR entry drops, 2 % spurious
+#: BTB evictions, 5 % multi-step faults
+ACCEPTANCE_PLAN = FaultPlan(
+    name="acceptance",
+    lbr_drop_rate=0.05,
+    btb_evict_rate=0.02,
+    multi_step_rate=0.05,
+)
+
+#: a busy co-tenant: BTB churn and measurement jitter, stepping fine
+NOISY_NEIGHBOUR_PLAN = FaultPlan(
+    name="noisy-neighbour",
+    lbr_drop_rate=0.02,
+    lbr_jitter_sigma=4.0,
+    btb_evict_rate=0.10,
+    btb_evictions_per_event=2,
+    preempt_rate=0.05,
+)
+
+#: everything at once, hard — the stress ceiling for the policy
+HOSTILE_PLAN = FaultPlan(
+    name="hostile",
+    lbr_drop_rate=0.10,
+    lbr_jitter_sigma=6.0,
+    btb_evict_rate=0.10,
+    btb_evictions_per_event=2,
+    zero_step_rate=0.05,
+    multi_step_rate=0.10,
+    preempt_rate=0.10,
+)
+
+_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (CLEAN_PLAN, ACCEPTANCE_PLAN, NOISY_NEIGHBOUR_PLAN,
+                 HOSTILE_PLAN)
+}
+
+
+def plan_by_name(name: str) -> FaultPlan:
+    """Look up a preset plan by name."""
+    try:
+        return _PLANS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_PLANS))
+        raise ValueError(f"unknown fault plan {name!r}; known: {known}")

@@ -70,15 +70,35 @@ class SgxStepper:
     def step(self, *, speculate: Optional[bool] = None) -> StepResult:
         """Run exactly one retire unit inside the enclave.
 
+        With a fault injector attached to the kernel, the APIC timer
+        model misbehaves the way SGX-Step's real one does: a
+        *zero-step* interrupt arrives before anything retires (the
+        step is a no-op the attacker cannot distinguish from a slow
+        instruction), and a *multi-step* interrupt lands one unit
+        late, so two retire units pass under one "step".
+
         Returns ``running=False`` once the enclave halts/exits.
         """
         if self._finished:
             return StepResult(running=False, retired=0)
+        budget = 1
+        injector = self.kernel.fault_injector
+        if injector is not None:
+            from ..faults.injector import StepFault
+            fault = injector.step_fault()
+            if fault is StepFault.ZERO_STEP:
+                debug_rip = (self.host.state.rip
+                             if self.expose_debug_rip else None)
+                return StepResult(running=True, retired=0,
+                                  debug_rip=debug_rip)
+            if fault is StepFault.MULTI_STEP:
+                budget = 2
         core = self.kernel.core
         core.set_enclave_mode(True)
         try:
             result = self.kernel.run_slice(
-                self.host, max_retired=1, speculate_on_stop=speculate)
+                self.host, max_retired=budget,
+                speculate_on_stop=speculate)
         finally:
             core.set_enclave_mode(False)   # AEX
         if result.reason in (StopReason.HALT, StopReason.SYSCALL):

@@ -41,6 +41,10 @@ class Kernel:
         self.current: Optional[Process] = None
         self.syscalls: Dict[int, SyscallHandler] = dict(DEFAULT_SYSCALLS)
         self.fault_handler: Optional[FaultHandler] = None
+        #: optional :class:`repro.faults.FaultInjector`: consulted at
+        #: slice boundaries (spurious BTB evictions, involuntary
+        #: preemption) and by the SGX-Step model (zero/multi-step)
+        self.fault_injector = None
         self._yield_flag = False
         self.context_switches = 0
 
@@ -93,6 +97,14 @@ class Kernel:
         self.switch_to(process)
         self._yield_flag = False
         remaining = max_retired
+        if self.fault_injector is not None:
+            # Slice boundary: co-resident noise may evict shared BTB
+            # entries, and a cooperative slice may be cut short by an
+            # involuntary preemption (the caller sees RETIRE_LIMIT and
+            # simply reschedules, as a real attacker loop would).
+            self.fault_injector.on_slice(self.core)
+            if max_retired is None:
+                remaining = self.fault_injector.preempt_limit()
         merged_trace: List[int] = []
         merged_units: List[int] = []
         while True:

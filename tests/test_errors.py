@@ -1,0 +1,80 @@
+"""The exception hierarchy: everything derives from ReproError, and
+the structured errors carry their triage fields."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (AttackError, BudgetExhausted, CalibrationError,
+                          MeasurementError, MeasurementUnstable,
+                          MemoryError_, PageFault, ProtectionFault,
+                          ReproError)
+
+
+def _all_error_classes():
+    return [obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+            if issubclass(obj, ReproError)]
+
+
+def test_every_error_derives_from_repro_error():
+    classes = _all_error_classes()
+    assert len(classes) > 15
+    for cls in classes:
+        assert issubclass(cls, ReproError)
+        assert issubclass(cls, Exception)
+
+
+def test_every_error_constructible_and_catchable():
+    # The structured ones have keyword signatures; everything else
+    # takes a plain message.
+    structured = {PageFault, ProtectionFault, MeasurementUnstable,
+                  BudgetExhausted}
+    for cls in _all_error_classes():
+        if cls in structured:
+            continue
+        with pytest.raises(ReproError):
+            raise cls("boom")
+
+
+def test_page_fault_fields():
+    fault = PageFault(0x401000, "execute")
+    assert fault.address == 0x401000
+    assert fault.access == "execute"
+    assert "0x401000" in str(fault)
+    assert isinstance(fault, MemoryError_)
+
+
+def test_protection_fault_fields():
+    fault = ProtectionFault(address=0x2000, access="read")
+    assert fault.address == 0x2000
+    assert fault.access == "read"
+    assert "0x2000" in str(fault)
+    bare = ProtectionFault("EPC access refused")
+    assert bare.address is None
+    assert str(bare) == "EPC access refused"
+
+
+def test_measurement_errors_are_attack_errors():
+    assert issubclass(MeasurementError, AttackError)
+    assert issubclass(MeasurementUnstable, MeasurementError)
+    assert issubclass(BudgetExhausted, MeasurementError)
+    assert issubclass(CalibrationError, AttackError)
+
+
+def test_measurement_unstable_fields():
+    err = MeasurementUnstable("2 ranges unresolved", attempts=7,
+                              unresolved=[0, 3])
+    assert err.attempts == 7
+    assert err.unresolved == (0, 3)
+    with pytest.raises(AttackError):
+        raise err
+
+
+def test_budget_exhausted_fields():
+    err = BudgetExhausted("out of probes", budget=500, spent=500)
+    assert err.budget == 500
+    assert err.spent == 500
+    # Catching ReproError is the supported catch-all for callers.
+    with pytest.raises(ReproError):
+        raise err

@@ -1,0 +1,152 @@
+"""Fault plans and the seeded injector: validation, scaling, and the
+determinism guarantees the robustness sweeps rely on."""
+
+import pytest
+
+from repro.cpu.config import generation
+from repro.cpu.core import Core
+from repro.faults import (ACCEPTANCE_PLAN, CLEAN_PLAN, HOSTILE_PLAN,
+                          FaultInjector, FaultPlan, StepFault,
+                          plan_by_name)
+from repro.system.kernel import Kernel
+
+
+# ----------------------------------------------------------------------
+# plans
+# ----------------------------------------------------------------------
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(lbr_drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(lbr_jitter_sigma=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(zero_step_rate=0.6, multi_step_rate=0.6)
+    with pytest.raises(ValueError):
+        FaultPlan(btb_evictions_per_event=0)
+    with pytest.raises(ValueError):
+        FaultPlan(preempt_min_retired=10, preempt_max_retired=5)
+
+
+def test_plan_active():
+    assert not CLEAN_PLAN.active
+    assert ACCEPTANCE_PLAN.active
+    assert FaultPlan(lbr_jitter_sigma=0.5).active
+
+
+def test_plan_scaling_clamps_and_renormalises():
+    plan = ACCEPTANCE_PLAN.scaled(2.0)
+    assert plan.lbr_drop_rate == pytest.approx(0.10)
+    assert plan.name == "acceptancex2"
+    # Rates clamp at 1.0 however hard you scale.
+    extreme = HOSTILE_PLAN.scaled(50.0)
+    assert extreme.lbr_drop_rate == 1.0
+    # The step-fault pair renormalises so their sum stays <= 1
+    # (__post_init__ would reject the plan otherwise).
+    assert extreme.zero_step_rate + extreme.multi_step_rate \
+        <= 1.0 + 1e-9
+    with pytest.raises(ValueError):
+        ACCEPTANCE_PLAN.scaled(-1.0)
+
+
+def test_plan_scaled_to_zero_is_inactive():
+    assert not ACCEPTANCE_PLAN.scaled(0.0).active
+
+
+def test_plan_by_name():
+    assert plan_by_name("acceptance") is ACCEPTANCE_PLAN
+    assert plan_by_name("CLEAN") is CLEAN_PLAN
+    with pytest.raises(ValueError):
+        plan_by_name("tsunami")
+
+
+# ----------------------------------------------------------------------
+# injector determinism
+# ----------------------------------------------------------------------
+def _drive(injector, lbr=200, steps=200, slices=0, preempts=200):
+    """Consume a fixed number of draws from each surface."""
+    for _ in range(lbr):
+        injector.lbr_fault()
+    for _ in range(steps):
+        injector.step_fault()
+    for _ in range(preempts):
+        injector.preempt_limit()
+
+
+def test_same_seed_same_schedule():
+    plan = HOSTILE_PLAN
+    first = FaultInjector(plan, seed=42)
+    second = FaultInjector(plan, seed=42)
+    _drive(first)
+    _drive(second)
+    assert first.schedule_signature() == second.schedule_signature()
+    assert first.events  # the hostile plan injects plenty
+
+
+def test_different_seed_different_schedule():
+    plan = HOSTILE_PLAN
+    first = FaultInjector(plan, seed=1)
+    second = FaultInjector(plan, seed=2)
+    _drive(first)
+    _drive(second)
+    # Jitter magnitudes are continuous draws: two seeds collide with
+    # probability ~0.
+    assert first.schedule_signature() != second.schedule_signature()
+
+
+def test_surfaces_are_independent_streams():
+    """Consuming one surface's stream must not shift another's —
+    the LBR drop schedule is identical whether or not the stepper
+    is also being faulted."""
+    plan = HOSTILE_PLAN
+    lbr_only = FaultInjector(plan, seed=7)
+    interleaved = FaultInjector(plan, seed=7)
+    for _ in range(300):
+        lbr_only.lbr_fault()
+    for _ in range(300):
+        interleaved.step_fault()     # extra draws on another surface
+        interleaved.lbr_fault()
+        interleaved.preempt_limit()
+    assert (lbr_only.events_for("cpu.lbr")
+            == interleaved.events_for("cpu.lbr"))
+
+
+def test_step_fault_distribution_roughly_matches_plan():
+    plan = FaultPlan(name="steps", zero_step_rate=0.2,
+                     multi_step_rate=0.3)
+    injector = FaultInjector(plan, seed=3, record_events=False)
+    outcomes = [injector.step_fault() for _ in range(2000)]
+    zero = outcomes.count(StepFault.ZERO_STEP) / len(outcomes)
+    multi = outcomes.count(StepFault.MULTI_STEP) / len(outcomes)
+    assert 0.15 < zero < 0.25
+    assert 0.25 < multi < 0.35
+
+
+def test_clean_plan_injects_nothing():
+    injector = FaultInjector(CLEAN_PLAN, seed=9)
+    _drive(injector)
+    assert injector.schedule_signature() == ()
+    assert all(injector.step_fault() is StepFault.NONE
+               for _ in range(10))
+
+
+def test_record_events_off_keeps_schedule_but_no_log():
+    injector = FaultInjector(HOSTILE_PLAN, seed=5,
+                             record_events=False)
+    _drive(injector)
+    assert injector.events == []
+
+
+# ----------------------------------------------------------------------
+# wiring
+# ----------------------------------------------------------------------
+def test_attach_detach():
+    kernel = Kernel(Core(generation("coffeelake")))
+    injector = FaultInjector(ACCEPTANCE_PLAN, seed=1)
+    assert injector.attach(kernel) is injector
+    assert kernel.fault_injector is injector
+    assert kernel.core.lbr.fault_injector is injector
+    injector.detach(kernel)
+    assert kernel.fault_injector is None
+    assert kernel.core.lbr.fault_injector is None
+    # Detaching twice is a no-op.
+    injector.detach(kernel)

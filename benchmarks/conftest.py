@@ -4,10 +4,15 @@ Every benchmark registers a human-readable findings report via
 :func:`report`; a terminal-summary hook prints them all at the end of
 the run, so ``pytest benchmarks/ --benchmark-only | tee ...`` captures
 both the timing table and the reproduced paper numbers.
+
+Set ``NV_REPORT_JSON=<path>`` to additionally export the findings as
+JSON — written through the campaign runner's atomic writer, so a
+killed benchmark run never leaves a truncated file behind.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import List, Tuple
 
@@ -25,9 +30,29 @@ def corpus_size(default: int = 2000) -> int:
     return int(os.environ.get("NV_CORPUS_SIZE", str(default)))
 
 
+def _export_json(path: str) -> None:
+    from repro.runner import atomic_write_json
+    payload = {
+        "reports": [
+            {
+                "title": title,
+                "body": body,
+                "digest": hashlib.sha256(body.encode()).hexdigest(),
+            }
+            for title, body in _REPORTS
+        ],
+    }
+    atomic_write_json(path, payload)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _REPORTS:
         return
+    json_path = os.environ.get("NV_REPORT_JSON")
+    if json_path:
+        _export_json(json_path)
+        terminalreporter.write_line(
+            f"findings JSON written atomically to {json_path}")
     write = terminalreporter.write_line
     write("")
     write("=" * 70)

@@ -49,6 +49,7 @@ from . import (  # noqa: F401  (re-exported subpackages)
     isa,
     lang,
     memory,
+    runner,
     sgx,
     system,
     victims,
@@ -67,6 +68,7 @@ __all__ = [
     "isa",
     "lang",
     "memory",
+    "runner",
     "sgx",
     "system",
     "victims",

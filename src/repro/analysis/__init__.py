@@ -1,8 +1,8 @@
 """Statistics and plain-text reporting used by the experiment
 harnesses and benchmarks."""
 
-from .report import (ascii_table, degradation_block, pct, series_block,
-                     spark)
+from .report import (ascii_table, campaign_block, degradation_block,
+                     pct, series_block, spark)
 from .stats import (
     accuracy,
     confidence_interval_95,
@@ -16,6 +16,7 @@ from .stats import (
 __all__ = [
     "accuracy",
     "ascii_table",
+    "campaign_block",
     "confidence_interval_95",
     "degradation_block",
     "mean",

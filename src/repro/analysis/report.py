@@ -68,5 +68,33 @@ def degradation_block(label: str, xs: Sequence[object],
     return "\n".join(lines)
 
 
+def campaign_block(campaign_id: str,
+                   jobs: Sequence[Tuple[str, str, int, float, str]],
+                   *, interrupted: bool = False) -> str:
+    """Render a campaign manifest summary.
+
+    ``jobs`` rows are ``(job_id, status, attempts, duration_s,
+    digest_or_error)`` — the renderer stays decoupled from
+    :mod:`repro.runner` by taking plain tuples.
+    """
+    table = ascii_table(
+        ("job", "status", "attempts", "duration", "result"),
+        [(job_id, status, attempts,
+          f"{duration:.2f}s" if duration else "-",
+          result or "-")
+         for job_id, status, attempts, duration, result in jobs])
+    counts: dict = {}
+    for _, status, *_rest in jobs:
+        counts[status] = counts.get(status, 0) + 1
+    tally = ", ".join(f"{count} {status}"
+                      for status, count in sorted(counts.items()))
+    lines = [f"campaign {campaign_id}: {tally}"]
+    if interrupted:
+        lines.append("campaign INTERRUPTED — resume with "
+                     f"`repro campaign --resume {campaign_id}`")
+    lines.append(table)
+    return "\n".join(lines)
+
+
 def pct(value: float) -> str:
     return f"{100 * value:.1f}%"

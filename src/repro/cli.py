@@ -4,16 +4,26 @@ Commands
 --------
 ``list``
     Show every reproducible experiment with its paper artefact.
-``run <experiment> [--fast] [--seed N]``
+``run <experiment> [--fast] [--seed N] [--out DIR]``
     Run one experiment harness and print its findings.
 ``demo``
     A 30-second tour: Takeaways 1 & 2 plus one NV-Core detection.
+``campaign``
+    Run the whole experiment suite through the crash-tolerant runner
+    (:mod:`repro.runner`): subprocess-isolated workers, watchdog
+    timeouts, retry with backoff, checkpointed ``--resume``, and a
+    ``--chaos kill-worker`` failure drill.
 
 ``--seed`` is the single reproducibility knob: it reaches every
 stochastic layer — RSA key generation, LBR timing noise, corpus
 sampling, fault-injection schedules — so two invocations with the same
 seed print identical numbers.  Experiments keep their per-experiment
 default seeds when the flag is omitted.
+
+The experiment registry itself lives in
+:mod:`repro.experiments.common`; each ``exp_*`` module registers its
+own summary runner, and this module (like the campaign workers) only
+consumes the registry.
 """
 
 from __future__ import annotations
@@ -21,225 +31,48 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from .analysis import ascii_table, degradation_block, pct, series_block
+from .analysis import ascii_table, campaign_block
+from .errors import CampaignError
+from .experiments.common import (EXPERIMENTS, RunRequest,
+                                 run_experiment)
 
-#: experiment name -> (paper artefact, runner returning printable text).
-#: Runners take ``(fast, seed)``; ``seed is None`` means "use the
-#: experiment's own default".
-_EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool, Optional[int]],
-                                            str]]] = {}
-
-
-def _register(name: str, artefact: str):
-    def wrap(runner):
-        _EXPERIMENTS[name] = (artefact, runner)
-        return runner
-    return wrap
-
-
-def _seeded(seed: Optional[int], **kwargs):
-    """kwargs plus ``seed=`` when the user supplied one."""
-    if seed is not None:
-        kwargs["seed"] = seed
-    return kwargs
-
-
-def _config_for(name: str, seed: Optional[int]):
-    """A generation preset carrying the user's seed (None -> default
-    config, letting the experiment pick its own preset)."""
-    if seed is None:
-        return None
-    from .cpu.config import generation
-    return generation(name, seed=seed)
-
-
-@_register("fig2", "Figure 2 — non-branch BTB deallocation")
-def _fig2(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_figure2
-    result = run_figure2(config=_config_for("skylake", seed),
-                         iterations=2 if fast else 10)
-    lines = [series_block(s.label, s.xs, s.ys, "cycles")
-             for s in result.series]
-    lines.append(f"boundary F2 < F1+2 reproduced: "
-                 f"{result.findings['boundary_correct']}")
-    return "\n".join(lines)
-
-
-@_register("fig4", "Figure 4 — PW range-semantics lookup")
-def _fig4(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_figure4
-    result = run_figure4(config=_config_for("skylake", seed),
-                         iterations=2 if fast else 10)
-    lines = [series_block(s.label, s.xs, s.ys, "cycles")
-             for s in result.series]
-    lines.append(f"boundary F1 < F2+2 reproduced: "
-                 f"{result.findings['boundary_correct']}")
-    return "\n".join(lines)
-
-
-@_register("fig5", "Figure 5 — overlap scenarios")
-def _fig5(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_figure5
-    result = run_figure5(config=_config_for("coffeelake", seed))
-    lines = [f"{name}: detected={hit}"
-             for name, hit in result.detections.items()]
-    lines.append(f"all correct: {result.all_correct}")
-    return "\n".join(lines)
-
-
-@_register("fig7", "Figure 7 — chained PWs")
-def _fig7(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_figure7
-    result = run_figure7(config=_config_for("coffeelake", seed))
-    return (f"localization correct: {result.localization_correct}\n"
-            f"victim runs: chained={result.chained_rounds} vs "
-            f"single-PW={result.single_pw_rounds}")
-
-
-@_register("gcd-leak", "§7.2 — GCD secret-branch leak (use case 1)")
-def _gcd(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_gcd_leak
-    result = run_gcd_leak(runs=5 if fast else 100,
-                          **_seeded(seed))
-    return (f"{result.label}: accuracy {pct(result.accuracy)} over "
-            f"{result.total_iterations} iterations "
-            f"({result.runs} runs; paper: 99.3%)")
-
-
-@_register("bncmp-leak", "§7.2 — bn_cmp leak (use case 1)")
-def _bncmp(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_bncmp_leak
-    result = run_bncmp_leak(runs=10 if fast else 100,
-                            **_seeded(seed))
-    return (f"{result.label}: accuracy {pct(result.accuracy)} "
-            f"({result.runs} runs; paper: 100%)")
-
-
-@_register("defenses", "Figure 8 / §5 — software defense grid")
-def _defenses(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_defense_grid
-    grid = run_defense_grid(runs=3 if fast else 20,
-                            **_seeded(seed))
-    return ascii_table(
-        ("defense", "accuracy", "verdict"),
-        [(name, pct(r.accuracy),
-          "LEAKS" if r.accuracy > 0.9 else "holds")
-         for name, r in grid.items()])
-
-
-@_register("mitigations", "§8.2 — hardware mitigations + oblivious")
-def _mitigations(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_hardware_grid, run_oblivious
-    grid = run_hardware_grid(runs=3 if fast else 15,
-                             **_seeded(seed))
-    rows = [(name, pct(r.accuracy),
-             "LEAKS" if r.accuracy > 0.9 else "holds")
-            for name, r in grid.items()]
-    oblivious = run_oblivious(keys=3 if fast else 8,
-                              **_seeded(seed))
-    rows.append(("data-oblivious gcd",
-                 f"info rate {pct(oblivious.information_rate)}",
-                 "holds" if oblivious.information_rate == 0
-                 else "LEAKS"))
-    return ascii_table(("mitigation", "accuracy", "verdict"), rows)
-
-
-@_register("traversal", "Figure 10 — PW traversal run counts")
-def _traversal(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_figure10
-    result = run_figure10(
-        _config_for("coffeelake", seed),
-        inputs={"ta": 6, "tb": 4} if fast else {"ta": 12, "tb": 8})
-    return (f"steps={result.steps}; 128/N budget="
-            f"{result.expected_sweep_runs}; paper strategy "
-            f"{result.paper_runs} runs @ {pct(result.paper_accuracy)};"
-            f" adaptive {result.adaptive_runs} runs @ "
-            f"{pct(result.adaptive_accuracy)}")
-
-
-@_register("fingerprint", "Figure 12 — function fingerprinting")
-def _fingerprint(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_figure12
-    extra = {} if seed is None else {"corpus_seed": seed}
-    result = run_figure12(corpus_size=200 if fast else 2000, **extra)
-    return "\n".join([
-        f"corpus: {result.corpus_size} functions",
-        f"GCD self-sim {pct(result.gcd.self_similarity)}, "
-        f"identified: {result.gcd_identified}",
-        f"bn_cmp self-sim {pct(result.bn_cmp.self_similarity)}, "
-        f"identified: {result.bncmp_identified}",
-    ])
-
-
-@_register("versions", "Figure 13 — versions × opt levels")
-def _versions(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import (run_figure13_optlevels,
-                              run_figure13_versions, version_groups)
-    left = run_figure13_versions()
-    right = run_figure13_optlevels()
-    return (f"versions: within-group min "
-            f"{left.diagonal_min():.2f} vs cross-group max "
-            f"{left.off_diagonal_max(version_groups()):.2f}\n"
-            f"opt levels: diagonal min {right.diagonal_min():.2f} vs "
-            f"off-diagonal max {right.off_diagonal_max():.2f}")
-
-
-@_register("generations", "§2.3 footnote — tag truncation sweep")
-def _generations(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import run_generation_sweep
-    result = run_generation_sweep()
-    return ascii_table(
-        ("generation", "tag bits", "@8GiB", "@16GiB"),
-        [(name, keep, a, b)
-         for name, (keep, a, b) in result.table.items()])
-
-
-@_register("robustness", "ablation — accuracy vs injected fault rate")
-def _robustness(fast: bool, seed: Optional[int]) -> str:
-    from .experiments import (run_fingerprint_robustness,
-                              run_leak_robustness)
-    leak = run_leak_robustness(
-        runs=3 if fast else 8,
-        factors=(0.0, 1.0) if fast else (0.0, 1.0, 2.0, 3.0),
-        **_seeded(seed))
-    blocks = [degradation_block(
-        f"{leak.label} (plan: {leak.plan_name})",
-        leak.factors, leak.curves())]
-    blocks.append(f"resilient floor {pct(leak.resilient_floor)} vs "
-                  f"naive floor {pct(leak.naive_floor)}")
-    if not fast:
-        fingerprint = run_fingerprint_robustness(**_seeded(seed))
-        blocks.append(degradation_block(
-            f"{fingerprint.label} (plan: {fingerprint.plan_name})",
-            fingerprint.factors, fingerprint.curves()))
-        failures = sum(p.failed for p in fingerprint.naive)
-        blocks.append(f"naive extractions failed outright: "
-                      f"{failures}/{len(fingerprint.naive)}")
-    return "\n".join(blocks)
+#: compatibility view of the registry: name -> (artefact, runner),
+#: runners taking ``(fast, seed)`` like the original in-module table.
+_EXPERIMENTS: Dict[str, Tuple[str, object]] = {
+    name: (spec.artefact,
+           (lambda fast, seed, _name=name:
+            run_experiment(_name, RunRequest(fast=fast, seed=seed))))
+    for name, spec in EXPERIMENTS.items()
+}
 
 
 def _cmd_list() -> int:
     print(ascii_table(
         ("experiment", "paper artefact"),
-        [(name, artefact)
-         for name, (artefact, _) in _EXPERIMENTS.items()]))
+        [(spec.name, spec.artefact)
+         for spec in EXPERIMENTS.values()]))
     return 0
 
 
-def _cmd_run(name: str, fast: bool,
-             seed: Optional[int] = None) -> int:
-    if name not in _EXPERIMENTS:
-        known = ", ".join(_EXPERIMENTS)
+def _cmd_run(name: str, fast: bool, seed: Optional[int] = None,
+             out: Optional[str] = None) -> int:
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
         print(f"unknown experiment {name!r}; known: {known}",
               file=sys.stderr)
         return 2
-    artefact, runner = _EXPERIMENTS[name]
-    print(f"== {artefact} ==")
+    spec = EXPERIMENTS[name]
+    print(f"== {spec.artefact} ==")
     started = time.time()
-    print(runner(fast, seed))
+    output = run_experiment(name, RunRequest(fast=fast, seed=seed))
+    print(output)
     print(f"({time.time() - started:.1f}s)")
+    if out is not None:
+        from .runner import atomic_write_text
+        path = atomic_write_text(f"{out}/{name}.txt", output + "\n")
+        print(f"artifact written atomically to {path}")
     return 0
 
 
@@ -250,12 +83,66 @@ def _cmd_demo(seed: Optional[int] = None) -> int:
     return 0
 
 
+def _campaign_rows(manifest):
+    from .runner import JobStatus
+    rows = []
+    for record in manifest.records():
+        result = (record.digest[:12]
+                  if record.status is JobStatus.COMPLETED
+                  else record.error)
+        rows.append((record.job_id, record.status.value,
+                     record.attempts, record.duration_s, result))
+    return rows
+
+
+def _cmd_campaign(args) -> int:
+    from .runner import (ChaosMonkey, experiment_jobs, run_campaign)
+    chaos = None
+    if args.chaos is not None:
+        chaos = ChaosMonkey(mode=args.chaos, kills=args.chaos_kills,
+                            delay_s=args.chaos_delay,
+                            seed=args.seed or 0)
+    specs = []
+    if args.resume is None:
+        only = (args.only.split(",") if args.only else None)
+        try:
+            specs = experiment_jobs(
+                fast=args.fast, seed=args.seed, plan=args.plan,
+                plan_factor=args.plan_factor, timeout_s=args.timeout,
+                max_attempts=args.retries + 1, only=only)
+        except CampaignError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+
+    def on_event(job_id: str, message: str) -> None:
+        print(f"[{job_id}] {message}")
+
+    try:
+        manifest = run_campaign(
+            specs, args.runs_dir,
+            campaign_id=args.resume or args.campaign_id,
+            seed=args.seed, resume=args.resume is not None,
+            max_workers=args.jobs, stall_timeout=args.stall_timeout,
+            chaos=chaos, on_event=on_event if args.verbose else None)
+    except CampaignError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(campaign_block(manifest.campaign_id,
+                         _campaign_rows(manifest),
+                         interrupted=manifest.interrupted))
+    print(f"manifest: {manifest.path}")
+    if manifest.interrupted:
+        return 3
+    return 0 if manifest.all_completed() else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NightVision (ISCA 2023) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment")
     run.add_argument("--fast", action="store_true",
@@ -263,16 +150,74 @@ def main(argv=None) -> int:
     run.add_argument("--seed", type=int, default=None,
                      help="seed every RNG (keys, noise, faults); "
                           "omit for the experiment's default")
+    run.add_argument("--out", default=None, metavar="DIR",
+                     help="also write the findings to DIR/<name>.txt "
+                          "via the atomic artifact writer")
+
     demo = sub.add_parser("demo", help="30-second tour")
     demo.add_argument("--seed", type=int, default=None,
                       help="seed every RNG in the demo experiments")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the experiment suite through the crash-tolerant "
+             "runner (checkpointed, resumable)")
+    campaign.add_argument("--fast", action="store_true",
+                          help="reduced parameters per experiment")
+    campaign.add_argument("--seed", type=int, default=None,
+                          help="campaign-wide seed for every job")
+    campaign.add_argument("--only", default=None, metavar="A,B,...",
+                          help="comma-separated experiment subset")
+    campaign.add_argument("--jobs", "-j", type=int, default=2,
+                          help="parallel workers (default 2)")
+    campaign.add_argument("--timeout", type=float, default=300.0,
+                          metavar="S",
+                          help="per-job wall-clock budget, seconds")
+    campaign.add_argument("--stall-timeout", type=float, default=10.0,
+                          metavar="S",
+                          help="kill a worker whose heartbeat is older "
+                               "than S seconds")
+    campaign.add_argument("--retries", type=int, default=2,
+                          help="retry budget per job on transient "
+                               "failures (default 2)")
+    campaign.add_argument("--plan", default="",
+                          help="fault-plan preset every job carries "
+                               "(clean, acceptance, noisy-neighbour, "
+                               "hostile)")
+    campaign.add_argument("--plan-factor", type=float, default=1.0,
+                          help="scale factor applied to --plan rates")
+    campaign.add_argument("--campaign-id", default=None,
+                          help="explicit campaign id (default: "
+                               "generated timestamp id)")
+    campaign.add_argument("--runs-dir", default="runs",
+                          help="checkpoint root (default: runs/)")
+    campaign.add_argument("--resume", default=None, metavar="ID",
+                          help="resume campaign ID: skip COMPLETED "
+                               "jobs, re-run the rest")
+    campaign.add_argument("--chaos", default=None,
+                          choices=["kill-worker"],
+                          help="failure drill: SIGKILL random workers "
+                               "mid-campaign, then interrupt (prove "
+                               "--resume converges)")
+    campaign.add_argument("--chaos-kills", type=int, default=1,
+                          help="workers to kill before interrupting")
+    campaign.add_argument("--chaos-delay", type=float, default=0.2,
+                          metavar="S",
+                          help="minimum campaign age before the first "
+                               "chaos kill")
+    campaign.add_argument("--verbose", "-v", action="store_true",
+                          help="print per-job lifecycle events")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.fast, args.seed)
+        return _cmd_run(args.experiment, args.fast, args.seed,
+                        args.out)
     if args.command == "demo":
         return _cmd_demo(args.seed)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return 2                                      # pragma: no cover
 
 

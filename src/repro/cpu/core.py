@@ -41,15 +41,16 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import (
     DecodeError,
-    ExecutionLimitExceeded,
     InvalidInstruction,
     PageFault,
+    SimulationTimeout,
 )
 from ..isa.instructions import Instruction, Kind, SPECS_BY_OPCODE
 from ..memory.address import block_end
 from .btb import BTB, BTBEntry
 from .config import CpuGeneration, DEFAULT_GENERATION
 from .fusion import can_fuse
+from .interp import _check_deadline, _effective_deadline
 from .lbr import LBR
 from .semantics import Outcome, execute
 from .state import MachineState
@@ -240,10 +241,13 @@ class Core:
                 trace=trace, unit_starts=unit_starts,
             )
 
+        deadline = _effective_deadline(None)
         while True:
             if instructions >= guard:
-                raise ExecutionLimitExceeded(
-                    f"{instructions} instructions without stopping")
+                raise SimulationTimeout(
+                    f"{instructions} instructions without stopping",
+                    budget=guard, executed=instructions)
+            _check_deadline(instructions, deadline)
             pc = state.rip
             if pw is None:
                 self.cycles += self.config.fetch_cycles

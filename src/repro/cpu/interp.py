@@ -13,10 +13,11 @@ Runs programs architecturally with *no* micro-architectural modelling
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from ..errors import ExecutionLimitExceeded, InvalidInstruction, PageFault
+from ..errors import InvalidInstruction, PageFault, SimulationTimeout
 from ..isa.encoding import decode as decode_bytes
 from ..isa.instructions import Instruction, SPECS_BY_OPCODE
 from .semantics import execute
@@ -24,6 +25,37 @@ from .state import MachineState
 
 #: optional syscall hook: handler(state) -> True to continue, False to stop
 SyscallHandler = Callable[[MachineState], bool]
+
+#: how many instructions pass between wall-clock deadline checks
+#: (``time.monotonic`` per instruction would dominate the loop)
+_DEADLINE_STRIDE = 2048
+
+#: ambient wall-clock deadline (``time.monotonic`` timestamp) applied
+#: to every run when the caller passes none — the campaign worker sets
+#: this so a non-terminating victim raises :class:`SimulationTimeout`
+#: in-band instead of hanging until the watchdog SIGKILLs the process.
+_AMBIENT_DEADLINE: Optional[float] = None
+
+
+def set_ambient_deadline(deadline: Optional[float]) -> None:
+    """Install (or clear, with ``None``) the process-wide wall-clock
+    deadline consulted by :func:`interpret` / :func:`run_function`."""
+    global _AMBIENT_DEADLINE
+    _AMBIENT_DEADLINE = deadline
+
+
+def _effective_deadline(deadline: Optional[float]) -> Optional[float]:
+    if deadline is not None:
+        return deadline
+    return _AMBIENT_DEADLINE
+
+
+def _check_deadline(count: int, deadline: Optional[float]) -> None:
+    if (deadline is not None and count % _DEADLINE_STRIDE == 0
+            and time.monotonic() > deadline):
+        raise SimulationTimeout(
+            f"wall-clock deadline expired after {count} instructions",
+            executed=count, deadline=True)
 
 
 class InterpStop(enum.Enum):
@@ -62,12 +94,21 @@ def interpret(state: MachineState, *,
               max_instructions: int = 5_000_000,
               collect_trace: bool = True,
               syscall_handler: Optional[SyscallHandler] = None,
-              raise_on_limit: bool = True) -> InterpResult:
-    """Run until ``hlt``, an unhandled syscall, or the budget."""
+              raise_on_limit: bool = True,
+              deadline: Optional[float] = None) -> InterpResult:
+    """Run until ``hlt``, an unhandled syscall, or the budget.
+
+    ``deadline`` is an absolute ``time.monotonic`` timestamp; past it
+    the run raises :class:`SimulationTimeout` (checked every
+    ``_DEADLINE_STRIDE`` instructions).  When omitted, the ambient
+    deadline installed by :func:`set_ambient_deadline` applies.
+    """
+    deadline = _effective_deadline(deadline)
     trace: List[int] = []
     branch_events: List[Tuple[int, bool]] = []
     count = 0
     while count < max_instructions:
+        _check_deadline(count, deadline)
         pc = state.rip
         instruction, _ = _fetch(state, pc)
         outcome = execute(state, instruction, pc)
@@ -88,8 +129,9 @@ def interpret(state: MachineState, *,
                 return InterpResult(InterpStop.SYSCALL, count, trace,
                                     branch_events)
     if raise_on_limit:
-        raise ExecutionLimitExceeded(
-            f"interpreter exceeded {max_instructions} instructions")
+        raise SimulationTimeout(
+            f"interpreter exceeded {max_instructions} instructions",
+            budget=max_instructions, executed=count)
     return InterpResult(InterpStop.LIMIT, count, trace, branch_events)
 
 
@@ -98,12 +140,15 @@ def run_function(state: MachineState, entry: int, *,
                  max_instructions: int = 5_000_000,
                  collect_trace: bool = True,
                  syscall_handler: Optional[SyscallHandler] = None,
+                 deadline: Optional[float] = None,
                  ) -> InterpResult:
     """Call the function at ``entry`` with the standard convention
     (args in rdi/rsi/rdx/rcx/r8/r9) and run until it returns.
 
     The function's return is detected with a sentinel return address.
+    ``deadline`` behaves as in :func:`interpret`.
     """
+    deadline = _effective_deadline(deadline)
     sentinel = 0xDEAD_0000_0000_0000 & ((1 << 48) - 1)  # canonical-ish
     arg_regs = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
     for register, value in zip(arg_regs, args or []):
@@ -115,6 +160,7 @@ def run_function(state: MachineState, entry: int, *,
     branch_events: List[Tuple[int, bool]] = []
     count = 0
     while count < max_instructions:
+        _check_deadline(count, deadline)
         pc = state.rip
         if pc == sentinel:
             return InterpResult(InterpStop.RETURNED, count, trace,
@@ -134,5 +180,6 @@ def run_function(state: MachineState, entry: int, *,
             if syscall_handler is None or not syscall_handler(state):
                 return InterpResult(InterpStop.SYSCALL, count, trace,
                                     branch_events)
-    raise ExecutionLimitExceeded(
-        f"run_function exceeded {max_instructions} instructions")
+    raise SimulationTimeout(
+        f"run_function exceeded {max_instructions} instructions",
+        budget=max_instructions, executed=count)

@@ -3,9 +3,32 @@
 Every error raised by this package derives from :class:`ReproError` so
 callers can catch simulation problems without also swallowing Python
 built-ins.
+
+All errors are **picklable**: the campaign runner transports worker
+failures across process boundaries, and the default
+``BaseException.__reduce__`` re-invokes ``cls(*args)``, which breaks
+for the structured errors whose ``__init__`` takes extra (keyword)
+arguments.  Those classes route through :func:`_rebuild_error`, which
+bypasses ``__init__`` and restores ``args`` + ``__dict__`` directly.
 """
 
 from __future__ import annotations
+
+
+def _rebuild_error(cls, args, state):
+    """Unpickle helper: reconstruct without calling ``cls.__init__``."""
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error
+
+
+class _StructuredErrorMixin:
+    """Pickle support for exceptions whose constructors take extra
+    arguments beyond the message."""
+
+    def __reduce__(self):
+        return _rebuild_error, (type(self), self.args, dict(self.__dict__))
 
 
 class ReproError(Exception):
@@ -32,7 +55,7 @@ class MemoryError_(ReproError):
     """Base class for memory-system errors (named to avoid shadowing)."""
 
 
-class PageFault(MemoryError_):
+class PageFault(_StructuredErrorMixin, MemoryError_):
     """Access to an unmapped page or one lacking the needed permission.
 
     Page faults are *architectural events*: the kernel model catches them
@@ -47,7 +70,7 @@ class PageFault(MemoryError_):
         )
 
 
-class ProtectionFault(MemoryError_):
+class ProtectionFault(_StructuredErrorMixin, MemoryError_):
     """An access that the memory model refuses outright (e.g. EPC read
     from outside the owning enclave).
 
@@ -76,6 +99,24 @@ class HaltError(CpuError):
 
 class ExecutionLimitExceeded(CpuError):
     """A run exceeded its instruction or cycle budget (runaway guard)."""
+
+
+class SimulationTimeout(_StructuredErrorMixin, ExecutionLimitExceeded):
+    """A simulation run blew its step budget or wall-clock deadline.
+
+    Subclasses :class:`ExecutionLimitExceeded` so existing runaway
+    guards keep catching it; carries the budget figures so the
+    campaign runner can classify the failure without parsing text.
+    ``deadline`` is True when a wall-clock deadline (rather than a
+    step budget) expired.
+    """
+
+    def __init__(self, message: str, *, budget: int = 0,
+                 executed: int = 0, deadline: bool = False):
+        self.budget = budget
+        self.executed = executed
+        self.deadline = deadline
+        super().__init__(message)
 
 
 class InvalidInstruction(CpuError):
@@ -110,7 +151,7 @@ class MeasurementError(AttackError):
     """Base class for resilient-measurement-policy errors."""
 
 
-class MeasurementUnstable(MeasurementError):
+class MeasurementUnstable(_StructuredErrorMixin, MeasurementError):
     """A probe reading stayed unresolvable (missing LBR records /
     constraint violations) after the policy's retries.
 
@@ -125,7 +166,7 @@ class MeasurementUnstable(MeasurementError):
         super().__init__(message)
 
 
-class BudgetExhausted(MeasurementError):
+class BudgetExhausted(_StructuredErrorMixin, MeasurementError):
     """A bounded retry/probe budget ran out before the measurement
     (or extraction) converged."""
 
@@ -133,6 +174,21 @@ class BudgetExhausted(MeasurementError):
                  spent: int = 0):
         self.budget = budget
         self.spent = spent
+        super().__init__(message)
+
+
+class CampaignError(ReproError):
+    """Base class for campaign-runner errors (bad resume id, manifest
+    schema mismatch, unknown job kind, ...)."""
+
+
+class WorkerCrashed(_StructuredErrorMixin, CampaignError):
+    """A subprocess worker died without delivering a result (SIGKILL,
+    segfault, interpreter abort).  Treated as a transient failure by
+    the retry policy."""
+
+    def __init__(self, message: str, *, exitcode: int = None):
+        self.exitcode = exitcode
         super().__init__(message)
 
 

@@ -1,18 +1,96 @@
-"""Shared harness utilities for the figure/table experiments."""
+"""Shared harness utilities for the figure/table experiments, plus the
+experiment registry the CLI and the campaign runner execute from.
+
+Every ``exp_*`` module registers a printable summary runner with
+:func:`register_experiment`; the registry decouples "what experiments
+exist" from "who runs them" so subprocess workers can resolve a job by
+name without importing :mod:`repro.cli`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cpu.config import CpuGeneration
 from ..cpu.core import Core
 from ..cpu.state import MachineState
+from ..errors import CampaignError
+from ..faults.plans import FaultPlan
 from ..isa.assembler import AssembledProgram, Assembler
 from ..memory.memory import VirtualMemory
 
 #: where experiment harnesses park their halt gadget
 HALT_GADGET = 0x0060_0000
+
+
+# ----------------------------------------------------------------------
+# experiment registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunRequest:
+    """One experiment invocation's knobs, as a value object.
+
+    ``seed is None`` means "use the experiment's own default seeds".
+    ``plan`` is an optional :class:`repro.faults.FaultPlan` carried by
+    campaign jobs; experiments that model environmental noise honour
+    it, the rest record it as provenance only.
+    """
+
+    fast: bool = False
+    seed: Optional[int] = None
+    plan: Optional[FaultPlan] = None
+
+    def seeded(self, **kwargs) -> Dict[str, object]:
+        """kwargs plus ``seed=`` when the request carries one."""
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+    def config_for(self, name: str):
+        """A generation preset carrying the request's seed (None ->
+        default config, letting the experiment pick its own preset)."""
+        if self.seed is None:
+            return None
+        from ..cpu.config import generation
+        return generation(name, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: name, paper artefact, summary runner."""
+
+    name: str
+    artefact: str
+    runner: Callable[[RunRequest], str]
+
+
+#: experiment name -> spec, in registration (== module import) order
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(name: str, artefact: str):
+    """Class-level decorator registering ``runner(request) -> str``."""
+    def wrap(runner: Callable[[RunRequest], str]):
+        EXPERIMENTS[name] = ExperimentSpec(name, artefact, runner)
+        return runner
+    return wrap
+
+
+def experiment_names() -> Tuple[str, ...]:
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(name: str, request: RunRequest) -> str:
+    """Execute one registered experiment, returning its printable
+    summary."""
+    try:
+        spec = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise CampaignError(
+            f"unknown experiment {name!r}; known: {known}") from None
+    return spec.runner(request)
 
 
 @dataclass

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..analysis import series_block
 from ..cpu.config import CpuGeneration, generation
 from ..isa.assembler import AssembledProgram, Assembler
 from ..memory.address import BLOCK_SIZE
-from .common import CallHarness, FigureResult, Series
+from .common import (CallHarness, FigureResult, RunRequest, Series,
+                     register_experiment)
 
 #: F1's offset within its fetch block (paper varies this; any works)
 F1_BLOCK_OFFSET = 8
@@ -99,3 +101,14 @@ def run_figure2(config: Optional[CpuGeneration] = None, *,
         == result.findings["expected_gap_deltas"]
     )
     return result
+
+
+@register_experiment("fig2", "Figure 2 — non-branch BTB deallocation")
+def summarize_figure2(request: RunRequest) -> str:
+    result = run_figure2(config=request.config_for("skylake"),
+                         iterations=2 if request.fast else 10)
+    lines = [series_block(s.label, s.xs, s.ys, "cycles")
+             for s in result.series]
+    lines.append(f"boundary F2 < F1+2 reproduced: "
+                 f"{result.findings['boundary_correct']}")
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..analysis import ascii_table, pct
 from ..cpu.config import CpuGeneration, generation
 from ..cpu.core import Core
 from ..core.cfl import ControlFlowLeakAttack
@@ -28,6 +29,7 @@ from ..victims.bignum import ref_cmp
 from ..victims.library import (VictimProgram, build_bn_cmp_victim,
                                build_gcd_victim)
 from ..victims.rsa import generate_keys
+from .common import RunRequest, register_experiment
 
 
 @dataclass
@@ -136,3 +138,31 @@ def run_defense_grid(*, runs: int = 20,
                                  label=f"defense={name}"
                                        + ("+ibrs" if ibrs else ""))
     return grid
+
+
+@register_experiment("gcd-leak", "§7.2 — GCD secret-branch leak (use case 1)")
+def summarize_gcd_leak(request: RunRequest) -> str:
+    result = run_gcd_leak(runs=5 if request.fast else 100,
+                          **request.seeded())
+    return (f"{result.label}: accuracy {pct(result.accuracy)} over "
+            f"{result.total_iterations} iterations "
+            f"({result.runs} runs; paper: 99.3%)")
+
+
+@register_experiment("bncmp-leak", "§7.2 — bn_cmp leak (use case 1)")
+def summarize_bncmp_leak(request: RunRequest) -> str:
+    result = run_bncmp_leak(runs=10 if request.fast else 100,
+                            **request.seeded())
+    return (f"{result.label}: accuracy {pct(result.accuracy)} "
+            f"({result.runs} runs; paper: 100%)")
+
+
+@register_experiment("defenses", "Figure 8 / §5 — software defense grid")
+def summarize_defense_grid(request: RunRequest) -> str:
+    grid = run_defense_grid(runs=3 if request.fast else 20,
+                            **request.seeded())
+    return ascii_table(
+        ("defense", "accuracy", "verdict"),
+        [(name, pct(r.accuracy),
+          "LEAKS" if r.accuracy > 0.9 else "holds")
+         for name, r in grid.items()])

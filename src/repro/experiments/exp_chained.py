@@ -20,6 +20,7 @@ from ..isa.assembler import Assembler
 from ..memory.address import BLOCK_SIZE
 from ..system.kernel import Kernel
 from ..system.process import Process
+from .common import RunRequest, register_experiment
 
 BASE = 0x0040_0400
 
@@ -77,3 +78,11 @@ def run_figure7(config: Optional[CpuGeneration] = None, *,
         single_pw_rounds=blocks,     # one victim run per range
         chained_rounds=1,            # all ranges in one run
     )
+
+
+@register_experiment("fig7", "Figure 7 — chained PWs")
+def summarize_figure7(request: RunRequest) -> str:
+    result = run_figure7(config=request.config_for("coffeelake"))
+    return (f"localization correct: {result.localization_correct}\n"
+            f"victim runs: chained={result.chained_rounds} vs "
+            f"single-PW={result.single_pw_rounds}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis import pct
 from ..cpu.config import CpuGeneration, generation
 from ..cpu.core import Core
 from ..core.measurement import MeasurementPolicy
@@ -28,6 +29,7 @@ from ..fingerprint.slicing import (function_traces_of_length,
                                    slice_trace)
 from ..lang import CompileOptions
 from ..system.kernel import Kernel
+from .common import RunRequest, register_experiment
 from ..victims.library import (ENCLAVE_DATA_BASE, VictimProgram,
                                build_bn_cmp_victim, build_gcd_victim)
 
@@ -174,3 +176,17 @@ def run_figure12(config: Optional[CpuGeneration] = None, *,
         top_vs_gcd=vs_gcd,
         top_vs_bncmp=vs_bncmp,
     )
+
+
+@register_experiment("fingerprint", "Figure 12 — function fingerprinting")
+def summarize_figure12(request: RunRequest) -> str:
+    extra = {} if request.seed is None else {"corpus_seed": request.seed}
+    result = run_figure12(corpus_size=200 if request.fast else 2000,
+                          **extra)
+    return "\n".join([
+        f"corpus: {result.corpus_size} functions",
+        f"GCD self-sim {pct(result.gcd.self_similarity)}, "
+        f"identified: {result.gcd_identified}",
+        f"bn_cmp self-sim {pct(result.bn_cmp.self_similarity)}, "
+        f"identified: {result.bncmp_identified}",
+    ])

@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..analysis import ascii_table
 from ..cpu.config import GENERATIONS, generation
 from ..isa.assembler import Assembler
 from ..memory.address import BLOCK_SIZE
-from .common import CallHarness
+from .common import CallHarness, RunRequest, register_experiment
 
 F1 = 0x0040_0008
 
@@ -78,3 +79,12 @@ def run_generation_sweep() -> GenerationResult:
             _collides_at(config, 1 << 34),
         )
     return GenerationResult(table)
+
+
+@register_experiment("generations", "§2.3 footnote — tag truncation sweep")
+def summarize_generation_sweep(request: RunRequest) -> str:
+    result = run_generation_sweep()
+    return ascii_table(
+        ("generation", "tag bits", "@8GiB", "@16GiB"),
+        [(name, keep, a, b)
+         for name, (keep, a, b) in result.table.items()])

@@ -27,8 +27,10 @@ from ..defenses.oblivious import build_oblivious_gcd_victim
 from ..lang import CompileOptions
 from ..memory.address import block_end
 from ..system.kernel import Kernel
+from ..analysis import ascii_table, pct
 from ..victims.library import build_gcd_victim
 from ..victims.rsa import generate_keys
+from .common import RunRequest, register_experiment
 from .exp_cfl import LeakResult, _attack_gcd
 
 
@@ -92,3 +94,19 @@ def run_oblivious(*, keys: int = 6, seed: int = 5,
         distinct_observations=distinct,
         information_rate=differing / max(len(observations) - 1, 1),
     )
+
+
+@register_experiment("mitigations", "§8.2 — hardware mitigations + oblivious")
+def summarize_mitigations(request: RunRequest) -> str:
+    grid = run_hardware_grid(runs=3 if request.fast else 15,
+                             **request.seeded())
+    rows = [(name, pct(r.accuracy),
+             "LEAKS" if r.accuracy > 0.9 else "holds")
+            for name, r in grid.items()]
+    oblivious = run_oblivious(keys=3 if request.fast else 8,
+                              **request.seeded())
+    rows.append(("data-oblivious gcd",
+                 f"info rate {pct(oblivious.information_rate)}",
+                 "holds" if oblivious.information_rate == 0
+                 else "LEAKS"))
+    return ascii_table(("mitigation", "accuracy", "verdict"), rows)

@@ -25,6 +25,7 @@ from ..core.pw import PwRange
 from ..isa.assembler import AssembledProgram, Assembler
 from ..system.kernel import Kernel
 from ..system.process import Process
+from .common import RunRequest, register_experiment
 
 #: monitored victim range: one aligned 32-byte block
 RANGE_START = 0x0040_0200
@@ -103,3 +104,12 @@ def run_figure5(config: Optional[CpuGeneration] = None, *,
         kernel.run_slice(victim)
         detections[scenario] = session.probe()[0]
     return OverlapResult(detections)
+
+
+@register_experiment("fig5", "Figure 5 — overlap scenarios")
+def summarize_figure5(request: RunRequest) -> str:
+    result = run_figure5(config=request.config_for("coffeelake"))
+    lines = [f"{name}: detected={hit}"
+             for name, hit in result.detections.items()]
+    lines.append(f"all correct: {result.all_correct}")
+    return "\n".join(lines)

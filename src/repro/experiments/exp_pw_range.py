@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..analysis import series_block
 from ..cpu.config import CpuGeneration, generation
 from ..isa.assembler import AssembledProgram, Assembler
-from .common import CallHarness, FigureResult, Series
+from .common import (CallHarness, FigureResult, RunRequest, Series,
+                     register_experiment)
 
 #: 32-byte-aligned base of the measured block
 BLOCK = 0x0040_0000
@@ -108,3 +110,14 @@ def run_figure4(config: Optional[CpuGeneration] = None, *,
         for earlier, later in zip(baseline, baseline[1:])
     )
     return result
+
+
+@register_experiment("fig4", "Figure 4 — PW range-semantics lookup")
+def summarize_figure4(request: RunRequest) -> str:
+    result = run_figure4(config=request.config_for("skylake"),
+                         iterations=2 if request.fast else 10)
+    lines = [series_block(s.label, s.xs, s.ys, "cycles")
+             for s in result.series]
+    lines.append(f"boundary F1 < F2+2 reproduced: "
+                 f"{result.findings['boundary_correct']}")
+    return "\n".join(lines)

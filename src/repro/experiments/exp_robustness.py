@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from ..analysis import degradation_block, pct
 from ..cpu.config import CpuGeneration, generation
 from ..cpu.core import Core
 from ..core.cfl import ControlFlowLeakAttack
@@ -36,6 +37,7 @@ from ..lang import CompileOptions
 from ..system.kernel import Kernel
 from ..victims.library import (ENCLAVE_DATA_BASE, build_gcd_victim)
 from ..victims.rsa import generate_keys
+from .common import RunRequest, register_experiment
 from .exp_fingerprint import extract_victim_function
 
 
@@ -204,3 +206,29 @@ def run_fingerprint_robustness(
             (result.resilient if use_policy else result.naive
              ).append(point)
     return result
+
+
+@register_experiment("robustness", "ablation — accuracy vs injected fault rate")
+def summarize_robustness(request: RunRequest) -> str:
+    plan_kwargs = {}
+    if request.plan is not None and request.plan.active:
+        plan_kwargs["base_plan"] = request.plan
+    leak = run_leak_robustness(
+        runs=3 if request.fast else 8,
+        factors=(0.0, 1.0) if request.fast else (0.0, 1.0, 2.0, 3.0),
+        **plan_kwargs, **request.seeded())
+    blocks = [degradation_block(
+        f"{leak.label} (plan: {leak.plan_name})",
+        leak.factors, leak.curves())]
+    blocks.append(f"resilient floor {pct(leak.resilient_floor)} vs "
+                  f"naive floor {pct(leak.naive_floor)}")
+    if not request.fast:
+        fingerprint = run_fingerprint_robustness(
+            **plan_kwargs, **request.seeded())
+        blocks.append(degradation_block(
+            f"{fingerprint.label} (plan: {fingerprint.plan_name})",
+            fingerprint.factors, fingerprint.curves()))
+        failures = sum(p.failed for p in fingerprint.naive)
+        blocks.append(f"naive extractions failed outright: "
+                      f"{failures}/{len(fingerprint.naive)}")
+    return "\n".join(blocks)

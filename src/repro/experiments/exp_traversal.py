@@ -16,9 +16,11 @@ from typing import Dict, Optional
 from ..cpu.config import CpuGeneration, generation
 from ..cpu.core import Core
 from ..core.nv_supervisor import NvSupervisor
+from ..analysis import pct
 from ..lang import CompileOptions
 from ..system.kernel import Kernel
 from ..victims.library import ENCLAVE_DATA_BASE, build_gcd_victim
+from .common import RunRequest, register_experiment
 
 
 @dataclass
@@ -62,3 +64,16 @@ def run_figure10(config: Optional[CpuGeneration] = None, *,
         adaptive_accuracy=results["adaptive"][1],
         steps=len(expected),
     )
+
+
+@register_experiment("traversal", "Figure 10 — PW traversal run counts")
+def summarize_figure10(request: RunRequest) -> str:
+    result = run_figure10(
+        request.config_for("coffeelake"),
+        inputs={"ta": 6, "tb": 4} if request.fast
+        else {"ta": 12, "tb": 8})
+    return (f"steps={result.steps}; 128/N budget="
+            f"{result.expected_sweep_runs}; paper strategy "
+            f"{result.paper_runs} runs @ {pct(result.paper_accuracy)};"
+            f" adaptive {result.adaptive_runs} runs @ "
+            f"{pct(result.adaptive_accuracy)}")

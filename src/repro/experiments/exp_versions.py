@@ -26,6 +26,7 @@ from ..fingerprint.similarity import set_similarity
 from ..lang import CompileOptions
 from ..victims.gcd import GCD_VERSIONS, VERSION_GROUPS
 from ..victims.library import VictimProgram, build_gcd_victim
+from .common import RunRequest, register_experiment
 
 DEFAULT_INPUTS = {"ta": 2 * 3 * 17 * 23 * 31, "tb": 2 * 3 * 29 * 41}
 
@@ -149,3 +150,14 @@ def run_figure13_optlevels(*, inputs: Optional[dict] = None,
 
 def version_groups() -> Dict[str, Tuple[str, ...]]:
     return dict(VERSION_GROUPS)
+
+
+@register_experiment("versions", "Figure 13 — versions × opt levels")
+def summarize_figure13(request: RunRequest) -> str:
+    left = run_figure13_versions()
+    right = run_figure13_optlevels()
+    return (f"versions: within-group min "
+            f"{left.diagonal_min():.2f} vs cross-group max "
+            f"{left.off_diagonal_max(version_groups()):.2f}\n"
+            f"opt levels: diagonal min {right.diagonal_min():.2f} vs "
+            f"off-diagonal max {right.off_diagonal_max():.2f}")

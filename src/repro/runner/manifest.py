@@ -1,0 +1,164 @@
+"""The persisted campaign state: ``runs/<campaign-id>/manifest.json``.
+
+The manifest is the single source of truth for checkpoint/resume.  It
+is rewritten (atomically) after **every** job state transition, so a
+SIGKILL of the whole campaign at any instant leaves a loadable
+manifest whose COMPLETED entries can be trusted — their artifacts were
+atomically renamed into place *before* the manifest recorded them.
+
+Schema (``schema`` bumps on incompatible change)::
+
+    {
+      "schema": 1,
+      "campaign_id": "...",
+      "created": "2026-08-06T12:00:00",   # informational only
+      "seed": 0,                          # campaign-level default seed
+      "interrupted": false,               # a chaos/abort left work behind
+      "jobs": { "<job_id>": JobRecord, ... }
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import CampaignError
+from .artifacts import atomic_write_json, read_json
+from .jobs import JobRecord, JobSpec, JobStatus
+
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+ARTIFACT_DIR = "artifacts"
+
+
+@dataclass
+class RunManifest:
+    """All persisted state of one campaign."""
+
+    campaign_id: str
+    directory: Path
+    created: str = ""
+    seed: Optional[int] = None
+    interrupted: bool = False
+    jobs: Dict[str, JobRecord] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction / persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, campaign_id: str, runs_dir: Path, *,
+               specs: List[JobSpec], seed: Optional[int],
+               created: str = "") -> "RunManifest":
+        directory = Path(runs_dir) / campaign_id
+        manifest = cls(campaign_id=campaign_id, directory=directory,
+                       created=created, seed=seed)
+        for spec in specs:
+            if spec.job_id in manifest.jobs:
+                raise CampaignError(
+                    f"duplicate job id {spec.job_id!r}")
+            manifest.jobs[spec.job_id] = JobRecord(spec=spec)
+        return manifest
+
+    @classmethod
+    def load(cls, runs_dir: Path, campaign_id: str) -> "RunManifest":
+        directory = Path(runs_dir) / campaign_id
+        path = directory / MANIFEST_NAME
+        if not path.exists():
+            raise CampaignError(
+                f"no manifest for campaign {campaign_id!r} "
+                f"under {runs_dir}")
+        payload = read_json(path)
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise CampaignError(
+                f"manifest schema {payload.get('schema')!r} "
+                f"!= supported {SCHEMA_VERSION}")
+        manifest = cls(
+            campaign_id=str(payload["campaign_id"]),
+            directory=directory,
+            created=str(payload.get("created", "")),
+            seed=payload.get("seed"),
+            interrupted=bool(payload.get("interrupted", False)),
+        )
+        for job_id, record in payload["jobs"].items():
+            manifest.jobs[job_id] = JobRecord.from_dict(record)
+        return manifest
+
+    @property
+    def path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def artifact_dir(self) -> Path:
+        return self.directory / ARTIFACT_DIR
+
+    def save(self) -> None:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "campaign_id": self.campaign_id,
+            "created": self.created,
+            "seed": self.seed,
+            "interrupted": self.interrupted,
+            "jobs": {job_id: record.to_dict()
+                     for job_id, record in self.jobs.items()},
+        }
+        atomic_write_json(self.path, payload)
+
+    # ------------------------------------------------------------------
+    # resume semantics
+    # ------------------------------------------------------------------
+    def reset_for_resume(self) -> List[str]:
+        """Make every non-COMPLETED job runnable again and return the
+        ids that will re-run.  RUNNING entries are leftovers of a
+        campaign process that died mid-flight — their workers are long
+        gone, so they restart (without charging an extra attempt,
+        since the interrupted attempt never reported a result)."""
+        rerun: List[str] = []
+        for record in self.jobs.values():
+            if record.status is JobStatus.COMPLETED:
+                continue
+            record.status = JobStatus.PENDING
+            record.attempts = 0          # fresh retry budget
+            record.eligible_at = 0.0
+            record.error = ""
+            rerun.append(record.job_id)
+        self.interrupted = False
+        return rerun
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def records(self) -> List[JobRecord]:
+        return list(self.jobs.values())
+
+    def by_status(self, status: JobStatus) -> List[JobRecord]:
+        return [r for r in self.jobs.values() if r.status is status]
+
+    def all_completed(self) -> bool:
+        return all(r.status is JobStatus.COMPLETED
+                   for r in self.jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in self.jobs.values():
+            out[record.status.value] = out.get(record.status.value,
+                                               0) + 1
+        return out
+
+    def digests(self) -> Dict[str, str]:
+        """job id -> result digest, for clean-vs-resumed comparisons."""
+        return {job_id: record.digest
+                for job_id, record in self.jobs.items()}
+
+
+def list_campaigns(runs_dir: Path) -> List[str]:
+    """Campaign ids with a manifest under ``runs_dir``, sorted."""
+    runs_dir = Path(runs_dir)
+    if not runs_dir.is_dir():
+        return []
+    return sorted(
+        entry.name for entry in runs_dir.iterdir()
+        if (entry / MANIFEST_NAME).is_file()
+    )

@@ -1,0 +1,150 @@
+"""Subprocess worker: executes one job attempt in isolation.
+
+The parent forks one process per attempt; the child
+
+1. starts a daemon heartbeat thread that stamps a shared
+   ``multiprocessing.Value`` with ``time.monotonic()`` so the watchdog
+   can tell a slow worker from a dead one;
+2. installs the ambient interpreter deadline
+   (:func:`repro.cpu.interp.set_ambient_deadline`) slightly inside the
+   job's wall-clock budget, so a non-terminating victim raises
+   :class:`SimulationTimeout` in-band before the watchdog has to
+   SIGKILL anything;
+3. runs the job and ships ``("ok", output, duration)`` or
+   ``("error", exception, message, transient, duration)`` back over
+   the result pipe.  Exceptions cross the process boundary pickled
+   (see the ``__reduce__`` support in :mod:`repro.errors`); anything
+   unpicklable degrades to its message.
+
+Worker death without a message (SIGKILL, segfault) is detected by the
+parent from the exit code and treated as a transient
+:class:`WorkerCrashed`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from hashlib import sha256
+from typing import Optional, Tuple
+
+from ..errors import (CalibrationError, CampaignError, MeasurementError,
+                      MeasurementUnstable, ReproError, SimulationTimeout)
+from .jobs import KIND_EXPERIMENT, KIND_SELFTEST, JobSpec
+
+#: seconds between heartbeat stamps
+HEARTBEAT_INTERVAL = 0.05
+
+#: fraction of the wall-clock budget given to the in-band interpreter
+#: deadline (the watchdog keeps the full budget as the hard backstop)
+_DEADLINE_FRACTION = 0.9
+
+#: error classes a fresh attempt may recover from
+TRANSIENT_ERRORS = (MeasurementError, SimulationTimeout,
+                    CalibrationError)
+
+
+def is_transient(error: BaseException) -> bool:
+    return isinstance(error, TRANSIENT_ERRORS)
+
+
+# ----------------------------------------------------------------------
+# selftest jobs — deterministic synthetic workloads for the runner's
+# own tests, the chaos smoke, and CI
+# ----------------------------------------------------------------------
+def _run_selftest(spec: JobSpec, attempt: int) -> str:
+    """Interpret a selftest program string.
+
+    * ``hang`` — spin forever (only the watchdog can end it);
+    * ``sleep:<s>`` — sleep then emit a deterministic line;
+    * ``work:<rounds>[:<sleep_s>]`` — a seeded sha256 chain (the
+      optional sleep widens the chaos-kill window);
+    * ``fail:<k>`` — raise :class:`MeasurementUnstable` on the first
+      ``k`` attempts, succeed afterwards;
+    * ``crash:<k>`` — SIGKILL ourselves on the first ``k`` attempts.
+    """
+    program, _, argument = spec.name.partition(":")
+    if program == "hang":
+        while True:                     # pragma: no cover - killed
+            time.sleep(0.01)
+    if program == "sleep":
+        time.sleep(float(argument or "0.1"))
+        return f"slept {argument or '0.1'}s (seed={spec.seed})"
+    if program == "work":
+        rounds_text, _, sleep_text = argument.partition(":")
+        if sleep_text:
+            time.sleep(float(sleep_text))
+        value = f"seed={spec.seed}".encode()
+        for _ in range(int(rounds_text or "1000")):
+            value = sha256(value).digest()
+        return f"work digest {value.hex()}"
+    if program == "fail":
+        if attempt <= int(argument or "1"):
+            raise MeasurementUnstable(
+                f"selftest fault on attempt {attempt}",
+                attempts=attempt)
+        return "recovered"
+    if program == "crash":
+        if attempt <= int(argument or "1"):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return "survived"
+    raise CampaignError(f"unknown selftest program {spec.name!r}")
+
+
+def execute_job(spec: JobSpec, attempt: int = 1) -> str:
+    """Run one job attempt in-process and return its output text."""
+    if spec.kind == KIND_SELFTEST:
+        return _run_selftest(spec, attempt)
+    if spec.kind == KIND_EXPERIMENT:
+        from ..experiments.common import RunRequest, run_experiment
+        request = RunRequest(fast=spec.fast, seed=spec.seed,
+                             plan=spec.resolve_plan())
+        return run_experiment(spec.name, request)
+    raise CampaignError(f"unknown job kind {spec.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# child process entry
+# ----------------------------------------------------------------------
+def _beat(heartbeat, stop: threading.Event) -> None:
+    while not stop.is_set():
+        heartbeat.value = time.monotonic()
+        stop.wait(HEARTBEAT_INTERVAL)
+
+
+def _send_error(conn, error: BaseException, duration: float) -> None:
+    payload: Tuple = ("error", error, str(error) or repr(error),
+                      is_transient(error), duration)
+    try:
+        conn.send(payload)
+    except Exception:
+        # Unpicklable exception (shouldn't happen for ReproErrors —
+        # pinned by tests — but third-party errors make no promises).
+        conn.send(("error", None, f"{type(error).__name__}: {error}",
+                   is_transient(error), duration))
+
+
+def worker_main(spec_dict: dict, attempt: int, conn, heartbeat) -> None:
+    """Entry point of the worker subprocess."""
+    spec = JobSpec.from_dict(spec_dict)
+    stop = threading.Event()
+    thread = threading.Thread(target=_beat, args=(heartbeat, stop),
+                              daemon=True)
+    thread.start()
+    started = time.monotonic()
+    from ..cpu.interp import set_ambient_deadline
+    set_ambient_deadline(started + spec.timeout_s * _DEADLINE_FRACTION)
+    try:
+        output = execute_job(spec, attempt)
+    except ReproError as error:
+        _send_error(conn, error, time.monotonic() - started)
+    except BaseException as error:      # noqa: BLE001 - report, don't die
+        _send_error(conn, error, time.monotonic() - started)
+    else:
+        conn.send(("ok", output, time.monotonic() - started))
+    finally:
+        set_ambient_deadline(None)
+        stop.set()
+        conn.close()

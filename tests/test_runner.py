@@ -1,0 +1,478 @@
+"""The crash-tolerant campaign runner: atomic artifacts, the job
+lifecycle state machine, manifest checkpoint/resume, watchdog
+timeouts, retry with backoff, and the chaos drill.
+
+The heavyweight scenarios use KIND_SELFTEST jobs — deterministic
+synthetic programs (`work:`, `fail:`, `crash:`, `hang`) — so the runner
+machinery is exercised without paying for real experiments.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.errors import (CampaignError, MeasurementUnstable, PageFault,
+                          SimulationTimeout, WorkerCrashed)
+from repro.runner import (ChaosMonkey, JobRecord, JobSpec, JobStatus,
+                          KIND_SELFTEST, RunManifest, execute_job,
+                          experiment_jobs, is_transient, list_campaigns,
+                          run_campaign)
+from repro.runner.artifacts import (atomic_write_json, atomic_write_text,
+                                    digest_text, read_json)
+
+
+def _selftest(job_id, program, **kwargs):
+    kwargs.setdefault("timeout_s", 30.0)
+    return JobSpec(job_id=job_id, kind=KIND_SELFTEST, name=program,
+                   seed=0, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# atomic artifact writer
+# ----------------------------------------------------------------------
+def test_atomic_write_text_creates_parents_and_no_tmp(tmp_path):
+    path = atomic_write_text(tmp_path / "a" / "b" / "out.txt", "hello\n")
+    assert path.read_text() == "hello\n"
+    # no temp droppings left behind
+    assert [p.name for p in path.parent.iterdir()] == ["out.txt"]
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "first")
+    atomic_write_text(target, "second")
+    assert target.read_text() == "second"
+
+
+def test_atomic_json_is_deterministic(tmp_path):
+    payload = {"b": 2, "a": 1, "nested": {"z": 0, "y": [3, 2]}}
+    a = atomic_write_json(tmp_path / "a.json", payload)
+    b = atomic_write_json(tmp_path / "b.json", dict(reversed(
+        list(payload.items()))))
+    assert a.read_bytes() == b.read_bytes()
+    assert read_json(a) == payload
+
+
+def test_digest_text_is_sha256():
+    import hashlib
+    assert digest_text("abc") == hashlib.sha256(b"abc").hexdigest()
+
+
+# ----------------------------------------------------------------------
+# errors are picklable (they cross the worker pipe)
+# ----------------------------------------------------------------------
+def _all_error_classes():
+    import inspect
+    from repro import errors
+    return [obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+            if issubclass(obj, errors.ReproError)]
+
+
+def test_every_error_survives_pickle_roundtrip():
+    samples = {
+        PageFault: PageFault(0x401000, "execute"),
+        MeasurementUnstable: MeasurementUnstable(
+            "unstable", attempts=3, unresolved=[1, 2]),
+        SimulationTimeout: SimulationTimeout(
+            "over budget", budget=100, executed=101, deadline=True),
+        WorkerCrashed: WorkerCrashed("died", exitcode=-9),
+    }
+    for cls in _all_error_classes():
+        error = samples.get(cls)
+        if error is None:
+            try:
+                error = cls("boom")
+            except TypeError:
+                continue
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is cls
+        assert str(clone) == str(error)
+        assert clone.__dict__ == error.__dict__
+
+
+def test_simulation_timeout_fields_survive_pickle():
+    error = SimulationTimeout("deadline", budget=7, executed=9,
+                              deadline=True)
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.budget == 7
+    assert clone.executed == 9
+    assert clone.deadline is True
+
+
+# ----------------------------------------------------------------------
+# job specs / records / manifest
+# ----------------------------------------------------------------------
+def test_job_spec_validation():
+    with pytest.raises(CampaignError):
+        JobSpec(job_id="x", kind="nonsense")
+    with pytest.raises(CampaignError):
+        JobSpec(job_id="x", timeout_s=0.0)
+    with pytest.raises(CampaignError):
+        JobSpec(job_id="x", max_attempts=0)
+
+
+def test_job_spec_dict_roundtrip():
+    spec = JobSpec(job_id="fig2", name="fig2", fast=True, seed=3,
+                   plan="hostile", plan_factor=0.5, timeout_s=12.0,
+                   max_attempts=2)
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_job_record_roundtrip_and_retry_budget():
+    record = JobRecord(spec=_selftest("j", "work:10"))
+    assert record.runnable()
+    record.status = JobStatus.FAILED
+    record.attempts = 2
+    record.digest = "d" * 64
+    clone = JobRecord.from_dict(record.to_dict())
+    assert clone.spec == record.spec
+    assert clone.status is JobStatus.FAILED
+    assert clone.attempts_left() == 1
+    assert not clone.runnable()
+
+
+def test_status_machine_flags():
+    assert JobStatus.COMPLETED.terminal_success
+    for status in (JobStatus.FAILED, JobStatus.TIMED_OUT,
+                   JobStatus.CRASHED, JobStatus.RUNNING):
+        assert status.retryable
+    assert not JobStatus.COMPLETED.retryable
+
+
+def test_experiment_jobs_only_filter_and_unknown():
+    jobs = experiment_jobs(fast=True, seed=0, only=["fig4", "fig2"])
+    assert [job.job_id for job in jobs] == ["fig2", "fig4"]
+    with pytest.raises(CampaignError):
+        experiment_jobs(only=["not-an-experiment"])
+
+
+def test_manifest_roundtrip_and_listing(tmp_path):
+    specs = [_selftest("a", "work:10"), _selftest("b", "work:20")]
+    manifest = RunManifest.create("camp-1", tmp_path, specs=specs,
+                                  seed=7, created="2026-08-06T00:00:00")
+    manifest.jobs["a"].status = JobStatus.COMPLETED
+    manifest.jobs["a"].digest = digest_text("out")
+    manifest.save()
+    loaded = RunManifest.load(tmp_path, "camp-1")
+    assert loaded.seed == 7
+    assert loaded.jobs["a"].status is JobStatus.COMPLETED
+    assert loaded.jobs["b"].spec == specs[1]
+    assert list_campaigns(tmp_path) == ["camp-1"]
+    with pytest.raises(CampaignError):
+        RunManifest.load(tmp_path, "no-such-campaign")
+
+
+def test_manifest_rejects_wrong_schema(tmp_path):
+    directory = tmp_path / "camp-2"
+    directory.mkdir()
+    (directory / "manifest.json").write_text(json.dumps(
+        {"schema": 999, "campaign_id": "camp-2", "jobs": {}}))
+    with pytest.raises(CampaignError):
+        RunManifest.load(tmp_path, "camp-2")
+
+
+def test_reset_for_resume_skips_completed(tmp_path):
+    specs = [_selftest(name, "work:10") for name in ("a", "b", "c")]
+    manifest = RunManifest.create("camp-3", tmp_path, specs=specs,
+                                  seed=0)
+    manifest.jobs["a"].status = JobStatus.COMPLETED
+    manifest.jobs["b"].status = JobStatus.CRASHED
+    manifest.jobs["b"].attempts = 3
+    manifest.jobs["c"].status = JobStatus.RUNNING
+    manifest.interrupted = True
+    rerun = manifest.reset_for_resume()
+    assert rerun == ["b", "c"]
+    assert manifest.jobs["a"].status is JobStatus.COMPLETED
+    assert manifest.jobs["b"].status is JobStatus.PENDING
+    assert manifest.jobs["b"].attempts == 0      # fresh retry budget
+    assert not manifest.interrupted
+
+
+# ----------------------------------------------------------------------
+# in-process job execution
+# ----------------------------------------------------------------------
+def test_selftest_work_is_deterministic():
+    spec = _selftest("w", "work:50")
+    assert execute_job(spec) == execute_job(spec)
+
+
+def test_selftest_fail_then_recover():
+    spec = _selftest("f", "fail:2")
+    with pytest.raises(MeasurementUnstable):
+        execute_job(spec, attempt=1)
+    assert execute_job(spec, attempt=3) == "recovered"
+
+
+def test_transient_classification():
+    assert is_transient(MeasurementUnstable("x", attempts=1))
+    assert is_transient(SimulationTimeout("x"))
+    assert not is_transient(CampaignError("x"))
+    assert not is_transient(ValueError("x"))
+
+
+def test_unknown_selftest_program_raises():
+    with pytest.raises(CampaignError):
+        execute_job(_selftest("bad", "frobnicate"))
+
+
+# ----------------------------------------------------------------------
+# campaigns end to end (subprocess workers)
+# ----------------------------------------------------------------------
+def test_campaign_runs_jobs_in_parallel_workers(tmp_path):
+    specs = [_selftest("w0", "work:100"), _selftest("w1", "work:200"),
+             _selftest("w2", "work:300")]
+    manifest = run_campaign(specs, tmp_path, campaign_id="par",
+                            seed=0, max_workers=2)
+    assert manifest.all_completed()
+    for record in manifest.records():
+        artifact = manifest.directory / record.artifact
+        assert digest_text(artifact.read_text()) == record.digest
+        assert record.attempts == 1
+
+
+def test_campaign_retries_flaky_job_with_backoff(tmp_path):
+    events = []
+    specs = [_selftest("flaky", "fail:1", max_attempts=3)]
+    manifest = run_campaign(
+        specs, tmp_path, campaign_id="flaky", seed=0,
+        backoff_base=0.01, backoff_cap=0.05,
+        on_event=lambda job_id, message: events.append(message))
+    record = manifest.jobs["flaky"]
+    assert record.status is JobStatus.COMPLETED
+    assert record.attempts == 2
+    assert any("retrying in" in event for event in events)
+
+
+def test_campaign_survives_worker_self_crash(tmp_path):
+    specs = [_selftest("crashy", "crash:1", max_attempts=3)]
+    manifest = run_campaign(specs, tmp_path, campaign_id="crashy",
+                            seed=0, backoff_base=0.01, backoff_cap=0.05)
+    record = manifest.jobs["crashy"]
+    assert record.status is JobStatus.COMPLETED
+    assert record.attempts == 2
+    artifact = manifest.directory / record.artifact
+    assert artifact.read_text() == "survived"
+
+
+def test_campaign_exhausts_retry_budget(tmp_path):
+    specs = [_selftest("doomed", "fail:99", max_attempts=2)]
+    manifest = run_campaign(specs, tmp_path, campaign_id="doomed",
+                            seed=0, backoff_base=0.01, backoff_cap=0.05)
+    record = manifest.jobs["doomed"]
+    assert record.status is JobStatus.FAILED
+    assert record.attempts == 2
+    assert "selftest fault" in record.error
+
+
+def test_watchdog_kills_hung_worker(tmp_path):
+    specs = [_selftest("hung", "hang", timeout_s=1.0, max_attempts=1)]
+    started = time.monotonic()
+    manifest = run_campaign(specs, tmp_path, campaign_id="hung",
+                            seed=0, stall_timeout=30.0)
+    elapsed = time.monotonic() - started
+    record = manifest.jobs["hung"]
+    assert record.status is JobStatus.TIMED_OUT
+    assert "watchdog" in record.error
+    assert elapsed < 10.0          # killed near the 1s budget, not later
+
+
+def test_campaign_refuses_duplicate_id(tmp_path):
+    specs = [_selftest("one", "work:10")]
+    run_campaign(specs, tmp_path, campaign_id="dup", seed=0)
+    with pytest.raises(CampaignError):
+        run_campaign(specs, tmp_path, campaign_id="dup", seed=0)
+
+
+def test_resume_requires_existing_manifest(tmp_path):
+    with pytest.raises(CampaignError):
+        run_campaign([], tmp_path, campaign_id="ghost", resume=True)
+
+
+# ----------------------------------------------------------------------
+# the acceptance drill: chaos kill mid-campaign, resume, byte-match
+# ----------------------------------------------------------------------
+def _chaos_specs():
+    # The sleep widens the chaos window so the kill lands mid-job; the
+    # work rounds differ so every digest is distinct.
+    return [
+        _selftest("w0", "work:100"),
+        _selftest("w1", "work:200"),
+        _selftest("w2", "work:300:0.3"),
+        _selftest("w3", "work:400:0.3"),
+        _selftest("w4", "work:500:0.3"),
+        _selftest("w5", "work:600:0.3"),
+    ]
+
+
+def test_chaos_kill_then_resume_matches_clean_run(tmp_path):
+    clean = run_campaign(_chaos_specs(), tmp_path, campaign_id="clean",
+                         seed=0, max_workers=2)
+    assert clean.all_completed()
+
+    chaos = ChaosMonkey(mode="kill-worker", kills=2, delay_s=0.05,
+                        seed=42)
+    interrupted = run_campaign(
+        _chaos_specs(), tmp_path, campaign_id="chaos", seed=0,
+        max_workers=2, chaos=chaos,
+        backoff_base=0.01, backoff_cap=0.05)
+    assert interrupted.interrupted
+    assert not interrupted.all_completed()
+    completed_before = {r.job_id for r in interrupted.by_status(
+        JobStatus.COMPLETED)}
+    assert completed_before           # resume has something to skip
+
+    launched = []
+    resumed = run_campaign(
+        [], tmp_path, campaign_id="chaos", resume=True, max_workers=2,
+        backoff_base=0.01, backoff_cap=0.05,
+        on_event=lambda job_id, message: launched.append(
+            (job_id, message)))
+    assert resumed.all_completed()
+    assert not resumed.interrupted
+
+    # COMPLETED jobs were skipped: no lifecycle events for them.
+    relaunched = {job_id for job_id, message in launched
+                  if "started" in message}
+    assert relaunched.isdisjoint(completed_before)
+
+    # Results byte-match the uninterrupted run with the same seed.
+    assert resumed.digests() == clean.digests()
+    for record in resumed.records():
+        a = (clean.directory / record.artifact).read_bytes()
+        b = (resumed.directory / record.artifact).read_bytes()
+        assert a == b
+
+
+def test_resume_after_external_sigkill_of_campaign(tmp_path):
+    """SIGKILL the whole campaign process mid-run (the way a real box
+    dies), then resume from the manifest it left behind."""
+    def drive(runs_dir):
+        run_campaign(_chaos_specs(), runs_dir, campaign_id="boxdeath",
+                     seed=0, max_workers=2)
+
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=drive, args=(tmp_path,))
+    process.start()
+    manifest_path = tmp_path / "boxdeath" / "manifest.json"
+    deadline = time.monotonic() + 30.0
+    # Wait until at least one job has COMPLETED, then pull the plug.
+    while time.monotonic() < deadline:
+        if manifest_path.exists():
+            try:
+                payload = json.loads(manifest_path.read_text())
+            except json.JSONDecodeError:   # mid-rename is impossible,
+                payload = {"jobs": {}}     # but stay paranoid
+            done = [job for job in payload.get("jobs", {}).values()
+                    if job["status"] == "COMPLETED"]
+            if done:
+                break
+        time.sleep(0.01)
+    else:
+        process.kill()
+        pytest.fail("campaign never completed a job")
+    os.kill(process.pid, signal.SIGKILL)
+    process.join(timeout=10.0)
+
+    loaded = RunManifest.load(tmp_path, "boxdeath")
+    assert not loaded.all_completed()
+    resumed = run_campaign([], tmp_path, campaign_id="boxdeath",
+                           resume=True, max_workers=2,
+                           backoff_base=0.01, backoff_cap=0.05)
+    assert resumed.all_completed()
+    # Digests match a clean reference run with the same seed.
+    reference = run_campaign(_chaos_specs(), tmp_path,
+                             campaign_id="boxdeath-ref", seed=0,
+                             max_workers=2)
+    assert resumed.digests() == reference.digests()
+
+
+def test_chaos_monkey_validation_and_determinism():
+    with pytest.raises(CampaignError):
+        ChaosMonkey(mode="set-fire-to-rack")
+    monkey = ChaosMonkey(kills=1, delay_s=0.0, seed=1)
+    assert not monkey.exhausted
+    assert monkey.maybe_kill([], campaign_age=1.0) is None
+
+
+# ----------------------------------------------------------------------
+# interpreter deadline guard (satellite: step/cycle budget)
+# ----------------------------------------------------------------------
+def _infinite_loop_state():
+    from repro.cpu import MachineState
+    from repro.isa import Assembler
+    from repro.memory import VirtualMemory
+
+    asm = Assembler(base=0x400000)
+    asm.emit("movi", "rcx", 1)
+    asm.label("loop")
+    asm.emit("test", "rcx", "rcx")
+    asm.emit("jne8", "loop")
+    asm.emit("hlt")
+    program = asm.assemble()
+    memory = VirtualMemory()
+    program.load_into(memory)
+    state = MachineState(memory, rip=program.entry)
+    state.setup_stack(0x7FFF0000)
+    return state
+
+
+def test_ambient_deadline_raises_simulation_timeout():
+    from repro.cpu import interpret
+    from repro.cpu.interp import set_ambient_deadline
+
+    set_ambient_deadline(time.monotonic() + 0.2)
+    try:
+        with pytest.raises(SimulationTimeout) as info:
+            interpret(_infinite_loop_state(), max_instructions=10**9)
+        assert info.value.deadline is True
+    finally:
+        set_ambient_deadline(None)
+
+
+def test_explicit_deadline_beats_instruction_budget():
+    from repro.cpu import interpret
+
+    with pytest.raises(SimulationTimeout) as info:
+        interpret(_infinite_loop_state(), max_instructions=10**9,
+                  deadline=time.monotonic() + 0.2)
+    assert info.value.deadline is True
+    assert info.value.executed > 0
+
+
+def test_instruction_budget_still_raises():
+    from repro.cpu import interpret
+
+    with pytest.raises(SimulationTimeout) as info:
+        interpret(_infinite_loop_state(), max_instructions=100)
+    assert info.value.deadline is False
+    assert info.value.budget == 100
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+def test_cli_campaign_fast_subset(tmp_path, capsys):
+    from repro.cli import main
+    code = main(["campaign", "--fast", "--seed", "0",
+                 "--only", "fig5,fig7",
+                 "--campaign-id", "cli-camp",
+                 "--runs-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 COMPLETED" in out
+    assert "manifest:" in out
+    manifest = RunManifest.load(tmp_path, "cli-camp")
+    assert manifest.all_completed()
+
+
+def test_cli_campaign_unknown_experiment(tmp_path, capsys):
+    from repro.cli import main
+    code = main(["campaign", "--only", "nope",
+                 "--runs-dir", str(tmp_path)])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,22 @@
+"""Perf-regression suite: simulator hot loops, fast path off vs on.
+
+Thin wrapper over :mod:`repro.perf.suite` (the implementation behind
+``repro bench``) so the suite lives alongside the other benchmarks and
+runs standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py [--quick] \
+        [--out BENCH_perf.json] [--compare BASELINE] [--profile PATH]
+
+Workloads: interp straight-line throughput, core loop throughput, GCD
+traversal end-to-end, and one full experiment (campaign unit of work).
+Each is timed with the decoded-window fast path forced off and on; the
+machine-independent speedup ratios are what the CI ``perf-smoke`` job
+gates on (see ``benchmarks/baselines/BENCH_perf_baseline.json``).
+"""
+
+import sys
+
+from repro.perf.suite import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,10 @@ Commands
     (:mod:`repro.runner`): subprocess-isolated workers, watchdog
     timeouts, retry with backoff, checkpointed ``--resume``, and a
     ``--chaos kill-worker`` failure drill.
+``bench``
+    Run the perf-regression suite (:mod:`repro.perf.suite`): times the
+    simulator hot loops with the decoded-window fast path off and on,
+    writes ``BENCH_perf.json``, and can gate against a baseline.
 
 ``--seed`` is the single reproducibility knob: it reaches every
 stochastic layer — RSA key generation, LBR timing noise, corpus
@@ -208,6 +212,24 @@ def main(argv=None) -> int:
     campaign.add_argument("--verbose", "-v", action="store_true",
                           help="print per-job lifecycle events")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf suite (fast path off vs on) and write "
+             "BENCH_perf.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced iteration counts (CI smoke)")
+    bench.add_argument("--out", default="BENCH_perf.json",
+                       help="report path (default: BENCH_perf.json)")
+    bench.add_argument("--profile", default=None, metavar="PATH",
+                       help="also cProfile the suite and dump pstats "
+                            "data to PATH")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff speedup ratios against a baseline "
+                            "report; non-zero exit on regression")
+    bench.add_argument("--threshold", type=float, default=None,
+                       help="allowed fractional speedup regression "
+                            "(default: 0.25)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -218,6 +240,21 @@ def main(argv=None) -> int:
         return _cmd_demo(args.seed)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "bench":
+        from .perf.suite import DEFAULT_THRESHOLD
+        from .perf.suite import main as bench_main
+        forwarded = []
+        if args.quick:
+            forwarded.append("--quick")
+        forwarded += ["--out", args.out]
+        if args.profile:
+            forwarded += ["--profile", args.profile]
+        if args.compare:
+            forwarded += ["--compare", args.compare]
+        threshold = (args.threshold if args.threshold is not None
+                     else DEFAULT_THRESHOLD)
+        forwarded += ["--threshold", str(threshold)]
+        return bench_main(forwarded)
     return 2                                      # pragma: no cover
 
 

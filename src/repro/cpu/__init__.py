@@ -10,6 +10,13 @@ from .config import (
     generation,
 )
 from .core import Core, RunResult, StopReason
+from .decoded import (
+    DecodedWindow,
+    build_window,
+    fast_path_enabled,
+    get_window,
+    set_fast_path,
+)
 from .fusion import can_fuse
 from .interp import InterpResult, InterpStop, interpret, run_function
 from .lbr import LBR, LbrRecord
@@ -23,7 +30,12 @@ __all__ = [
     "Core",
     "CpuGeneration",
     "DEFAULT_GENERATION",
+    "DecodedWindow",
     "GENERATIONS",
+    "build_window",
+    "fast_path_enabled",
+    "get_window",
+    "set_fast_path",
     "InterpResult",
     "InterpStop",
     "LBR",

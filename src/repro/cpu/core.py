@@ -40,17 +40,19 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import (
-    DecodeError,
     InvalidInstruction,
     PageFault,
     SimulationTimeout,
 )
-from ..isa.instructions import Instruction, Kind, SPECS_BY_OPCODE
+from ..isa.instructions import Instruction, Kind
 from ..memory.address import block_end
 from .btb import BTB, BTBEntry
 from .config import CpuGeneration, DEFAULT_GENERATION
+from .decoded import (EXTRA_ISSUE_COST, build_window, decode_at,
+                      fast_path_enabled)
 from .fusion import can_fuse
-from .interp import _check_deadline, _effective_deadline
+from .interp import (_DEADLINE_STRIDE, _check_deadline_now,
+                     _effective_deadline)
 from .lbr import LBR
 from .semantics import Outcome, execute
 from .state import MachineState
@@ -136,12 +138,10 @@ class Core:
                        seed=self.config.seed, rng=lbr_rng)
         self.cycles: float = 0.0
         self.total_retired: int = 0
-        #: extra issue cost for slow instructions, in cycles
-        self._extra_cost = {
-            "mul": 2.0, "imul": 2.0, "div": 20.0,
-            "load": 1.0, "loadw": 1.0, "store": 1.0, "storew": 1.0,
-            "syscall": 50.0, "lfence": 10.0,
-        }
+        #: extra issue cost for slow instructions, in cycles — shared
+        #: with the decoded-window builder so cached per-item costs
+        #: match the generic loop exactly.
+        self._extra_cost = dict(EXTRA_ISSUE_COST)
         self._issue_cost = 1.0 / self.config.issue_width
         self._enclave_mode = False
 
@@ -176,23 +176,13 @@ class Core:
         if cached is not None:
             # Permission check still applies on every fetch (controlled-
             # channel attacks depend on seeing every executed page).
+            # The oracle's ``interp._fetch`` deliberately skips this on
+            # hits — see its docstring.
             if memory.access_filter is not None:
                 memory.access_filter(pc, 1, "execute", memory.context)
             memory.page_table.check(pc, "execute")
             return cached  # type: ignore[return-value]
-        first = memory.read_bytes(pc, 1, access="execute")
-        spec = SPECS_BY_OPCODE.get(first[0])
-        if spec is None:
-            raise InvalidInstruction(
-                f"bad opcode {first[0]:#04x} at {pc:#x}")
-        blob = memory.read_bytes(pc, spec.length, access="execute")
-        try:
-            from ..isa.encoding import decode as _decode_bytes
-            instruction, length = _decode_bytes(blob, 0)
-        except DecodeError as error:
-            raise InvalidInstruction(str(error)) from error
-        memory.icache[pc] = (instruction, length)
-        return instruction, length
+        return decode_at(memory, pc)
 
     # ------------------------------------------------------------------
     # main run loop
@@ -242,12 +232,20 @@ class Core:
             )
 
         deadline = _effective_deadline(None)
+        memory = state.memory
+        window_cache = getattr(memory, "window_cache", None)
+        fast = fast_path_enabled() and window_cache is not None
+        issue_cost = self._issue_cost
+        fusion_enabled = self.config.fusion_enabled
+        next_deadline_check = _DEADLINE_STRIDE
         while True:
             if instructions >= guard:
                 raise SimulationTimeout(
                     f"{instructions} instructions without stopping",
                     budget=guard, executed=instructions)
-            _check_deadline(instructions, deadline)
+            if instructions >= next_deadline_check:
+                next_deadline_check = instructions + _DEADLINE_STRIDE
+                _check_deadline_now(instructions, deadline)
             pc = state.rip
             if pw is None:
                 self.cycles += self.config.fetch_cycles
@@ -262,6 +260,84 @@ class Core:
                 # Bundle ran to the 32-byte boundary: next PW.
                 pw = None
                 continue
+
+            # ----- decoded-window fast path ----------------------------
+            # Execute the window's cached straight-line prefix in one go
+            # when the prediction cannot interact with it: a BTB miss,
+            # or a predicted branch-end byte at/after the terminator
+            # region (``resume_pc``).  Predictions inside the prefix,
+            # access filters, control transfers and faults all use the
+            # generic loop below — the differential suite proves the two
+            # paths bit-identical on state, traces, cycles, BTB and LBR.
+            if fast and memory.access_filter is None:
+                window = window_cache.get(pc)
+                if (window is None
+                        or window.generation != memory.code_generation):
+                    window = build_window(memory, pc)
+                k = window.count
+                if k and (pw.pred_end is None
+                          or pw.pred_end >= window.resume_pc):
+                    if fusion_enabled and window.fuse_holdback:
+                        k -= 1
+                    if instructions + k > guard:
+                        k = guard - instructions
+                    if max_retired is not None and retired + k > max_retired:
+                        k = max_retired - retired
+                    if k > 0:
+                        try:
+                            # One execute check covers the whole prefix:
+                            # a 32-byte block never crosses a page, so
+                            # this equals the warm slow path's per-fetch
+                            # first-byte check.
+                            memory.page_table.check(pc, "execute")
+                        except PageFault as fault:
+                            return result(StopReason.PAGE_FAULT, fault)
+                        pcs = window.pcs
+                        thunks = window.thunks
+                        extras = window.extras
+                        cycles_now = self.cycles
+                        fault = None
+                        error = None
+                        i = 0
+                        try:
+                            if window.has_store:
+                                generation = window.generation
+                                while i < k:
+                                    thunks[i](state)
+                                    cycles_now += issue_cost + extras[i]
+                                    i += 1
+                                    if (memory.code_generation
+                                            != generation):
+                                        break   # self-modifying code
+                            else:
+                                while i < k:
+                                    thunks[i](state)
+                                    cycles_now += issue_cost + extras[i]
+                                    i += 1
+                        except PageFault as page_fault:
+                            fault = page_fault
+                        except BaseException as exc:
+                            error = exc
+                        self.cycles = cycles_now
+                        instructions += i
+                        retired += i
+                        self.total_retired += i
+                        if trace is not None:
+                            trace.extend(pcs[:i])
+                            unit_starts.extend(pcs[:i])
+                        if fault is not None:
+                            # The faulting instruction is not counted,
+                            # charged or traced; RIP points at it.
+                            state.rip = pcs[i]
+                            return result(StopReason.PAGE_FAULT, fault)
+                        if error is not None:
+                            state.rip = pcs[i]
+                            raise error
+                        state.rip = (pcs[i] if i < window.count
+                                     else window.resume_pc)
+                        if max_retired is not None and retired >= max_retired:
+                            return result(StopReason.RETIRE_LIMIT)
+                        continue
 
             try:
                 instruction, length = self._decode(state, pc)

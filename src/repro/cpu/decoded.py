@@ -1,0 +1,209 @@
+"""Decoded-window execution cache for the simulator hot loops.
+
+The paper's own prediction-window structure (§2.2: fetch bundles are
+confined to one 32-byte-aligned block) gives the simulator a natural
+decode-cache granularity.  A :class:`DecodedWindow` captures, for one
+window entry PC, the full straight-line decode up to the block boundary
+or the first control transfer: per-instruction compiled thunks
+(:func:`repro.cpu.semantics.compile_straightline`), issue-cost extras,
+and the fall-through layout.  Both execution engines use it:
+
+* :meth:`repro.cpu.core.Core.run` executes the cached window when the
+  BTB prediction cannot interact with it (no entry, or the predicted
+  branch-end byte lies at/after the window's terminator region) —
+  bit-identical cycle accounting, BTB, LBR and trace behaviour is
+  enforced by the differential suite in ``tests/test_fastpath_diff.py``;
+* :func:`repro.cpu.interpret` / :func:`repro.cpu.run_function` execute
+  it unconditionally (the oracle has no micro-architectural state).
+
+Cache key and invalidation
+--------------------------
+Windows are keyed by entry PC and stamped with the memory's
+``code_generation`` counter.  The counter bumps when
+
+* a write lands on a page that holds cached decodes
+  (``VirtualMemory.write_bytes`` — self-modifying code), or
+* a page is mapped or unmapped (``PageTable.epoch`` — page swaps).
+
+``set_perms`` deliberately does *not* bump it: decoded bytes are
+content, not permissions, and the controlled-channel attacker flips
+execute permission on every single step — thrashing the cache there
+would defeat the point.  Permissions are instead enforced live: the
+core fast path performs one execute check per window (equivalent to
+the warm slow path, because a 32-byte block never crosses a page), and
+the oracle skips checks exactly as its icache hit path always has.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DecodeError, InvalidInstruction, PageFault
+from ..isa.encoding import decode as decode_bytes
+from ..isa.instructions import Instruction, Kind, SPECS_BY_OPCODE
+from ..memory.address import block_end
+from .semantics import compile_straightline
+
+#: extra issue cost for slow instructions, in cycles — shared by
+#: :class:`repro.cpu.core.Core` and the window builder so cached
+#: per-item costs always match what the generic loop would charge.
+EXTRA_ISSUE_COST: Dict[str, float] = {
+    "mul": 2.0, "imul": 2.0, "div": 20.0,
+    "load": 1.0, "loadw": 1.0, "store": 1.0, "storew": 1.0,
+    "syscall": 50.0, "lfence": 10.0,
+}
+
+#: mnemonics that can modify memory — windows containing one re-check
+#: the code generation after every item so self-modifying code bails
+#: out mid-window instead of running stale decodes.
+_MEM_WRITERS = frozenset({"store", "storew", "push"})
+
+_ENABLED = os.environ.get("NV_FAST_PATH", "1").strip().lower() not in (
+    "0", "false", "off", "no")
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Globally enable/disable the fast path; returns the previous
+    setting (so tests and benchmarks can restore it)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def fast_path_enabled() -> bool:
+    """Is the decoded-window fast path currently enabled?
+
+    Defaults to on; ``NV_FAST_PATH=0`` in the environment or
+    :func:`set_fast_path` turn it off (the slow path is the reference
+    the differential tests compare against).
+    """
+    return _ENABLED
+
+
+def decode_at(memory, pc: int) -> Tuple[Instruction, int]:
+    """Decode the instruction at ``pc`` and fill the icache.
+
+    The shared miss path of ``interp._fetch`` and ``Core._decode``:
+    execute-permission-checked fetch, opcode validation, decode, icache
+    insert.  Raises :class:`InvalidInstruction` for junk bytes (decode
+    failures included) and lets :class:`PageFault` propagate.
+    """
+    first = memory.read_bytes(pc, 1, access="execute")
+    spec = SPECS_BY_OPCODE.get(first[0])
+    if spec is None:
+        raise InvalidInstruction(f"bad opcode {first[0]:#04x} at {pc:#x}")
+    blob = memory.read_bytes(pc, spec.length, access="execute")
+    try:
+        instruction, length = decode_bytes(blob, 0)
+    except DecodeError as error:
+        raise InvalidInstruction(str(error)) from error
+    memory.icache[pc] = (instruction, length)
+    return instruction, length
+
+
+class DecodedWindow:
+    """The cached straight-line decode of one prediction window."""
+
+    __slots__ = ("entry_pc", "generation", "limit", "pcs", "instructions",
+                 "thunks", "extras", "count", "resume_pc", "has_store",
+                 "fuse_holdback", "terminator", "decode_error")
+
+    def __init__(self, entry_pc: int, generation: int, limit: int,
+                 pcs: List[int], instructions: List[Instruction],
+                 thunks: list, extras: List[float], resume_pc: int,
+                 has_store: bool, terminator: Optional[Instruction],
+                 decode_error: bool):
+        self.entry_pc = entry_pc
+        self.generation = generation
+        self.limit = limit
+        self.pcs = pcs
+        self.instructions = instructions
+        self.thunks = thunks
+        self.extras = extras
+        self.count = len(pcs)
+        #: PC of the first instruction the generic loop must handle:
+        #: the terminator, the undecodable byte, or the fall-through
+        #: into the next block.
+        self.resume_pc = resume_pc
+        self.has_store = has_store
+        self.terminator = terminator
+        self.decode_error = decode_error
+        #: leave the last item to the generic loop when it could
+        #: macro-fuse with what follows: a Jcc terminator, or an
+        #: unknown successor (window ran to the boundary / stopped on
+        #: a decode error).  Fusion retires the pair as one unit, which
+        #: the straight-line loop cannot model.
+        self.fuse_holdback = bool(
+            instructions and instructions[-1].spec.fusible
+            and (terminator is None
+                 or terminator.spec.kind is Kind.COND_JUMP))
+
+    def __repr__(self) -> str:                     # pragma: no cover
+        return (f"DecodedWindow({self.entry_pc:#x}, n={self.count}, "
+                f"resume={self.resume_pc:#x}, gen={self.generation})")
+
+
+def build_window(memory, entry_pc: int) -> DecodedWindow:
+    """Decode the window starting at ``entry_pc`` and cache it.
+
+    Decoding stops at the 32-byte block boundary, at the first
+    non-sequential instruction (the window terminator: control
+    transfer, ``syscall`` or ``hlt``), or at an undecodable/unfetchable
+    byte — the latter is *not* an error here; the generic loop
+    reproduces the fault at ``resume_pc``.  Empty error windows are not
+    cached so a transient fault (e.g. execute permission revoked during
+    a controlled-channel probe) does not stick.
+    """
+    generation = memory.code_generation
+    limit = block_end(entry_pc)
+    icache = memory.icache
+    pcs: List[int] = []
+    instructions: List[Instruction] = []
+    thunks: list = []
+    extras: List[float] = []
+    has_store = False
+    terminator: Optional[Instruction] = None
+    decode_error = False
+    pc = entry_pc
+    while pc < limit:
+        cached = icache.get(pc)
+        try:
+            instruction, length = (cached if cached is not None
+                                   else decode_at(memory, pc))
+        except (PageFault, InvalidInstruction):
+            decode_error = True
+            break
+        if instruction.spec.kind is not Kind.SEQUENTIAL:
+            terminator = instruction
+            break
+        pcs.append(pc)
+        instructions.append(instruction)
+        thunks.append(compile_straightline(instruction, pc))
+        extras.append(EXTRA_ISSUE_COST.get(instruction.spec.mnemonic, 0.0))
+        if instruction.spec.mnemonic in _MEM_WRITERS:
+            has_store = True
+        pc += length
+    window = DecodedWindow(entry_pc, generation, limit, pcs, instructions,
+                           thunks, extras, pc, has_store, terminator,
+                           decode_error)
+    cache = getattr(memory, "window_cache", None)
+    if cache is not None and not (decode_error and not pcs):
+        cache[entry_pc] = window
+    return window
+
+
+def get_window(memory, pc: int) -> Optional[DecodedWindow]:
+    """Current-generation window for ``pc``, building it on demand.
+
+    Returns ``None`` when ``memory`` has no window cache (exotic
+    memory wrappers like the speculative store-buffer overlay).
+    """
+    cache = getattr(memory, "window_cache", None)
+    if cache is None:
+        return None
+    window = cache.get(pc)
+    if window is not None and window.generation == memory.code_generation:
+        return window
+    return build_window(memory, pc)

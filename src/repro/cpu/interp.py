@@ -17,9 +17,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from ..errors import InvalidInstruction, PageFault, SimulationTimeout
-from ..isa.encoding import decode as decode_bytes
-from ..isa.instructions import Instruction, SPECS_BY_OPCODE
+from ..errors import SimulationTimeout
+from ..isa.instructions import Instruction
+from .decoded import build_window, decode_at, fast_path_enabled
 from .semantics import execute
 from .state import MachineState
 
@@ -51,8 +51,24 @@ def _effective_deadline(deadline: Optional[float]) -> Optional[float]:
 
 
 def _check_deadline(count: int, deadline: Optional[float]) -> None:
-    if (deadline is not None and count % _DEADLINE_STRIDE == 0
+    # ``count`` must be non-zero: instruction 0 of every run used to
+    # pay a pointless ``time.monotonic`` call here.
+    if (deadline is not None and count and count % _DEADLINE_STRIDE == 0
             and time.monotonic() > deadline):
+        raise SimulationTimeout(
+            f"wall-clock deadline expired after {count} instructions",
+            executed=count, deadline=True)
+
+
+def _check_deadline_now(count: int, deadline: Optional[float]) -> None:
+    """Unconditional deadline check, for threshold-strided loops.
+
+    The run loops track ``next_deadline_check = count + stride``
+    instead of testing ``count % stride`` — the decoded-window fast
+    path advances ``count`` by whole windows, which would hop over
+    exact multiples of the stride.
+    """
+    if deadline is not None and time.monotonic() > deadline:
         raise SimulationTimeout(
             f"wall-clock deadline expired after {count} instructions",
             executed=count, deadline=True)
@@ -76,18 +92,19 @@ class InterpResult:
 
 
 def _fetch(state: MachineState, pc: int) -> Tuple[Instruction, int]:
-    memory = state.memory
-    cached = memory.icache.get(pc)
+    """Oracle fetch: icache hits skip *all* permission checks.
+
+    This asymmetry with ``Core._decode`` (which re-checks execute
+    permission on every fetch) is intentional: the oracle produces
+    ground-truth traces and must not observe the supervisor attacker's
+    controlled-channel permission flips.  The miss path — shared with
+    the core via :func:`repro.cpu.decoded.decode_at` — does check,
+    exactly as it always has.
+    """
+    cached = state.memory.icache.get(pc)
     if cached is not None:
         return cached  # type: ignore[return-value]
-    first = memory.read_bytes(pc, 1, access="execute")
-    spec = SPECS_BY_OPCODE.get(first[0])
-    if spec is None:
-        raise InvalidInstruction(f"bad opcode {first[0]:#04x} at {pc:#x}")
-    blob = memory.read_bytes(pc, spec.length, access="execute")
-    instruction, length = decode_bytes(blob, 0)
-    memory.icache[pc] = (instruction, length)
-    return instruction, length
+    return decode_at(state.memory, pc)
 
 
 def interpret(state: MachineState, *,
@@ -104,12 +121,57 @@ def interpret(state: MachineState, *,
     deadline installed by :func:`set_ambient_deadline` applies.
     """
     deadline = _effective_deadline(deadline)
+    memory = state.memory
+    window_cache = getattr(memory, "window_cache", None)
+    fast = fast_path_enabled() and window_cache is not None
     trace: List[int] = []
     branch_events: List[Tuple[int, bool]] = []
     count = 0
+    next_deadline_check = _DEADLINE_STRIDE
     while count < max_instructions:
-        _check_deadline(count, deadline)
+        if count >= next_deadline_check:
+            next_deadline_check = count + _DEADLINE_STRIDE
+            _check_deadline_now(count, deadline)
         pc = state.rip
+        if fast:
+            window = window_cache.get(pc)
+            if (window is None
+                    or window.generation != memory.code_generation):
+                window = build_window(memory, pc)
+            k = window.count
+            if k:
+                if count + k > max_instructions:
+                    k = max_instructions - count
+                pcs = window.pcs
+                thunks = window.thunks
+                i = 0
+                try:
+                    if window.has_store:
+                        generation = window.generation
+                        while i < k:
+                            thunks[i](state)
+                            i += 1
+                            if memory.code_generation != generation:
+                                break       # self-modifying: re-decode
+                    else:
+                        while i < k:
+                            thunks[i](state)
+                            i += 1
+                except BaseException:
+                    # Same observable state as the slow path: the
+                    # faulting instruction is not counted or traced and
+                    # RIP points at it.
+                    count += i
+                    if collect_trace:
+                        trace.extend(pcs[:i])
+                    state.rip = pcs[i]
+                    raise
+                count += i
+                if collect_trace:
+                    trace.extend(pcs[:i])
+                state.rip = (pcs[i] if i < window.count
+                             else window.resume_pc)
+                continue
         instruction, _ = _fetch(state, pc)
         outcome = execute(state, instruction, pc)
         count += 1
@@ -156,15 +218,57 @@ def run_function(state: MachineState, entry: int, *,
     state.push(sentinel)
     state.rip = entry
 
+    memory = state.memory
+    window_cache = getattr(memory, "window_cache", None)
+    fast = fast_path_enabled() and window_cache is not None
     trace: List[int] = []
     branch_events: List[Tuple[int, bool]] = []
     count = 0
+    next_deadline_check = _DEADLINE_STRIDE
     while count < max_instructions:
-        _check_deadline(count, deadline)
+        if count >= next_deadline_check:
+            next_deadline_check = count + _DEADLINE_STRIDE
+            _check_deadline_now(count, deadline)
         pc = state.rip
         if pc == sentinel:
             return InterpResult(InterpStop.RETURNED, count, trace,
                                 branch_events)
+        if fast:
+            window = window_cache.get(pc)
+            if (window is None
+                    or window.generation != memory.code_generation):
+                window = build_window(memory, pc)
+            k = window.count
+            if k:
+                if count + k > max_instructions:
+                    k = max_instructions - count
+                pcs = window.pcs
+                thunks = window.thunks
+                i = 0
+                try:
+                    if window.has_store:
+                        generation = window.generation
+                        while i < k:
+                            thunks[i](state)
+                            i += 1
+                            if memory.code_generation != generation:
+                                break       # self-modifying: re-decode
+                    else:
+                        while i < k:
+                            thunks[i](state)
+                            i += 1
+                except BaseException:
+                    count += i
+                    if collect_trace:
+                        trace.extend(pcs[:i])
+                    state.rip = pcs[i]
+                    raise
+                count += i
+                if collect_trace:
+                    trace.extend(pcs[:i])
+                state.rip = (pcs[i] if i < window.count
+                             else window.resume_pc)
+                continue
         instruction, _ = _fetch(state, pc)
         outcome = execute(state, instruction, pc)
         count += 1

@@ -448,3 +448,442 @@ def execute(state: MachineState, instruction: Instruction,
 def covered_mnemonics() -> frozenset:
     """The set of mnemonics with semantics (for exhaustiveness tests)."""
     return frozenset(_HANDLERS)
+
+
+# ======================================================================
+# straight-line thunk compilers (decoded-window fast path)
+# ======================================================================
+# :func:`compile_straightline` specialises one *sequential* instruction
+# into a bare ``state -> None`` callable with its operands, condition
+# code and immediates bound at compile time, so the decoded-window fast
+# path (:mod:`repro.cpu.decoded`) executes cached code without the
+# per-instruction mnemonic lookup, operand unpacking and
+# :class:`Outcome` allocation of :func:`execute`.
+#
+# Every compiler below MUST be architecturally identical to the handler
+# of the same mnemonic (same flag math — the helpers ``_add``/``_sub``/
+# ``_logic`` are shared on purpose — same masking, same trap behaviour).
+# The differential suite in ``tests/test_fastpath_diff.py`` enforces
+# this for the whole victim corpus; any mnemonic without a compiler
+# transparently falls back to its generic handler.
+
+ThunkCompiler = Callable[[Instruction, int], Callable[[MachineState], None]]
+
+_COMPILERS: Dict[str, ThunkCompiler] = {}
+
+
+def _compiler(*mnemonics: str):
+    def wrap(function: ThunkCompiler) -> ThunkCompiler:
+        for mnemonic in mnemonics:
+            _COMPILERS[mnemonic] = function
+        return function
+    return wrap
+
+
+@_compiler("nop", "lfence")
+def _c_nop(inst, pc):
+    def thunk(state):
+        return None
+    return thunk
+
+
+@_compiler("cmc")
+def _c_cmc(inst, pc):
+    def thunk(state):
+        flags = state.regs.flags
+        flags.cf = not flags.cf
+    return thunk
+
+
+@_compiler("mov")
+def _c_mov(inst, pc):
+    dst, src = inst.operands
+
+    def thunk(state):
+        values = state.regs._values
+        values[dst] = values[src]
+    return thunk
+
+
+@_compiler("xchg")
+def _c_xchg(inst, pc):
+    dst, src = inst.operands
+
+    def thunk(state):
+        values = state.regs._values
+        values[dst], values[src] = values[src], values[dst]
+    return thunk
+
+
+@_compiler("movi", "movabs")
+def _c_movi(inst, pc):
+    dst, imm = inst.operands
+    imm &= MASK64
+
+    def thunk(state):
+        state.regs._values[dst] = imm
+    return thunk
+
+
+@_compiler("load", "loadw")
+def _c_load(inst, pc):
+    dst, base, disp = inst.operands
+
+    def thunk(state):
+        values = state.regs._values
+        values[dst] = state.memory.read_u64((values[base] + disp) & MASK64)
+    return thunk
+
+
+@_compiler("store", "storew")
+def _c_store(inst, pc):
+    base, src, disp = inst.operands
+
+    def thunk(state):
+        values = state.regs._values
+        state.memory.write_u64((values[base] + disp) & MASK64, values[src])
+    return thunk
+
+
+@_compiler("lea")
+def _c_lea(inst, pc):
+    dst, base, disp = inst.operands
+
+    def thunk(state):
+        values = state.regs._values
+        values[dst] = (values[base] + disp) & MASK64
+    return thunk
+
+
+@_compiler("push")
+def _c_push(inst, pc):
+    src = inst.operands[0]
+
+    def thunk(state):
+        state.push(state.regs._values[src])
+    return thunk
+
+
+@_compiler("pop")
+def _c_pop(inst, pc):
+    dst = inst.operands[0]
+
+    def thunk(state):
+        state.regs._values[dst] = state.pop()
+    return thunk
+
+
+def _c_alu_rr(op):
+    """Compiler for reg,reg ALU ops writing their result."""
+    def compiler(inst, pc):
+        dst, src = inst.operands
+
+        def thunk(state):
+            regs = state.regs
+            values = regs._values
+            values[dst] = op(regs.flags, values[dst], values[src])
+        return thunk
+    return compiler
+
+
+def _c_alu_ri(op):
+    """Compiler for reg,imm ALU ops writing their result."""
+    def compiler(inst, pc):
+        dst, imm = inst.operands
+        imm &= MASK64
+
+        def thunk(state):
+            regs = state.regs
+            values = regs._values
+            values[dst] = op(regs.flags, values[dst], imm)
+        return thunk
+    return compiler
+
+
+_COMPILERS["add"] = _c_alu_rr(_add)
+_COMPILERS["sub"] = _c_alu_rr(_sub)
+_COMPILERS["adc"] = _c_alu_rr(lambda f, a, b: _add(f, a, b, int(f.cf)))
+_COMPILERS["sbb"] = _c_alu_rr(lambda f, a, b: _sub(f, a, b, int(f.cf)))
+_COMPILERS["and"] = _c_alu_rr(lambda f, a, b: _logic(f, a & b))
+_COMPILERS["or"] = _c_alu_rr(lambda f, a, b: _logic(f, a | b))
+_COMPILERS["xor"] = _c_alu_rr(lambda f, a, b: _logic(f, a ^ b))
+
+for _name in ("addi", "addi8"):
+    _COMPILERS[_name] = _c_alu_ri(_add)
+for _name in ("subi", "subi8"):
+    _COMPILERS[_name] = _c_alu_ri(_sub)
+for _name in ("andi", "andi8"):
+    _COMPILERS[_name] = _c_alu_ri(lambda f, a, b: _logic(f, a & b))
+for _name in ("ori", "ori8"):
+    _COMPILERS[_name] = _c_alu_ri(lambda f, a, b: _logic(f, a | b))
+for _name in ("xori", "xori8"):
+    _COMPILERS[_name] = _c_alu_ri(lambda f, a, b: _logic(f, a ^ b))
+del _name
+
+
+@_compiler("cmp")
+def _c_cmp(inst, pc):
+    dst, src = inst.operands
+
+    def thunk(state):
+        regs = state.regs
+        values = regs._values
+        _sub(regs.flags, values[dst], values[src])
+    return thunk
+
+
+@_compiler("test")
+def _c_test(inst, pc):
+    dst, src = inst.operands
+
+    def thunk(state):
+        regs = state.regs
+        values = regs._values
+        _logic(regs.flags, values[dst] & values[src])
+    return thunk
+
+
+@_compiler("cmpi", "cmpi8")
+def _c_cmpi(inst, pc):
+    dst, imm = inst.operands
+    imm &= MASK64
+
+    def thunk(state):
+        regs = state.regs
+        _sub(regs.flags, regs._values[dst], imm)
+    return thunk
+
+
+@_compiler("testi")
+def _c_testi(inst, pc):
+    dst, imm = inst.operands
+    imm &= MASK64
+
+    def thunk(state):
+        regs = state.regs
+        _logic(regs.flags, regs._values[dst] & imm)
+    return thunk
+
+
+@_compiler("inc")
+def _c_inc(inst, pc):
+    dst = inst.operands[0]
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        carry = flags.cf                  # inc preserves CF
+        result = _add(flags, values[dst], 1)
+        flags.cf = carry
+        values[dst] = result
+    return thunk
+
+
+@_compiler("dec")
+def _c_dec(inst, pc):
+    dst = inst.operands[0]
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        carry = flags.cf                  # dec preserves CF
+        result = _sub(flags, values[dst], 1)
+        flags.cf = carry
+        values[dst] = result
+    return thunk
+
+
+@_compiler("neg")
+def _c_neg(inst, pc):
+    dst = inst.operands[0]
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        value = values[dst]
+        result = _sub(flags, 0, value)
+        flags.cf = value != 0
+        values[dst] = result
+    return thunk
+
+
+@_compiler("not")
+def _c_not(inst, pc):
+    dst = inst.operands[0]
+
+    def thunk(state):
+        values = state.regs._values
+        values[dst] = ~values[dst] & MASK64
+    return thunk
+
+
+@_compiler("shl")
+def _c_shl(inst, pc):
+    dst, imm = inst.operands
+    count = imm & 63
+    if count == 0:
+        def thunk(state):
+            return None
+        return thunk
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        value = values[dst]
+        flags.cf = bool((value >> (64 - count)) & 1)
+        value = (value << count) & MASK64
+        flags.of = False
+        _set_zs(flags, value)
+        values[dst] = value
+    return thunk
+
+
+@_compiler("shr")
+def _c_shr(inst, pc):
+    dst, imm = inst.operands
+    count = imm & 63
+    if count == 0:
+        def thunk(state):
+            return None
+        return thunk
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        value = values[dst]
+        flags.cf = bool((value >> (count - 1)) & 1)
+        value >>= count
+        flags.of = False
+        _set_zs(flags, value)
+        values[dst] = value
+    return thunk
+
+
+@_compiler("sar")
+def _c_sar(inst, pc):
+    dst, imm = inst.operands
+    count = imm & 63
+    if count == 0:
+        def thunk(state):
+            return None
+        return thunk
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        value = values[dst]
+        signed = to_signed(value)
+        flags.cf = bool((value >> (count - 1)) & 1)
+        value = (signed >> count) & MASK64
+        flags.of = False
+        _set_zs(flags, value)
+        values[dst] = value
+    return thunk
+
+
+@_compiler("imul")
+def _c_imul(inst, pc):
+    dst, src = inst.operands
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        product = to_signed(values[dst]) * to_signed(values[src])
+        result = product & MASK64
+        overflow = to_signed(result) != product
+        flags.cf = overflow
+        flags.of = overflow
+        _set_zs(flags, result)
+        values[dst] = result
+    return thunk
+
+
+@_compiler("mul")
+def _c_mul(inst, pc):
+    src = inst.operands[0]
+
+    def thunk(state):
+        flags = state.regs.flags
+        values = state.regs._values
+        product = values[0] * values[src]     # rax * src
+        low = product & MASK64
+        high = (product >> 64) & MASK64
+        values[0] = low                       # rax
+        values[2] = high                      # rdx
+        flags.cf = high != 0
+        flags.of = high != 0
+        _set_zs(flags, low)
+    return thunk
+
+
+@_compiler("div")
+def _c_div(inst, pc):
+    src = inst.operands[0]
+
+    def thunk(state):
+        values = state.regs._values
+        divisor = values[src]
+        if divisor == 0:
+            raise DivideError(f"divide by zero at {pc:#x}")
+        numerator = (values[2] << 64) | values[0]
+        quotient = numerator // divisor
+        if quotient > MASK64:
+            raise DivideError(f"divide overflow at {pc:#x}")
+        values[0] = quotient
+        values[2] = numerator % divisor
+    return thunk
+
+
+def _c_cmov(inst, pc):
+    dst, src = inst.operands
+    cond = inst.spec.cond
+
+    def thunk(state):
+        regs = state.regs
+        if evaluate_cond(cond, regs.flags):
+            values = regs._values
+            values[dst] = values[src]
+    return thunk
+
+
+def _c_set(inst, pc):
+    dst = inst.operands[0]
+    cond = inst.spec.cond
+
+    def thunk(state):
+        regs = state.regs
+        regs._values[dst] = 1 if evaluate_cond(cond, regs.flags) else 0
+    return thunk
+
+
+def _register_conditional_compilers() -> None:
+    from ..isa.instructions import COND_NAMES, Cond
+    for cond in Cond:
+        name = COND_NAMES[cond]
+        _COMPILERS[f"cmov{name}"] = _c_cmov
+        _COMPILERS[f"set{name}"] = _c_set
+
+
+_register_conditional_compilers()
+
+
+def _c_generic(instruction: Instruction, pc: int):
+    """Fallback thunk: the generic handler, Outcome discarded."""
+    handler = _HANDLERS[instruction.mnemonic]
+
+    def thunk(state):
+        handler(state, instruction, pc)
+    return thunk
+
+
+def compile_straightline(instruction: Instruction,
+                         pc: int) -> Callable[[MachineState], None]:
+    """Compile one *sequential* instruction into a specialised thunk.
+
+    The caller (the decoded-window builder) guarantees
+    ``instruction.kind is Kind.SEQUENTIAL``; control transfers,
+    ``syscall`` and ``hlt`` terminate windows and always go through
+    :func:`execute`.
+    """
+    compiler = _COMPILERS.get(instruction.mnemonic, _c_generic)
+    return compiler(instruction, pc)

@@ -23,6 +23,37 @@ from .paging import PageEntry, PageTable
 AccessFilter = Callable[[int, int, str, Optional[object]], None]
 
 
+class DecodeCache(dict):
+    """The icache dict, plus a registry of pages holding cached decodes.
+
+    ``code_pages`` lets :meth:`VirtualMemory.write_bytes` decide in O(1)
+    whether a write can possibly invalidate cached code — data stores
+    skip the invalidation sweep entirely, and only genuinely
+    code-modifying writes bump the code generation counter that keys
+    the decoded-window cache (:mod:`repro.cpu.decoded`).
+    """
+
+    __slots__ = ("code_pages",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.code_pages: set = set()
+        for pc, value in self.items():
+            self._register(pc, value)
+
+    def _register(self, pc: int, value) -> None:
+        self.code_pages.add(pc >> PAGE_SHIFT)
+        try:
+            last_byte = pc + value[1] - 1     # value = (instr, length)
+        except (TypeError, IndexError, KeyError):
+            last_byte = pc
+        self.code_pages.add(last_byte >> PAGE_SHIFT)
+
+    def __setitem__(self, pc, value) -> None:
+        self._register(pc, value)
+        dict.__setitem__(self, pc, value)
+
+
 class VirtualMemory:
     """A 64-bit sparse byte-addressable address space."""
 
@@ -31,11 +62,30 @@ class VirtualMemory:
         self.page_table = page_table if page_table is not None else PageTable()
         #: decoded-instruction cache: address -> (Instruction, length).
         #: Maintained by the CPU front end; writes invalidate it.
-        self.icache: Dict[int, object] = {}
+        self.icache: DecodeCache = DecodeCache()
+        #: decoded-window cache: entry PC -> DecodedWindow (see
+        #: :mod:`repro.cpu.decoded`); invalidated by generation compare.
+        self.window_cache: Dict[int, object] = {}
+        #: bumped whenever a write lands on a page holding cached
+        #: decodes (one half of :attr:`code_generation`).
+        self._write_epoch = 0
         self.access_filter: Optional[AccessFilter] = None
         #: Current execution context (e.g. an Enclave object) used by
         #: the access filter; ``None`` means normal/untrusted mode.
         self.context: Optional[object] = None
+
+    @property
+    def code_generation(self) -> int:
+        """Monotonic counter identifying the current code contents.
+
+        Changes when executable bytes may have changed: writes
+        overlapping pages with cached decodes, and page map/unmap
+        (page swaps).  Permission changes do *not* affect it — decoded
+        bytes are content, and permissions are enforced at execution
+        time (``set_perms`` is the controlled-channel attacker's
+        per-single-step tool; bumping here would thrash the cache).
+        """
+        return self._write_epoch + self.page_table.epoch
 
     # ------------------------------------------------------------------
     # mapping helpers
@@ -99,11 +149,19 @@ class VirtualMemory:
         if not data:
             return
         self._check(address, len(data), "write", check)
-        if self.icache:
-            # Invalidate any cached decode overlapping the written range
-            # (instructions are at most 10 bytes long).
-            for stale in range(address - 9, address + len(data)):
-                self.icache.pop(stale, None)
+        icache = self.icache
+        if icache.code_pages:
+            first = (address - 9) >> PAGE_SHIFT
+            last = (address + len(data) - 1) >> PAGE_SHIFT
+            if any(vpn in icache.code_pages
+                   for vpn in range(first, last + 1)):
+                # The write may hit cached code: invalidate any decode
+                # overlapping the written range (instructions are at
+                # most 10 bytes long) and retire the code generation so
+                # decoded windows re-verify (self-modifying code).
+                self._write_epoch += 1
+                for stale in range(address - 9, address + len(data)):
+                    icache.pop(stale, None)
         cursor = address
         view = memoryview(data)
         while view:

@@ -46,15 +46,24 @@ class PageTable:
 
     def __init__(self) -> None:
         self._entries: Dict[int, PageEntry] = {}
+        #: bumped on map/unmap: remapping changes what bytes live at an
+        #: address, so cached decodes keyed on the code generation
+        #: (:mod:`repro.cpu.decoded`) must re-verify.  ``set_perms``
+        #: deliberately leaves it alone — permissions are enforced at
+        #: execution time, and the controlled-channel attacker flips
+        #: them on every single step.
+        self.epoch = 0
 
     def map_page(self, vpn: int, perms: str = "rw") -> PageEntry:
         readable, writable, executable = _parse_perms(perms)
         entry = PageEntry(readable, writable, executable)
         self._entries[vpn] = entry
+        self.epoch += 1
         return entry
 
     def unmap_page(self, vpn: int) -> None:
-        self._entries.pop(vpn, None)
+        if self._entries.pop(vpn, None) is not None:
+            self.epoch += 1
 
     def entry(self, vpn: int) -> Optional[PageEntry]:
         return self._entries.get(vpn)

@@ -1,0 +1,20 @@
+"""Performance measurement layer for the simulator.
+
+:mod:`repro.perf.suite` is the microbenchmark suite behind
+``repro bench`` and ``benchmarks/bench_perf_suite.py``: it times the
+two execution engines with the decoded-window fast path forced off and
+on, records absolute throughput plus the machine-independent speedup
+ratios in ``BENCH_perf.json``, and can diff a run against a committed
+baseline (the CI ``perf-smoke`` job's regression gate).
+"""
+
+from .suite import (BenchResult, compare_to_baseline, run_suite,
+                    main, write_report)
+
+__all__ = [
+    "BenchResult",
+    "compare_to_baseline",
+    "main",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,326 @@
+"""Perf-regression microbenchmark suite (``repro bench``).
+
+Four workloads cover the simulator's hot loops:
+
+* ``interp_straightline`` — the functional oracle on a long
+  straight-line ALU loop (the decoded-window fast path's best case);
+* ``core_loop`` — the cycle-accounted core on the same kind of loop
+  (fast path plus full BTB/LBR/fusion machinery);
+* ``core_traversal_e2e`` — a complete GCD-victim run through
+  ``Core.run`` with trace collection, the paper's Figure 10/12 shape;
+* ``campaign_smoke`` — one registered experiment end-to-end
+  (``fig2``), i.e. the unit of work campaigns multiply.
+
+Each workload runs twice per round — decoded-window fast path forced
+*off*, then forced *on* — so every report carries its own control.
+The **speedup ratio** (fast over slow, same machine, same process) is
+the number the CI gate enforces: absolute instructions/second vary
+with hardware, ratios do not.
+
+``run_suite`` returns a JSON-ready payload; ``write_report`` persists
+it through the crash-safe atomic writer; ``compare_to_baseline``
+implements the regression gate used by the ``perf-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cpu import Core, MachineState, StopReason, interpret, set_fast_path
+from ..cpu.config import DEFAULT_GENERATION
+from ..isa.assembler import Assembler
+from ..memory.memory import VirtualMemory
+
+#: bump when the payload layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: default regression threshold for baseline comparison (25%)
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass
+class BenchResult:
+    """One workload's paired (slow, fast) measurement."""
+
+    name: str
+    unit: str                 # what ``work`` counts
+    work: int                 # work items per measured run
+    slow_seconds: float
+    fast_seconds: float
+
+    @property
+    def slow_rate(self) -> float:
+        return self.work / self.slow_seconds if self.slow_seconds else 0.0
+
+    @property
+    def fast_rate(self) -> float:
+        return self.work / self.fast_seconds if self.fast_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return (self.slow_seconds / self.fast_seconds
+                if self.fast_seconds else 0.0)
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "unit": self.unit,
+            "work": self.work,
+            "slow_seconds": round(self.slow_seconds, 6),
+            "fast_seconds": round(self.fast_seconds, 6),
+            "slow_rate": round(self.slow_rate, 1),
+            "fast_rate": round(self.fast_rate, 1),
+            "speedup": round(self.speedup, 3),
+        }
+
+
+def _measure(workload: Callable[[], int], *,
+             rounds: int) -> Tuple[int, float, float]:
+    """Best-of-``rounds`` timing of ``workload`` with the fast path
+    forced off, then on.  Returns (work, slow_s, fast_s)."""
+    work = 0
+    slow_s = float("inf")
+    fast_s = float("inf")
+    for enabled, attr in ((False, "slow"), (True, "fast")):
+        previous = set_fast_path(enabled)
+        try:
+            for _ in range(rounds):
+                started = time.perf_counter()
+                work = workload()
+                elapsed = time.perf_counter() - started
+                if attr == "slow":
+                    slow_s = min(slow_s, elapsed)
+                else:
+                    fast_s = min(fast_s, elapsed)
+        finally:
+            set_fast_path(previous)
+    return work, slow_s, fast_s
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def _straightline_program(iterations: int):
+    """A loop whose body is a long run of sequential ALU/mem work —
+    several full 32-byte windows between conditional branches."""
+    asm = Assembler(base=0x0040_1000)
+    asm.emit("movi", "rcx", iterations)
+    asm.emit("movi", "rax", 0)
+    asm.emit("movi", "rsi", 0x0090_0000)
+    asm.label("loop")
+    for _ in range(4):
+        asm.emit("addi8", "rax", 7)
+        asm.emit("xor", "rdx", "rdx")
+        asm.emit("add", "rdx", "rax")
+        asm.emit("shl", "rdx", 1)
+        asm.emit("sub", "rdx", "rax")
+        asm.emit("store", "rsi", "rdx", 0)
+        asm.emit("load", "rbx", "rsi", 0)
+        asm.emit("subi8", "rax", 3)
+    asm.emit("dec", "rcx")
+    asm.emit("jne8", "loop")
+    asm.emit("hlt")
+    return asm.assemble()
+
+
+def _fresh_state(program) -> MachineState:
+    memory = VirtualMemory()
+    program.load_into(memory)
+    memory.map_range(0x0090_0000, 4096, "rw")
+    state = MachineState(memory, rip=program.entry)
+    state.setup_stack(0x7FFF_0000)
+    return state
+
+
+def _bench_interp_straightline(quick: bool) -> BenchResult:
+    program = _straightline_program(4_000 if quick else 20_000)
+
+    def workload() -> int:
+        state = _fresh_state(program)
+        result = interpret(state, collect_trace=False,
+                           max_instructions=50_000_000)
+        return result.instructions
+
+    work, slow_s, fast_s = _measure(workload, rounds=1 if quick else 2)
+    return BenchResult("interp_straightline", "instructions", work,
+                       slow_s, fast_s)
+
+
+def _bench_core_loop(quick: bool) -> BenchResult:
+    program = _straightline_program(1_000 if quick else 5_000)
+
+    def workload() -> int:
+        state = _fresh_state(program)
+        core = Core()
+        result = core.run(state)
+        return result.instructions
+
+    work, slow_s, fast_s = _measure(workload, rounds=1 if quick else 2)
+    return BenchResult("core_loop", "instructions", work, slow_s, fast_s)
+
+
+def _bench_core_traversal(quick: bool) -> BenchResult:
+    from ..victims.library import build_gcd_victim
+
+    victim = build_gcd_victim(nlimbs=2 if quick else 4)
+    bits = victim.nlimbs * 64 - 2
+    inputs = {
+        "ta": (0x6DB6_DB6D_B6DB_6DB7 << (bits - 63)) | 0x1_0001,
+        "tb": (0x5A5A_5A5A_5A5A_5A5B << (bits - 63)) | 0x3,
+    }
+
+    def workload() -> int:
+        memory = victim.new_memory(inputs)
+        state = MachineState(memory)
+        state.setup_stack(0x7FFF_0000_0000)
+        state.rip = victim.compiled.start
+        core = Core(DEFAULT_GENERATION)
+        executed = 0
+        while True:
+            result = core.run(state, collect_trace=True,
+                              max_instructions=5_000_000)
+            executed += result.instructions
+            if result.reason is StopReason.SYSCALL:
+                state.regs["rax"] = 0          # yields are no-ops
+                continue
+            if result.reason is StopReason.HALT:
+                return executed
+            raise RuntimeError(f"unexpected stop: {result.reason}")
+
+    work, slow_s, fast_s = _measure(workload, rounds=1 if quick else 2)
+    return BenchResult("core_traversal_e2e", "instructions", work,
+                       slow_s, fast_s)
+
+
+def _bench_campaign_smoke(quick: bool) -> BenchResult:
+    from ..experiments.common import RunRequest, run_experiment
+
+    def workload() -> int:
+        output = run_experiment("fig2", RunRequest(fast=True, seed=0))
+        return 1 if output else 0
+
+    work, slow_s, fast_s = _measure(workload, rounds=1)
+    return BenchResult("campaign_smoke", "runs", work, slow_s, fast_s)
+
+
+_WORKLOADS: Tuple[Callable[[bool], BenchResult], ...] = (
+    _bench_interp_straightline,
+    _bench_core_loop,
+    _bench_core_traversal,
+    _bench_campaign_smoke,
+)
+
+
+# ----------------------------------------------------------------------
+# suite driver
+# ----------------------------------------------------------------------
+def run_suite(*, quick: bool = False,
+              echo: Optional[Callable[[str], None]] = None
+              ) -> Dict[str, object]:
+    """Run every workload; return the ``BENCH_perf.json`` payload."""
+    say = echo if echo is not None else (lambda line: None)
+    benchmarks: Dict[str, object] = {}
+    for bench in _WORKLOADS:
+        result = bench(quick)
+        benchmarks[result.name] = result.payload()
+        say(f"{result.name:24s} slow {result.slow_rate:12.1f} "
+            f"{result.unit}/s  fast {result.fast_rate:12.1f} "
+            f"{result.unit}/s  speedup {result.speedup:5.2f}x")
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "perf",
+        "quick": quick,
+        "benchmarks": benchmarks,
+    }
+
+
+def write_report(payload: Dict[str, object], path: str):
+    from ..runner import atomic_write_json
+    return atomic_write_json(path, payload)
+
+
+def compare_to_baseline(current: Dict[str, object],
+                        baseline: Dict[str, object],
+                        threshold: float = DEFAULT_THRESHOLD
+                        ) -> List[str]:
+    """Regression check: every speedup ratio present in both reports
+    must be within ``threshold`` of the baseline's.  Ratios are used
+    (not absolute rates) so baselines recorded on one machine gate runs
+    on another.  Returns human-readable regression messages; empty
+    means pass."""
+    regressions: List[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = current.get("benchmarks", {})
+    for name, base in base_benches.items():
+        cur = cur_benches.get(name)
+        if cur is None:
+            regressions.append(f"{name}: missing from current report")
+            continue
+        base_speedup = float(base.get("speedup", 0.0))
+        cur_speedup = float(cur.get("speedup", 0.0))
+        floor = base_speedup * (1.0 - threshold)
+        if cur_speedup < floor:
+            regressions.append(
+                f"{name}: speedup {cur_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x "
+                f"- {threshold:.0%} allowance)")
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="simulator perf suite: fast path off vs on")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="report path (default: BENCH_perf.json)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="also cProfile the suite and dump pstats "
+                             "data to PATH")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="diff speedup ratios against a baseline "
+                             "report; non-zero exit on regression")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed fractional speedup regression "
+                             "(default: 0.25)")
+    args = parser.parse_args(argv)
+
+    def echo(line: str) -> None:
+        print(line)
+
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        payload = run_suite(quick=args.quick, echo=echo)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"profile written to {args.profile}")
+    else:
+        payload = run_suite(quick=args.quick, echo=echo)
+
+    path = write_report(payload, args.out)
+    print(f"report written atomically to {path}")
+
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        regressions = compare_to_baseline(payload, baseline,
+                                          args.threshold)
+        if regressions:
+            for line in regressions:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":                        # pragma: no cover
+    sys.exit(main())

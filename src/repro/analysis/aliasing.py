@@ -1,0 +1,134 @@
+"""Static BTB-aliasing prediction.
+
+Computes, without running the simulator, the map an attacker uses for
+probe placement (§2.1/§2.4 of the paper):
+
+* every control-transfer instruction's BTB coordinates — set index,
+  truncated tag, and 5-bit prediction-window offset of its **last
+  byte** (the index the front end allocates under);
+* *collisions*: distinct branch PCs whose coordinates coincide after
+  tag truncation (8/16 GiB aliasing — the NV-Core signal);
+* *false hits*: fetch blocks that share (tag, set) with an entry whose
+  offset does not land on the last byte of a control transfer in that
+  block — fetching there makes the front end predict from the entry
+  and deallocate it at decode (Takeaway 1, the NV-S signal).
+
+All address math delegates to the pure functions in
+:mod:`repro.cpu.btb` so analyzer and simulator cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..cpu.btb import btb_fields
+from ..cpu.config import CpuGeneration, DEFAULT_GENERATION
+from ..isa.instructions import Instruction
+from ..memory.address import BLOCK_SHIFT
+
+#: a BTB coordinate triple
+Coord = Tuple[int, int, int]            # (tag, set_index, offset)
+
+_BLOCK_MASK = ~((1 << BLOCK_SHIFT) - 1)
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """One control transfer and its BTB coordinates."""
+
+    pc: int                              # first byte
+    end_pc: int                          # last byte (the BTB index)
+    mnemonic: str
+    coord: Coord
+
+
+@dataclass
+class AliasMap:
+    """The static collision / false-hit map of one binary."""
+
+    generation: CpuGeneration
+    sites: List[BranchSite]
+    #: coordinate -> branch sites allocating there
+    by_coord: Dict[Coord, List[BranchSite]] = field(default_factory=dict)
+    #: pairs of distinct branch end-bytes sharing a coordinate
+    collisions: List[Tuple[BranchSite, BranchSite]] = field(
+        default_factory=list)
+    #: (coord, fetch block base) pairs where a lookup would *false-hit*:
+    #: the block shares (tag, set) with the coord but the reconstructed
+    #: end byte is not the last byte of any control transfer there
+    false_hit_blocks: Set[Tuple[Coord, int]] = field(default_factory=set)
+
+    def coords(self) -> FrozenSet[Coord]:
+        return frozenset(site.coord for site in self.sites)
+
+    def collision_count(self) -> int:
+        return len(self.collisions)
+
+
+def branch_sites(instrs: Dict[int, Instruction],
+                 generation: CpuGeneration) -> List[BranchSite]:
+    """BTB coordinates of every control transfer in ``instrs``."""
+    sites: List[BranchSite] = []
+    for pc in sorted(instrs):
+        instruction = instrs[pc]
+        if not instruction.is_control:
+            continue
+        end_pc = pc + instruction.length - 1
+        coord = btb_fields(end_pc,
+                           tag_keep_bits=generation.tag_keep_bits,
+                           btb_sets=generation.btb_sets)
+        sites.append(BranchSite(pc, end_pc, instruction.mnemonic, coord))
+    return sites
+
+
+def build_alias_map(instrs: Dict[int, Instruction],
+                    generation: CpuGeneration = DEFAULT_GENERATION,
+                    ) -> AliasMap:
+    """Compute the full static aliasing picture of one binary.
+
+    ``instrs`` is a ``pc -> instruction`` map (typically a
+    :func:`repro.analysis.cfg.linear_sweep`, so unreachable-but-
+    decodable branches — which the fetch-ahead drain can still insert —
+    are covered too).
+    """
+    sites = branch_sites(instrs, generation)
+    amap = AliasMap(generation=generation, sites=sites)
+    for site in sites:
+        amap.by_coord.setdefault(site.coord, []).append(site)
+    for coord, group in sorted(amap.by_coord.items()):
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                if a.end_pc != b.end_pc:
+                    amap.collisions.append((a, b))
+
+    # ------------------------------------------------------------------
+    # false-hit map: group the binary's fetch blocks by (tag, set);
+    # any entry at (tag, set, off) false-hits in every such block whose
+    # byte `base | off` is not a control transfer's last byte.  This is
+    # exactly the front end's position-only check (the predicted target
+    # is never consulted when settling — Takeaway 1).
+    # ------------------------------------------------------------------
+    control_end_bytes = {site.end_pc for site in sites}
+    blocks_by_ts: Dict[Tuple[int, int], Set[int]] = {}
+    for pc in instrs:
+        instruction = instrs[pc]
+        for byte_pc in range(pc, pc + instruction.length):
+            base = byte_pc & _BLOCK_MASK
+            tag, set_index, _ = btb_fields(
+                base, tag_keep_bits=generation.tag_keep_bits,
+                btb_sets=generation.btb_sets)
+            blocks_by_ts.setdefault((tag, set_index), set()).add(base)
+    for coord in amap.by_coord:
+        tag, set_index, offset = coord
+        for base in blocks_by_ts.get((tag, set_index), ()):
+            pred_end = base | offset
+            if pred_end not in control_end_bytes:
+                amap.false_hit_blocks.add((coord, base))
+    return amap
+
+
+def predicted_false_hits(amap: AliasMap) -> Set[Tuple[Coord, int]]:
+    """The (entry coordinate, fetch block base) pairs where a false hit
+    can fire."""
+    return set(amap.false_hit_blocks)

@@ -17,6 +17,13 @@ Commands
     Run the perf-regression suite (:mod:`repro.perf.suite`): times the
     simulator hot loops with the decoded-window fast path off and on,
     writes ``BENCH_perf.json``, and can gate against a baseline.
+``lint``
+    Static leakage + BTB-aliasing audit of the victims library
+    (:mod:`repro.analysis.lint`): CFG recovery, secret-taint dataflow
+    seeded from each victim's declared secret inputs, and the
+    collision/false-hit map.  Exits non-zero on findings outside a
+    victim's ``leak_allowlist`` (or on golden-report drift with
+    ``--golden``).
 
 ``--seed`` is the single reproducibility knob: it reaches every
 stochastic layer — RSA key generation, LBR timing noise, corpus
@@ -140,6 +147,46 @@ def _cmd_campaign(args) -> int:
     return 0 if manifest.all_completed() else 1
 
 
+def _cmd_lint(out: Optional[str] = None,
+              golden: Optional[str] = None) -> int:
+    from .analysis.lint import run_lint
+
+    report = run_lint()
+    rendered = report.render()
+    print(rendered, end="")
+    if out is not None:
+        from .runner import atomic_write_text
+        path = atomic_write_text(out, rendered)
+        print(f"report written atomically to {path}")
+    status = 0
+    if not report.ok:
+        print(f"lint: {len(report.new_findings)} unannotated "
+              f"finding(s)", file=sys.stderr)
+        status = 2
+    if golden is not None:
+        try:
+            with open(golden, "r", encoding="utf-8") as handle:
+                expected = handle.read()
+        except OSError as error:
+            print(f"lint: cannot read golden report: {error}",
+                  file=sys.stderr)
+            return 2
+        if rendered != expected:
+            import difflib
+            diff = difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                rendered.splitlines(keepends=True),
+                fromfile=golden, tofile="current")
+            sys.stderr.writelines(diff)
+            print("lint: report drifted from the golden copy "
+                  "(re-generate with `repro lint --out` and commit "
+                  "if the change is intended)", file=sys.stderr)
+            status = status or 3
+        else:
+            print(f"golden report match: {golden}")
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -230,6 +277,17 @@ def main(argv=None) -> int:
                        help="allowed fractional speedup regression "
                             "(default: 0.25)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static leakage + BTB-aliasing audit of the victims "
+             "library; non-zero exit on unannotated findings")
+    lint.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the findings report to PATH "
+                           "via the atomic artifact writer")
+    lint.add_argument("--golden", default=None, metavar="PATH",
+                      help="compare against a committed golden report; "
+                           "non-zero exit on drift")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -255,6 +313,8 @@ def main(argv=None) -> int:
                      else DEFAULT_THRESHOLD)
         forwarded += ["--threshold", str(threshold)]
         return bench_main(forwarded)
+    if args.command == "lint":
+        return _cmd_lint(args.out, args.golden)
     return 2                                      # pragma: no cover
 
 

@@ -36,6 +36,53 @@ from ..isa.instructions import INDIRECT_KINDS, Kind
 from .config import CpuGeneration, DEFAULT_GENERATION
 
 
+# ----------------------------------------------------------------------
+# pure indexing functions
+# ----------------------------------------------------------------------
+# The BTB's address math, exposed as stateless module-level functions so
+# the static analyzer (:mod:`repro.analysis.aliasing`) can predict
+# collisions without instantiating a BTB.  :class:`BTB` delegates to
+# these — there is exactly one implementation of the organisation.
+
+def btb_set_bits(btb_sets: int) -> int:
+    """log2 of the set count (validated power of two)."""
+    if btb_sets <= 0 or btb_sets & (btb_sets - 1):
+        raise CpuError(f"btb_sets must be a power of two: {btb_sets}")
+    return btb_sets.bit_length() - 1
+
+
+def btb_fields(pc: int, *, tag_keep_bits: int,
+               btb_sets: int) -> Tuple[int, int, int]:
+    """Split ``pc`` into ``(tag, set_index, offset)`` after truncating
+    away address bits at and above ``tag_keep_bits`` (§2.1)."""
+    truncated = truncate(pc, tag_keep_bits)
+    offset = block_offset(truncated)
+    set_index = (truncated >> BLOCK_SHIFT) & (btb_sets - 1)
+    tag = truncated >> (BLOCK_SHIFT + btb_set_bits(btb_sets))
+    return tag, set_index, offset
+
+
+def btb_aliases(a: int, b: int, *, tag_keep_bits: int,
+                btb_sets: int) -> bool:
+    """Do two PCs map to the same (tag, set, offset) triple?"""
+    return (btb_fields(a, tag_keep_bits=tag_keep_bits, btb_sets=btb_sets)
+            == btb_fields(b, tag_keep_bits=tag_keep_bits,
+                          btb_sets=btb_sets))
+
+
+def pw_range_hit(fetch_offset: int, entry_offset: int) -> bool:
+    """Takeaway 2's range predicate: an entry is eligible for a lookup
+    from ``fetch_offset`` iff its offset is greater or equal."""
+    return entry_offset >= fetch_offset
+
+
+def reconstruct_end_byte(fetch_pc: int, entry_offset: int) -> int:
+    """Address of the predicted branch's last byte, assuming (as the
+    front end does) that the entry's branch lives in ``fetch_pc``'s
+    32-byte fetch block — the assumption false hits violate."""
+    return (fetch_pc & ~((1 << BLOCK_SHIFT) - 1)) | entry_offset
+
+
 @dataclass
 class BTBEntry:
     """One BTB entry: a (truncated) branch PC mapped to its target.
@@ -87,9 +134,7 @@ class BTB:
     def __init__(self, config: Optional[CpuGeneration] = None):
         self.config = config if config is not None else DEFAULT_GENERATION
         sets = self.config.btb_sets
-        if sets <= 0 or sets & (sets - 1):
-            raise CpuError(f"btb_sets must be a power of two: {sets}")
-        self._set_bits = sets.bit_length() - 1
+        self._set_bits = btb_set_bits(sets)
         self._sets: List[List[BTBEntry]] = [
             [BTBEntry() for _ in range(self.config.btb_ways)]
             for _ in range(sets)
@@ -99,18 +144,21 @@ class BTB:
         #: consulted when ``config.btb_partitioning`` is set).
         self.current_domain = 0
         self.stats = BTBStats()
+        #: Optional instrumentation sink.  When set to a list, every
+        #: allocation/target-update appends
+        #: ``(event, tag, set_index, offset, target, kind)`` — used by
+        #: the analyzer-vs-simulator differential validator.  Kept as a
+        #: plain None-check so the hot path pays one comparison.
+        self.event_log: Optional[List[Tuple]] = None
 
     # ------------------------------------------------------------------
     # field extraction
     # ------------------------------------------------------------------
     def fields(self, pc: int) -> Tuple[int, int, int]:
         """Split ``pc`` into ``(tag, set_index, offset)`` after tag
-        truncation."""
-        truncated = truncate(pc, self.config.tag_keep_bits)
-        offset = block_offset(truncated)
-        set_index = (truncated >> BLOCK_SHIFT) & (self.config.btb_sets - 1)
-        tag = truncated >> (BLOCK_SHIFT + self._set_bits)
-        return tag, set_index, offset
+        truncation (delegates to the pure :func:`btb_fields`)."""
+        return btb_fields(pc, tag_keep_bits=self.config.tag_keep_bits,
+                          btb_sets=self.config.btb_sets)
 
     def aliases(self, a: int, b: int) -> bool:
         """Do two PCs map to the same (tag, set, offset) triple?"""
@@ -148,7 +196,7 @@ class BTB:
         Only the low ``tag_keep_bits`` of the branch PC are stored in
         the BTB; the front end assumes the branch lives in the current
         fetch block (which is how false hits arise)."""
-        return (fetch_pc & ~((1 << BLOCK_SHIFT) - 1)) | entry.offset
+        return reconstruct_end_byte(fetch_pc, entry.offset)
 
     # ------------------------------------------------------------------
     # update
@@ -180,6 +228,9 @@ class BTB:
             self.stats.target_updates += 1
         else:
             self.stats.allocations += 1
+        if self.event_log is not None:
+            self.event_log.append(
+                ("alloc", tag, set_index, offset, target, kind))
         victim.valid = True
         victim.tag = tag
         victim.set_index = set_index
@@ -197,6 +248,10 @@ class BTB:
         if kind is not None:
             entry.kind = kind
         self.stats.target_updates += 1
+        if self.event_log is not None:
+            self.event_log.append(
+                ("update", entry.tag, entry.set_index, entry.offset,
+                 target, entry.kind))
         self._touch(entry)
 
     def deallocate(self, entry: BTBEntry) -> None:

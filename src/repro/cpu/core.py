@@ -144,6 +144,13 @@ class Core:
         self._extra_cost = dict(EXTRA_ISSUE_COST)
         self._issue_cost = 1.0 / self.config.issue_width
         self._enclave_mode = False
+        #: Optional instrumentation sink: when set to a list, every
+        #: Takeaway-1 deallocation appends ``(pc, (tag, set, offset))``
+        #: — the PC decode had reached and the dying entry's key.  Used
+        #: by the static-analysis differential validator; a plain
+        #: None-check on the (rare) false-hit path.
+        self.false_hit_log: Optional[List[Tuple[int,
+                                                Tuple[int, int, int]]]] = None
 
     # ------------------------------------------------------------------
     # mode / context management (called by the system layer)
@@ -433,6 +440,10 @@ class Core:
         assert pw.entry is not None
         if charge:
             self.cycles += self.config.squash_penalty
+        if self.false_hit_log is not None:
+            entry = pw.entry
+            self.false_hit_log.append(
+                (pc, (entry.tag, entry.set_index, entry.offset)))
         self.btb.deallocate(pw.entry)
         pw.entry = self.btb.lookup(pc)
         pw.pred_end = (self.btb.predicted_end_byte(pc, pw.entry)

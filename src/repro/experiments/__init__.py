@@ -17,6 +17,8 @@ from .exp_pw_range import run_figure4
 from .exp_robustness import (RobustnessPoint, RobustnessResult,
                              run_fingerprint_robustness,
                              run_leak_robustness)
+from .exp_static_vs_dynamic import (run_corpus_validation,
+                                    run_gadget_validation)
 from .exp_traversal import TraversalResult, run_figure10
 from .exp_versions import (SimilarityMatrix, run_figure13_optlevels,
                            run_figure13_versions, version_groups)
@@ -47,7 +49,9 @@ __all__ = [
     "run_figure4",
     "run_figure5",
     "run_figure7",
+    "run_corpus_validation",
     "run_fingerprint_robustness",
+    "run_gadget_validation",
     "run_gcd_leak",
     "run_leak_robustness",
     "run_generation_sweep",

@@ -163,10 +163,20 @@ def decode(blob: bytes, offset: int = 0) -> Tuple[Instruction, int]:
     return Instruction(spec, ops), spec.length
 
 
+#: Formats whose first operand byte is an *unpacked* register number —
+#: any value 16..255 there is unencodable and must not decode.
+_PLAIN_REG_FORMATS = frozenset({
+    Format.REG, Format.REG_PAD,
+    Format.REG_IMM8, Format.REG_IMM32, Format.REG_IMM64,
+})
+
+
 def _validate_registers(spec: InstrSpec, ops: Tuple[int, ...]) -> None:
-    """Registers decoded from packed bytes are always in range, but a
-    plain REG byte could be 16..255 — reject those."""
-    if spec.fmt in (Format.REG, Format.REG_PAD) and ops and ops[0] > 15:
+    """Registers decoded from packed (nibble) bytes are always in
+    range, but a plain register byte could be 16..255 — reject those so
+    decode accepts exactly what encode can produce (the round-trip
+    property the disassembler tests rely on)."""
+    if spec.fmt in _PLAIN_REG_FORMATS and ops and ops[0] > 15:
         raise DecodeError(
             f"{spec.mnemonic}: register byte {ops[0]} out of range"
         )

@@ -26,6 +26,7 @@ from .library import (
     ArraySpec,
     DataLayout,
     VictimProgram,
+    build_bignum_victim,
     build_bn_cmp_victim,
     build_gcd_victim,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "binary_gcd_branch_trace",
     "bn_cmp_module",
     "bn_cmp_source",
+    "build_bignum_victim",
     "build_bn_cmp_victim",
     "build_gcd_victim",
     "bytes_to_limbs",

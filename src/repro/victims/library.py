@@ -19,9 +19,9 @@ from ..memory.address import PAGE_SIZE, align_up
 from ..memory.memory import VirtualMemory
 from ..sgx.enclave import Enclave
 from ..system.process import Process
-from .bignum import limbs_to_bytes, to_limbs
+from .bignum import BIGNUM_SOURCE, limbs_to_bytes, to_limbs
 from .bn_cmp import bn_cmp_source
-from .gcd import (gcd_source, secret_branch_function,
+from .gcd import (VERSION_GROUPS, gcd_source, secret_branch_function,
                   then_arm_means_ta_ge_tb)
 
 #: default placement of victim working data (user-space runs)
@@ -77,7 +77,9 @@ class VictimProgram:
                  nlimbs: int, *, secret_function: str,
                  fingerprint_function: Optional[str] = None,
                  then_arm_is_truth: bool = True,
-                 main: str = "main"):
+                 main: str = "main",
+                 secret_inputs: Sequence[str] = (),
+                 leak_allowlist: Sequence[str] = ()):
         self.compiled = compiled
         self.layout = layout
         self.nlimbs = nlimbs
@@ -91,6 +93,17 @@ class VictimProgram:
         #: ground-truth True direction? (inverted for mbedTLS 2.16+)
         self.then_arm_is_truth = then_arm_is_truth
         self.main = main
+        #: names of layout arrays whose contents are secret — the seed
+        #: set for the static taint lint (``repro lint``)
+        self.secret_inputs: Tuple[str, ...] = tuple(secret_inputs)
+        if set(self.secret_inputs) - set(layout.arrays):
+            raise ValueError(
+                f"secret inputs not in layout: "
+                f"{sorted(set(self.secret_inputs) - set(layout.arrays))}")
+        #: functions *known and accepted* to contain secret-dependent
+        #: control flow or accesses; the lint reports findings outside
+        #: this set as NEW (and fails)
+        self.leak_allowlist: Tuple[str, ...] = tuple(leak_allowlist)
 
     # ------------------------------------------------------------------
     # instantiation
@@ -208,6 +221,23 @@ class VictimProgram:
 # ----------------------------------------------------------------------
 # builders
 # ----------------------------------------------------------------------
+#: functions accepted to branch on secret data, per mbedTLS lineage
+#: (the explicit-flow surface the paper's attacks target; audited by
+#: the tests in tests/test_analysis_taint.py)
+_GCD_LEAK_ALLOWLIST = {
+    "classic": ("mpi_gcd", "bn_cmp", "bn_is_zero"),
+    "v216": ("mpi_gcd", "bn_cmp", "bn_is_zero", "bn_make_odd"),
+    "v3": ("mpi_gcd", "bn_cmp", "bn_is_zero", "bn_reduce_step"),
+}
+
+
+def _gcd_group(version: str) -> str:
+    for group, members in VERSION_GROUPS.items():
+        if version in members:
+            return group
+    raise ValueError(f"unknown mbedTLS version {version!r}")
+
+
 def build_gcd_victim(version: str = "3.0", *,
                      options: Optional[CompileOptions] = None,
                      nlimbs: int = 2,
@@ -235,7 +265,9 @@ func main() {{
         compiled, layout, nlimbs,
         secret_function=secret_branch_function(version),
         fingerprint_function="mpi_gcd",
-        then_arm_is_truth=then_arm_means_ta_ge_tb(version))
+        then_arm_is_truth=then_arm_means_ta_ge_tb(version),
+        secret_inputs=("ta", "tb"),
+        leak_allowlist=_GCD_LEAK_ALLOWLIST[_gcd_group(version)])
 
 
 def build_bn_cmp_victim(*, options: Optional[CompileOptions] = None,
@@ -264,4 +296,39 @@ func main() {{
     compiled = Compiler(options).compile(parse_module(source),
                                          start="main")
     return VictimProgram(compiled, layout, nlimbs,
-                         secret_function="ipp_bn_cmp")
+                         secret_function="ipp_bn_cmp",
+                         secret_inputs=("a",),
+                         leak_allowlist=("ipp_bn_cmp",))
+
+
+def build_bignum_victim(*, options: Optional[CompileOptions] = None,
+                        nlimbs: int = 4,
+                        data_base: int = USER_DATA_BASE
+                        ) -> VictimProgram:
+    """Compile the bignum-helpers victim — the lint's negative control.
+
+    ``main`` runs the constant-time helpers (``bn_sub``, ``bn_copy``,
+    ``bn_shl1``, ``bn_shr1``) over a *secret* operand ``s``: the secret
+    flows through data but never into a branch condition or an address,
+    so the static leakage lint must report zero findings.
+    """
+    options = options if options is not None else CompileOptions()
+    layout = DataLayout(data_base)
+    s = layout.add("s", nlimbs)
+    t = layout.add("t", nlimbs)
+    out = layout.add("out", nlimbs)
+    source = BIGNUM_SOURCE + f"""
+func main() {{
+  bn_sub({out.address}, {s.address}, {t.address}, {nlimbs});
+  bn_shl1({out.address}, {nlimbs});
+  bn_shr1({out.address}, {nlimbs});
+  bn_copy({out.address}, {s.address}, {nlimbs});
+  return 0;
+}}
+"""
+    compiled = Compiler(options).compile(parse_module(source),
+                                         start="main")
+    return VictimProgram(compiled, layout, nlimbs,
+                         secret_function="bn_sub",
+                         secret_inputs=("s",),
+                         leak_allowlist=())

@@ -1,0 +1,132 @@
+"""CFG recovery over the victims library: golden shape, sink/edge
+invariants, and the small decode/image helpers."""
+
+import pytest
+
+from repro.analysis.cfg import (CodeImage, EdgeKind, linear_sweep,
+                                recover_cfg, recover_module_cfg)
+from repro.errors import DecodeError
+from repro.isa import Kind
+from repro.victims.library import (build_bignum_victim,
+                                   build_bn_cmp_victim,
+                                   build_gcd_victim)
+
+#: golden (blocks, edges) per victim — must match reports/lint_golden.txt
+GOLDEN_SHAPE = {
+    "gcd-2.5": (471, 494),
+    "gcd-2.16": (478, 497),
+    "gcd-3.0": (498, 521),
+    "bn_cmp": (123, 126),
+    "bignum": (232, 235),
+}
+
+
+def _corpus():
+    return [
+        ("gcd-2.5", build_gcd_victim("2.5")),
+        ("gcd-2.16", build_gcd_victim("2.16")),
+        ("gcd-3.0", build_gcd_victim("3.0")),
+        ("bn_cmp", build_bn_cmp_victim()),
+        ("bignum", build_bignum_victim()),
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus_cfgs():
+    return [(name, victim, recover_module_cfg(victim.compiled))
+            for name, victim in _corpus()]
+
+
+def test_golden_block_edge_counts(corpus_cfgs):
+    shapes = {name: (len(cfg.blocks), len(cfg.edges))
+              for name, _, cfg in corpus_cfgs}
+    assert shapes == GOLDEN_SHAPE
+
+
+def test_every_ret_is_a_sink(corpus_cfgs):
+    """A ``ret`` never falls through: its only out-edges are RETURN
+    edges back to recorded call return sites."""
+    for name, _, cfg in corpus_cfgs:
+        assert cfg.rets, name
+        ret_pcs = {pc for pcs in cfg.rets.values() for pc in pcs}
+        assert ret_pcs, name
+        for ret_pc in ret_pcs:
+            assert cfg.instrs[ret_pc].kind is Kind.RET, (name, hex(ret_pc))
+            out = [e for e in cfg.edges if e.src == ret_pc]
+            assert all(e.kind is EdgeKind.RETURN for e in out), \
+                (name, hex(ret_pc), out)
+
+
+def test_no_dangling_edges(corpus_cfgs):
+    """Every edge endpoint is a decoded instruction."""
+    for name, _, cfg in corpus_cfgs:
+        pcs = set(cfg.instrs)
+        for edge in cfg.edges:
+            assert edge.src in pcs, (name, edge)
+            assert edge.dst in pcs, (name, edge)
+
+
+def test_blocks_partition_reachable_code(corpus_cfgs):
+    """Basic blocks tile the decoded instructions exactly once."""
+    for name, _, cfg in corpus_cfgs:
+        covered = []
+        for block in cfg.blocks.values():
+            covered.extend(block.instructions)
+        assert sorted(covered) == sorted(cfg.instrs), name
+        assert len(covered) == len(set(covered)), name
+
+
+def test_function_attribution(corpus_cfgs):
+    """Every decoded pc belongs to a named function, and the secret
+    function is one of them."""
+    for name, victim, cfg in corpus_cfgs:
+        names = {cfg.function_of(pc) for pc in cfg.instrs}
+        assert None not in names, name
+        assert victim.secret_function in names, name
+        assert "main" in names, name
+
+
+def test_successor_map_consistency(corpus_cfgs):
+    """successors() agrees with the edge list for resolved pcs."""
+    for name, _, cfg in corpus_cfgs:
+        for pc, succ in cfg.successor_map().items():
+            if succ is None:           # unresolved indirect: no claim
+                continue
+            from_edges = {e.dst for e in cfg.edges if e.src == pc}
+            assert from_edges <= succ, (name, hex(pc))
+
+
+def test_indirects_tracked_as_unresolved():
+    """An indirect jump with no static target lands in
+    ``cfg.unresolved``, not in a bogus edge."""
+    from repro.isa.assembler import Assembler
+
+    asm = Assembler(base=0x40_0000)
+    asm.emit("movabs", 0, 0x41_0000)
+    asm.emit("jmpr", 0)
+    program = asm.assemble()
+    image = CodeImage.from_program(program)
+    cfg = recover_cfg(image, 0x40_0000)
+    jmpr_pc = [pc for pc, ins in cfg.instrs.items()
+               if ins.kind is Kind.INDIRECT_JUMP]
+    assert len(jmpr_pc) == 1
+    assert jmpr_pc[0] in cfg.unresolved
+    assert cfg.successors(jmpr_pc[0]) is None
+
+
+def test_linear_sweep_covers_descent(corpus_cfgs):
+    """Linear sweep from segment starts decodes at least everything
+    recursive descent reached (victim images are pure code)."""
+    for name, victim, cfg in corpus_cfgs:
+        swept = linear_sweep(CodeImage.from_program(
+            victim.compiled.program))
+        missing = set(cfg.instrs) - set(swept)
+        assert not missing, (name, sorted(hex(p) for p in missing)[:5])
+
+
+def test_code_image_decode_bounds():
+    image = CodeImage([(0x1000, b"\x00\x00")])
+    assert image.contains(0x1000)
+    assert not image.contains(0x0FFF)
+    with pytest.raises(DecodeError):
+        image.decode(0x2000)

@@ -1,0 +1,174 @@
+"""Secret-taint dataflow: known victim leaks, the constant-time
+negative control, secret-indexed loads, and lattice unit behaviour."""
+
+import pytest
+
+from repro.analysis.cfg import recover_module_cfg
+from repro.analysis.lint import (lint_victim, run_lint, victim_regions)
+from repro.analysis.taint import (AbsVal, Region, analyze_taint, const,
+                                  frame, join_vals, ptr)
+from repro.lang import CompileOptions, Compiler, parse_module
+from repro.victims.library import (DataLayout, USER_DATA_BASE,
+                                   VictimProgram, build_bignum_victim,
+                                   build_bn_cmp_victim,
+                                   build_gcd_victim)
+
+
+def _taint_report(victim):
+    cfg = recover_module_cfg(victim.compiled)
+    return analyze_taint(cfg, victim_regions(victim),
+                         victim.secret_inputs)
+
+
+# ----------------------------------------------------------------------
+# corpus: every known leak flagged, nothing outside the allowlist
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("version,expected", [
+    ("2.5", {"mpi_gcd", "bn_cmp", "bn_is_zero"}),
+    ("2.16", {"mpi_gcd", "bn_cmp", "bn_is_zero", "bn_make_odd"}),
+    ("3.0", {"mpi_gcd", "bn_cmp", "bn_is_zero", "bn_reduce_step"}),
+])
+def test_gcd_known_leaks_flagged(version, expected):
+    victim = build_gcd_victim(version)
+    report = _taint_report(victim)
+    assert report.flagged_functions() == frozenset(expected)
+    assert all(f.kind == "secret-branch" for f in report.findings)
+    assert not report.warnings
+    # and the allowlist annotation covers exactly those functions
+    assert expected <= set(victim.leak_allowlist)
+
+
+def test_bn_cmp_known_leak_flagged():
+    victim = build_bn_cmp_victim()
+    report = _taint_report(victim)
+    assert report.flagged_functions() == frozenset({"ipp_bn_cmp"})
+    mnemonics = {f.mnemonic for f in report.findings}
+    assert mnemonics == {"je", "jae"}
+
+
+def test_bignum_negative_control_is_clean():
+    """Constant-time helpers over a secret operand: the secret flows
+    through data (borrows, shifts, copies) but never reaches a branch
+    or an address, so the lint must stay silent."""
+    report = _taint_report(build_bignum_victim())
+    assert report.findings == []
+    assert report.warnings == []
+
+
+# ----------------------------------------------------------------------
+# hand-built victims: secret-indexed load, unannotated leak
+# ----------------------------------------------------------------------
+def _custom_victim(body: str, *, secret, allowlist=(), nlimbs=4):
+    layout = DataLayout(USER_DATA_BASE)
+    t = layout.add("t", nlimbs)
+    s = layout.add("s", nlimbs)
+    source = body.format(t=t.address, s=s.address, n=nlimbs)
+    compiled = Compiler(CompileOptions()).compile(
+        parse_module(source), start="main")
+    return VictimProgram(compiled, layout, nlimbs,
+                         secret_function="main",
+                         secret_inputs=secret,
+                         leak_allowlist=allowlist)
+
+
+def test_secret_indexed_load_flagged():
+    victim = _custom_victim("""
+func lookup(t, s) {{
+  return t[s[0] & 3];
+}}
+func main() {{
+  lookup({t}, {s});
+  return 0;
+}}
+""", secret=("s",))
+    report = _taint_report(victim)
+    kinds = {f.kind for f in report.findings}
+    assert "secret-load" in kinds
+    assert "lookup" in report.flagged_functions()
+
+
+def test_public_indexed_load_not_flagged():
+    victim = _custom_victim("""
+func lookup(t, s) {{
+  return t[s[0] & 3];
+}}
+func main() {{
+  lookup({t}, {s});
+  return 0;
+}}
+""", secret=())                         # nothing declared secret
+    report = _taint_report(victim)
+    assert report.findings == []
+
+
+def test_unannotated_leak_fails_lint():
+    victim = _custom_victim("""
+func peek(t, s) {{
+  if (s[0] != 0) {{ return t[0]; }}
+  return t[1];
+}}
+func main() {{
+  peek({t}, {s});
+  return 0;
+}}
+""", secret=("s",), allowlist=())
+    result = lint_victim("custom", victim)
+    assert result.new_findings
+    report = run_lint(corpus=[("custom", victim)])
+    assert not report.ok
+    assert "NEW" in report.render()
+
+
+def test_allowlisted_leak_passes_lint():
+    victim = _custom_victim("""
+func peek(t, s) {{
+  if (s[0] != 0) {{ return t[0]; }}
+  return t[1];
+}}
+func main() {{
+  peek({t}, {s});
+  return 0;
+}}
+""", secret=("s",), allowlist=("peek",))
+    report = run_lint(corpus=[("custom", victim)])
+    assert report.ok
+    assert report.results[0].known_findings
+
+
+def test_secret_inputs_validated():
+    with pytest.raises(ValueError):
+        _custom_victim("""
+func main() {{
+  return 0;
+}}
+""", secret=("nope",))
+
+
+# ----------------------------------------------------------------------
+# lattice units
+# ----------------------------------------------------------------------
+def test_join_vals_lattice():
+    assert join_vals(const(5), const(5)) == const(5)
+    assert join_vals(const(5), const(6)).kind == "top"
+    # pointer join unions region sets (the v2.16 pointer-swap case)
+    j = join_vals(ptr(["a"]), ptr(["b"]))
+    assert j.kind == "ptr" and j.regions == frozenset({"a", "b"})
+    # taint is sticky under join
+    assert join_vals(const(1, taint=True), const(1)).taint
+    assert join_vals(frame(8), frame(8)) == frame(8)
+    assert join_vals(frame(8), frame(16)).kind == "top"
+
+
+def test_region_contains():
+    region = Region("s", 0x1000, 32)
+    assert region.contains(0x1000)
+    assert region.contains(0x101F)
+    assert not region.contains(0x1020)
+
+
+def test_absval_with_taint():
+    av = ptr(["s"])
+    assert not av.taint
+    assert av.with_taint(True).taint
+    assert av.with_taint(True).regions == av.regions
+    assert isinstance(av.with_taint(True), AbsVal)

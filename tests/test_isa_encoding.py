@@ -142,3 +142,48 @@ class TestTables:
     def test_semantics_cover_every_mnemonic(self):
         from repro.cpu.semantics import covered_mnemonics
         assert set(ALL_MNEMONICS) <= covered_mnemonics()
+
+
+class TestPlainRegByteValidation:
+    """Regression: decode must reject plain register bytes 16..255 in
+    every format that carries one, so decode accepts exactly the image
+    of encode (the round-trip property)."""
+
+    @pytest.mark.parametrize("mnemonic", ["addi8", "movi", "movabs"])
+    def test_reg_imm_bad_register_byte(self, mnemonic):
+        spec = spec_for(mnemonic)
+        blob = bytearray(encode(make(mnemonic, 3, 1)))
+        blob[1] = 0x20                  # register byte out of range
+        with pytest.raises(DecodeError):
+            decode(bytes(blob))
+
+    @given(instructions(), st.integers(min_value=16, max_value=255))
+    def test_mutated_reg_byte_never_decodes_in_range(self, instruction,
+                                                     bad_byte):
+        from repro.isa.encoding import _PLAIN_REG_FORMATS
+        if instruction.spec.fmt not in _PLAIN_REG_FORMATS:
+            return
+        blob = bytearray(encode(instruction))
+        blob[1] = bad_byte
+        with pytest.raises(DecodeError):
+            decode(bytes(blob))
+
+
+class TestProgramRoundTrip:
+    """Whole-program property: encode a random instruction soup, decode
+    it back with a linear sweep, re-encode — byte identical."""
+
+    @given(st.lists(instructions(), min_size=1, max_size=40))
+    def test_soup_round_trip(self, soup):
+        blob = b"".join(encode(instruction) for instruction in soup)
+        offset, recoded = 0, b""
+        decoded = []
+        while offset < len(blob):
+            instruction, length = decode(blob, offset)
+            decoded.append(instruction)
+            recoded += encode(instruction)
+            offset += length
+        assert len(decoded) == len(soup)
+        assert [d.mnemonic for d in decoded] == \
+            [s.mnemonic for s in soup]
+        assert recoded == blob

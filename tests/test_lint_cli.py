@@ -1,0 +1,74 @@
+"""``repro lint`` CLI: exit codes, golden compare, report artifact."""
+
+import pytest
+
+from repro.analysis.lint import run_lint
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    return run_lint().render()
+
+
+def test_lint_ok(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "repro lint — static victim audit" in out
+    assert "verdict: OK" in out
+
+
+def test_lint_report_is_byte_stable(rendered):
+    assert rendered == run_lint().render()
+    assert rendered.endswith("\n")
+
+
+def test_lint_out_writes_artifact(tmp_path, capsys, rendered):
+    out = tmp_path / "report.txt"
+    assert main(["lint", "--out", str(out)]) == 0
+    assert out.read_text(encoding="utf-8") == rendered
+    assert "written atomically" in capsys.readouterr().out
+
+
+def test_lint_golden_match(tmp_path, capsys, rendered):
+    golden = tmp_path / "golden.txt"
+    golden.write_text(rendered, encoding="utf-8")
+    assert main(["lint", "--golden", str(golden)]) == 0
+    assert "golden report match" in capsys.readouterr().out
+
+
+def test_committed_golden_is_current(rendered):
+    """reports/lint_golden.txt (the copy CI diffs against) matches a
+    fresh run."""
+    with open("reports/lint_golden.txt", encoding="utf-8") as handle:
+        assert handle.read() == rendered
+
+
+def test_lint_golden_drift_exits_3(tmp_path, capsys, rendered):
+    golden = tmp_path / "golden.txt"
+    golden.write_text(rendered + "stale line\n", encoding="utf-8")
+    assert main(["lint", "--golden", str(golden)]) == 3
+    err = capsys.readouterr().err
+    assert "drifted" in err
+    assert "stale line" in err          # the diff itself is printed
+
+
+def test_lint_golden_missing_exits_2(tmp_path, capsys):
+    assert main(["lint", "--golden", str(tmp_path / "nope.txt")]) == 2
+    assert "cannot read golden" in capsys.readouterr().err
+
+
+def test_lint_unannotated_finding_exits_2(monkeypatch, capsys):
+    """Strip bn_cmp's allowlist: its secret-branch findings become NEW
+    and the lint must fail."""
+    import repro.analysis.lint as lint_mod
+    from repro.victims.library import build_bn_cmp_victim
+
+    victim = build_bn_cmp_victim()
+    victim.leak_allowlist = ()
+    monkeypatch.setattr(lint_mod, "lint_corpus",
+                        lambda: [("bn_cmp", victim)])
+    assert main(["lint"]) == 2
+    captured = capsys.readouterr()
+    assert "NEW" in captured.out
+    assert "unannotated" in captured.err

@@ -1,0 +1,95 @@
+"""tools/lint_determinism.py: the simulator core stays seeded-only."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_determinism", REPO_ROOT / "tools" / "lint_determinism.py")
+lint_determinism = importlib.util.module_from_spec(_SPEC)
+assert _SPEC.loader is not None
+_SPEC.loader.exec_module(lint_determinism)
+
+
+def test_repo_is_clean():
+    assert lint_determinism.lint_paths() == []
+
+
+def test_main_exit_zero(capsys):
+    assert lint_determinism.main() == 0
+    assert "determinism lint: clean" in capsys.readouterr().out
+
+
+def _lint_source(tmp_path, source):
+    path = tmp_path / "probe.py"
+    path.write_text(source, encoding="utf-8")
+    return lint_determinism.lint_file(path)
+
+
+def test_catches_wall_clock(tmp_path):
+    findings = _lint_source(tmp_path, """\
+import time
+
+def tick():
+    return time.monotonic()
+""")
+    assert len(findings) == 1
+    assert "time.monotonic" in findings[0]
+
+
+def test_catches_from_time_import(tmp_path):
+    findings = _lint_source(tmp_path, """\
+from time import perf_counter
+
+def tick():
+    return perf_counter()
+""")
+    assert len(findings) == 1
+    assert "perf_counter" in findings[0]
+
+
+def test_catches_module_level_rng(tmp_path):
+    findings = _lint_source(tmp_path, """\
+import random
+
+def pick(items):
+    return random.choice(items)
+""")
+    assert len(findings) == 1
+    assert "random.choice" in findings[0]
+
+
+def test_allows_seeded_rng(tmp_path):
+    findings = _lint_source(tmp_path, """\
+import random
+
+def make_rng(seed):
+    return random.Random(seed)
+""")
+    assert findings == []
+
+
+def test_deadline_guards_stay_allowlisted():
+    """The two interp deadline guards are the only clock sites the
+    scoped packages may contain."""
+    allow = lint_determinism.DEADLINE_GUARD_ALLOWLIST
+    assert allow == {
+        ("src/repro/cpu/interp.py", "_check_deadline"),
+        ("src/repro/cpu/interp.py", "_check_deadline_now"),
+    }
+    interp = REPO_ROOT / "src" / "repro" / "cpu" / "interp.py"
+    source = interp.read_text(encoding="utf-8")
+    for _, guard in sorted(allow):
+        assert f"def {guard}" in source
+
+
+def test_cli_reports_findings(tmp_path, capsys, monkeypatch):
+    path = tmp_path / "probe.py"
+    path.write_text("import time\n\ndef f():\n    return time.time()\n",
+                    encoding="utf-8")
+    monkeypatch.setattr(lint_determinism, "SCOPED_DIRS", (tmp_path,))
+    assert lint_determinism.main() == 1
+    captured = capsys.readouterr()
+    assert "time.time" in captured.out
+    assert "1 finding(s)" in captured.err

@@ -52,6 +52,7 @@ from . import (  # noqa: F401  (re-exported subpackages)
     runner,
     sgx,
     system,
+    telemetry,
     victims,
 )
 
@@ -71,5 +72,6 @@ __all__ = [
     "runner",
     "sgx",
     "system",
+    "telemetry",
     "victims",
 ]

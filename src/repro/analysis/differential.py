@@ -4,9 +4,10 @@ The static layer is only trustworthy if it *contains* the dynamic
 truth: every branch the simulator retires, every BTB insertion it
 performs, and every false hit it settles must have been predicted
 statically.  This module runs a victim on a fresh
-:class:`repro.cpu.core.Core` with the instrumentation hooks enabled
-(``BTB.event_log`` / ``Core.false_hit_log``), collects the observed
-events, and checks them against the CFG / alias-map predictions.
+:class:`repro.cpu.core.Core` inside a tracing
+:func:`repro.telemetry.session`, collects the ``cpu.btb.insert`` /
+``cpu.btb.update`` / ``cpu.core.false_hit`` events, and checks them
+against the CFG / alias-map predictions.
 
 Two numbers summarise the comparison:
 
@@ -24,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import telemetry
 from ..cpu.config import CpuGeneration, DEFAULT_GENERATION
 from ..cpu.core import Core, StopReason
 from ..cpu.state import MachineState
@@ -86,10 +88,12 @@ def observe_run(victim, inputs: Dict[str, int], *,
                 max_segments: int = 2_000_000) -> DynamicObservation:
     """Run ``victim`` start-to-halt on an instrumented core.
 
-    The decoded-window fast path is disabled for the run so every
-    retirement goes through the full front-end model (the fast path is
-    proven observably identical elsewhere; here we want the event
-    stream, not speed).
+    The run happens inside a fresh tracing telemetry session (isolated
+    from any session the caller has open — the differential wants only
+    its own victim's events), and the decoded-window fast path is
+    disabled so every retirement goes through the full front-end model
+    (the fast path is proven observably identical elsewhere; here we
+    want the event stream, not speed).
     """
     from ..cpu import set_fast_path
 
@@ -97,38 +101,49 @@ def observe_run(victim, inputs: Dict[str, int], *,
     state = MachineState(memory)
     state.setup_stack(_STACK_TOP)
     state.rip = victim.compiled.start
-    core = Core(config if config is not None else DEFAULT_GENERATION)
-    events: List[Tuple] = []
-    false_hits: List[Tuple[int, Coord]] = []
-    core.btb.event_log = events
-    core.false_hit_log = false_hits
     trace: List[int] = []
     retired = 0
     previous = set_fast_path(False)
     try:
-        for _ in range(max_segments):
-            result = core.run(state, collect_trace=True)
-            if result.trace:
-                trace.extend(result.trace)
-            retired += result.retired
-            if result.reason is StopReason.SYSCALL:
-                state.regs["rax"] = 0      # yields are no-ops
-                continue
-            break
-        else:
-            raise RuntimeError(
-                f"victim did not halt within {max_segments} segments")
+        with telemetry.session(trace=True) as sink:
+            core = Core(config if config is not None
+                        else DEFAULT_GENERATION)
+            for _ in range(max_segments):
+                result = core.run(state, collect_trace=True)
+                if result.trace:
+                    trace.extend(result.trace)
+                retired += result.retired
+                if result.reason is StopReason.SYSCALL:
+                    state.regs["rax"] = 0      # yields are no-ops
+                    continue
+                break
+            else:
+                raise RuntimeError(
+                    f"victim did not halt within {max_segments} segments")
     finally:
         set_fast_path(previous)
-    insertions = {(tag, set_index, offset)
-                  for _event, tag, set_index, offset, _target, _kind
-                  in events}
-    block_mask = ~0x1F
-    observed_false_hits = {(coord, pc & block_mask)
-                           for pc, coord in false_hits}
+    insertions = btb_insertions(sink.events)
+    observed_false_hits = false_hit_blocks(sink.events)
     return DynamicObservation(trace=trace, insertions=insertions,
                               false_hits=observed_false_hits,
                               retired=retired)
+
+
+def btb_insertions(events: List[dict]) -> Set[Coord]:
+    """(tag, set, offset) of every BTB insert/update in a trace."""
+    return {(event["tag"], event["set"], event["off"])
+            for event in events
+            if event["ev"] in ("cpu.btb.insert", "cpu.btb.update")}
+
+
+def false_hit_blocks(events: List[dict]) -> Set[Tuple[Coord, int]]:
+    """(entry coordinate, fetch block base) of every false hit in a
+    trace — the shape :class:`repro.analysis.aliasing.AliasMap`
+    predicts."""
+    block_mask = ~0x1F
+    return {((event["tag"], event["set"], event["off"]),
+             event["pc"] & block_mask)
+            for event in events if event["ev"] == "cpu.core.false_hit"}
 
 
 def validate_victim(victim, inputs: Dict[str, int], *,

@@ -17,6 +17,17 @@ Commands
     Run the perf-regression suite (:mod:`repro.perf.suite`): times the
     simulator hot loops with the decoded-window fast path off and on,
     writes ``BENCH_perf.json``, and can gate against a baseline.
+``stats <experiment> [--fast] [--seed N] [--out PATH] [--timings]``
+    Run one experiment inside a tracing telemetry session
+    (:mod:`repro.telemetry`) and print the deterministic counter
+    report with its digest.  ``--timings`` appends the wall-clock
+    span section to the console (never to the ``--out`` artifact,
+    which stays byte-stable under a fixed seed).
+``trace <experiment> [--fast] [--seed N] [--out PATH]``
+    Same run, but write the structured event trace as canonical JSON
+    lines — byte-identical across runs with the same seed.  Default
+    output path is ``TRACE_<experiment>.jsonl``; ``--out -`` streams
+    to stdout.
 ``lint``
     Static leakage + BTB-aliasing audit of the victims library
     (:mod:`repro.analysis.lint`): CFG recovery, secret-taint dataflow
@@ -145,6 +156,55 @@ def _cmd_campaign(args) -> int:
     if manifest.interrupted:
         return 3
     return 0 if manifest.all_completed() else 1
+
+
+def _observe(name: str, fast: bool, seed: Optional[int]):
+    """Run ``name`` inside a tracing telemetry session; return the
+    finalized sink (or None for an unknown experiment)."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {name!r}; known: {known}",
+              file=sys.stderr)
+        return None
+    from . import telemetry
+    with telemetry.session(trace=True) as sink:
+        run_experiment(name, RunRequest(fast=fast, seed=seed))
+    return sink
+
+
+def _cmd_stats(name: str, fast: bool, seed: Optional[int] = None,
+               out: Optional[str] = None, timings: bool = False) -> int:
+    from . import telemetry
+    sink = _observe(name, fast, seed)
+    if sink is None:
+        return 2
+    print(telemetry.render_stats(sink, timings=timings), end="")
+    if out is not None:
+        from .runner import atomic_write_text
+        # The artifact always gets the deterministic rendering —
+        # span timings are wall clock and would break byte-stability.
+        path = atomic_write_text(out, telemetry.render_stats(sink))
+        print(f"stats written atomically to {path}")
+    return 0
+
+
+def _cmd_trace(name: str, fast: bool, seed: Optional[int] = None,
+               out: Optional[str] = None) -> int:
+    from . import telemetry
+    sink = _observe(name, fast, seed)
+    if sink is None:
+        return 2
+    rendered = telemetry.render_trace(sink)
+    if out == "-":
+        sys.stdout.write(rendered)
+        return 0
+    from .runner import atomic_write_text
+    path = atomic_write_text(out if out is not None
+                             else f"TRACE_{name}.jsonl", rendered)
+    print(f"{len(sink.events)} event(s) traced")
+    print(f"trace digest: {telemetry.trace_digest(sink)}")
+    print(f"trace written atomically to {path}")
+    return 0
 
 
 def _cmd_lint(out: Optional[str] = None,
@@ -277,6 +337,38 @@ def main(argv=None) -> int:
                        help="allowed fractional speedup regression "
                             "(default: 0.25)")
 
+    stats = sub.add_parser(
+        "stats",
+        help="run one experiment under telemetry and print the "
+             "deterministic counter report")
+    stats.add_argument("experiment")
+    stats.add_argument("--fast", action="store_true",
+                       help="reduced parameters for a quick look")
+    stats.add_argument("--seed", type=int, default=None,
+                       help="seed every RNG; omit for the "
+                            "experiment's default")
+    stats.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the (deterministic) report "
+                            "to PATH via the atomic artifact writer")
+    stats.add_argument("--timings", action="store_true",
+                       help="append wall-clock span timings to the "
+                            "console output (never to --out)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment under telemetry and write the "
+             "canonical JSONL event trace (byte-stable per seed)")
+    trace.add_argument("experiment")
+    trace.add_argument("--fast", action="store_true",
+                       help="reduced parameters for a quick look")
+    trace.add_argument("--seed", type=int, default=None,
+                       help="seed every RNG; omit for the "
+                            "experiment's default")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="trace path (default: "
+                            "TRACE_<experiment>.jsonl; '-' for "
+                            "stdout)")
+
     lint = sub.add_parser(
         "lint",
         help="static leakage + BTB-aliasing audit of the victims "
@@ -313,6 +405,12 @@ def main(argv=None) -> int:
                      else DEFAULT_THRESHOLD)
         forwarded += ["--threshold", str(threshold)]
         return bench_main(forwarded)
+    if args.command == "stats":
+        return _cmd_stats(args.experiment, args.fast, args.seed,
+                          args.out, args.timings)
+    if args.command == "trace":
+        return _cmd_trace(args.experiment, args.fast, args.seed,
+                          args.out)
     if args.command == "lint":
         return _cmd_lint(args.out, args.golden)
     return 2                                      # pragma: no cover

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..cpu.core import StopReason
 from ..errors import AttackError, CalibrationError, MeasurementUnstable
 from ..system.kernel import Kernel
@@ -116,6 +117,7 @@ class ProbeSession:
         attacker = self.nv.attacker
         attacker.state.rip = self.code.entry
         self.attempts += 1
+        telemetry.count("core.probe.attempts")
         for _ in range(self.MAX_PREEMPTIONS):
             result = self.nv.kernel.run_slice(attacker)
             if result.reason is StopReason.HALT:
@@ -196,6 +198,7 @@ class ProbeSession:
           own record and its successor, the paper's §2.3 methodology;
           slightly blurrier at chained-PW boundaries.
         """
+        telemetry.count("core.probe.readings")
         own, nxt, mispred, prev_mispred, present = self._probe_raw()
         matched: List[bool] = []
         for index in range(len(self.code.ranges)):
@@ -398,6 +401,21 @@ class ProbeSession:
                           if s is RangeStatus.UNKNOWN]
 
         attempts = self.attempts - start_attempts
+        tel = telemetry.current()
+        if tel is not None:
+            tel.count("core.probe.measured")
+            if retries:
+                tel.count("core.probe.retries", retries)
+            degraded = sum(1 for s in statuses
+                           if s is RangeStatus.MISS_DEGRADED)
+            inferred = sum(1 for s in statuses
+                           if s is RangeStatus.HIT_INFERRED)
+            if degraded:
+                tel.count("core.probe.degraded", degraded)
+            if inferred:
+                tel.count("core.probe.inferred", inferred)
+            if unresolved:
+                tel.count("core.probe.unstable")
         if unresolved:
             if policy.fail_hard:
                 raise MeasurementUnstable(

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import CpuError
 from ..memory.address import BLOCK_SHIFT, block_offset, truncate
 from ..isa.instructions import INDIRECT_KINDS, Kind
@@ -144,12 +145,29 @@ class BTB:
         #: consulted when ``config.btb_partitioning`` is set).
         self.current_domain = 0
         self.stats = BTBStats()
-        #: Optional instrumentation sink.  When set to a list, every
-        #: allocation/target-update appends
-        #: ``(event, tag, set_index, offset, target, kind)`` — used by
-        #: the analyzer-vs-simulator differential validator.  Kept as a
-        #: plain None-check so the hot path pays one comparison.
-        self.event_log: Optional[List[Tuple]] = None
+        #: Telemetry sink captured at construction (None → disabled;
+        #: the hot paths then pay one ``is None`` check per rare
+        #: event).  Per-lookup counters are not emitted individually —
+        #: the registered stats source folds the :class:`BTBStats`
+        #: totals in when the sink finalizes.
+        self._tel: Optional[telemetry.TelemetrySink] = None
+        sink = telemetry.current()
+        if sink is not None:
+            self.bind_telemetry(sink)
+
+    def bind_telemetry(self,
+                       sink: Optional[telemetry.TelemetrySink]) -> None:
+        """(Re)attach this BTB to ``sink`` — used when the BTB was
+        constructed outside the telemetry session that observes it."""
+        if sink is self._tel:
+            return
+        self._tel = sink
+        if sink is not None:
+            sink.register(self._stat_counters)
+
+    def _stat_counters(self) -> Dict[str, int]:
+        return {f"cpu.btb.{name}": getattr(self.stats, name)
+                for name in BTBStats.__dataclass_fields__}
 
     # ------------------------------------------------------------------
     # field extraction
@@ -228,9 +246,10 @@ class BTB:
             self.stats.target_updates += 1
         else:
             self.stats.allocations += 1
-        if self.event_log is not None:
-            self.event_log.append(
-                ("alloc", tag, set_index, offset, target, kind))
+        if self._tel is not None:
+            self._tel.emit("cpu.btb.insert", {
+                "tag": tag, "set": set_index, "off": offset,
+                "target": target, "kind": kind.name})
         victim.valid = True
         victim.tag = tag
         victim.set_index = set_index
@@ -248,10 +267,11 @@ class BTB:
         if kind is not None:
             entry.kind = kind
         self.stats.target_updates += 1
-        if self.event_log is not None:
-            self.event_log.append(
-                ("update", entry.tag, entry.set_index, entry.offset,
-                 target, entry.kind))
+        if self._tel is not None:
+            self._tel.emit("cpu.btb.update", {
+                "tag": entry.tag, "set": entry.set_index,
+                "off": entry.offset, "target": target,
+                "kind": entry.kind.name})
         self._touch(entry)
 
     def deallocate(self, entry: BTBEntry) -> None:

@@ -39,6 +39,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import (
     InvalidInstruction,
     PageFault,
@@ -144,13 +145,18 @@ class Core:
         self._extra_cost = dict(EXTRA_ISSUE_COST)
         self._issue_cost = 1.0 / self.config.issue_width
         self._enclave_mode = False
-        #: Optional instrumentation sink: when set to a list, every
-        #: Takeaway-1 deallocation appends ``(pc, (tag, set, offset))``
-        #: — the PC decode had reached and the dying entry's key.  Used
-        #: by the static-analysis differential validator; a plain
-        #: None-check on the (rare) false-hit path.
-        self.false_hit_log: Optional[List[Tuple[int,
-                                                Tuple[int, int, int]]]] = None
+        #: Telemetry sink captured at construction (None → disabled).
+        #: Rare events (false hits, squashes) emit directly; per-run
+        #: totals fold in once at each :meth:`run` return.
+        self._tel: Optional[telemetry.TelemetrySink] = telemetry.current()
+
+    def attach_telemetry(
+            self, sink: Optional[telemetry.TelemetrySink]) -> None:
+        """(Re)bind this core — and its BTB — to ``sink``.  Needed when
+        the core outlives the session it was built in (or was built
+        before one opened), e.g. the differential validator."""
+        self._tel = sink
+        self.btb.bind_telemetry(sink)
 
     # ------------------------------------------------------------------
     # mode / context management (called by the system layer)
@@ -213,6 +219,12 @@ class Core:
         trace: Optional[List[int]] = [] if collect_trace else None
         unit_starts: Optional[List[int]] = [] if collect_trace else None
         pw: Optional[_PredictionWindow] = None
+        # Fast-path telemetry is kept in plain locals (two integer adds
+        # per *window*, not per instruction) and folded into the sink
+        # once per run() — the disabled-mode hot loop stays untouched.
+        fp_windows = 0
+        fp_instructions = 0
+        fp_bailouts = 0
 
         def result(reason: StopReason,
                    fault: Optional[PageFault] = None) -> RunResult:
@@ -232,6 +244,19 @@ class Core:
                 # too: the rest of its prediction window was decoded,
                 # so decode-time BTB effects still fire.
                 self._drain_fetch_ahead(state, pw)
+            tel = self._tel
+            if tel is not None:
+                tel.count("cpu.core.runs")
+                if instructions:
+                    tel.count("cpu.core.instructions", instructions)
+                if retired:
+                    tel.count("cpu.core.retired", retired)
+                if fp_windows:
+                    tel.count("cpu.core.fastpath.windows", fp_windows)
+                    tel.count("cpu.core.fastpath.instructions",
+                              fp_instructions)
+                if fp_bailouts:
+                    tel.count("cpu.core.fastpath.bailouts", fp_bailouts)
             return RunResult(
                 reason=reason, retired=retired, instructions=instructions,
                 cycles=self.cycles - start_cycles, fault=fault,
@@ -329,6 +354,11 @@ class Core:
                         instructions += i
                         retired += i
                         self.total_retired += i
+                        fp_windows += 1
+                        fp_instructions += i
+                        if (window.has_store and i < k
+                                and fault is None and error is None):
+                            fp_bailouts += 1  # self-modified mid-window
                         if trace is not None:
                             trace.extend(pcs[:i])
                             unit_starts.extend(pcs[:i])
@@ -440,10 +470,15 @@ class Core:
         assert pw.entry is not None
         if charge:
             self.cycles += self.config.squash_penalty
-        if self.false_hit_log is not None:
+        if self._tel is not None:
             entry = pw.entry
-            self.false_hit_log.append(
-                (pc, (entry.tag, entry.set_index, entry.offset)))
+            # This event *is* the Takeaway-1 deallocation record: pc is
+            # where decode had reached, (tag, set, off) the dying entry.
+            self._tel.emit("cpu.core.false_hit", {
+                "pc": pc, "tag": entry.tag, "set": entry.set_index,
+                "off": entry.offset, "charged": charge})
+            if charge:
+                self._tel.count("cpu.core.squashes")
         self.btb.deallocate(pw.entry)
         pw.entry = self.btb.lookup(pc)
         pw.pred_end = (self.btb.predicted_end_byte(pc, pw.entry)
@@ -486,6 +521,8 @@ class Core:
             self.lbr.record(pc, outcome.next_pc, self.cycles, mispredicted)
             if mispredicted:
                 self.cycles += self.config.squash_penalty
+                if self._tel is not None:
+                    self._tel.count("cpu.core.squashes")
                 if entry is not None:
                     # Right location, wrong target: fix the entry.
                     self.btb.update_target(entry, outcome.next_pc,
@@ -504,6 +541,8 @@ class Core:
             # BTB said taken, execution fell through: squash; the entry
             # survives (direction mispredict, not a false hit).
             self.cycles += self.config.squash_penalty
+            if self._tel is not None:
+                self._tel.count("cpu.core.squashes")
             return True  # redirect restarts fetch at the fall-through
         return False
 

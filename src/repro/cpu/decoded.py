@@ -39,6 +39,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import DecodeError, InvalidInstruction, PageFault
 from ..isa.encoding import decode as decode_bytes
 from ..isa.instructions import Instruction, Kind, SPECS_BY_OPCODE
@@ -90,6 +91,7 @@ def decode_at(memory, pc: int) -> Tuple[Instruction, int]:
     insert.  Raises :class:`InvalidInstruction` for junk bytes (decode
     failures included) and lets :class:`PageFault` propagate.
     """
+    telemetry.count("cpu.decode.misses")
     first = memory.read_bytes(pc, 1, access="execute")
     spec = SPECS_BY_OPCODE.get(first[0])
     if spec is None:
@@ -156,6 +158,7 @@ def build_window(memory, entry_pc: int) -> DecodedWindow:
     cached so a transient fault (e.g. execute permission revoked during
     a controlled-channel probe) does not stick.
     """
+    telemetry.count("cpu.decode.window_builds")
     generation = memory.code_generation
     limit = block_end(entry_pc)
     icache = memory.icache

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from .. import telemetry
 from ..errors import SimulationTimeout
 from ..isa.instructions import Instruction
 from .decoded import build_window, decode_at, fast_path_enabled
@@ -107,6 +108,20 @@ def _fetch(state: MachineState, pc: int) -> Tuple[Instruction, int]:
     return decode_at(state.memory, pc)
 
 
+def _fold_run_counters(prefix: str, count: int) -> None:
+    """Fold one oracle run's instruction total into the active sink.
+
+    Called from a ``finally`` so aborted runs (deadline, fault) still
+    report the instructions they executed; per-instruction hot loops
+    never touch telemetry directly.
+    """
+    sink = telemetry.current()
+    if sink is not None:
+        sink.count(f"{prefix}.runs")
+        if count:
+            sink.count(f"{prefix}.instructions", count)
+
+
 def interpret(state: MachineState, *,
               max_instructions: int = 5_000_000,
               collect_trace: bool = True,
@@ -128,68 +143,72 @@ def interpret(state: MachineState, *,
     branch_events: List[Tuple[int, bool]] = []
     count = 0
     next_deadline_check = _DEADLINE_STRIDE
-    while count < max_instructions:
-        if count >= next_deadline_check:
-            next_deadline_check = count + _DEADLINE_STRIDE
-            _check_deadline_now(count, deadline)
-        pc = state.rip
-        if fast:
-            window = window_cache.get(pc)
-            if (window is None
-                    or window.generation != memory.code_generation):
-                window = build_window(memory, pc)
-            k = window.count
-            if k:
-                if count + k > max_instructions:
-                    k = max_instructions - count
-                pcs = window.pcs
-                thunks = window.thunks
-                i = 0
-                try:
-                    if window.has_store:
-                        generation = window.generation
-                        while i < k:
-                            thunks[i](state)
-                            i += 1
-                            if memory.code_generation != generation:
-                                break       # self-modifying: re-decode
-                    else:
-                        while i < k:
-                            thunks[i](state)
-                            i += 1
-                except BaseException:
-                    # Same observable state as the slow path: the
-                    # faulting instruction is not counted or traced and
-                    # RIP points at it.
+    try:
+        while count < max_instructions:
+            if count >= next_deadline_check:
+                next_deadline_check = count + _DEADLINE_STRIDE
+                _check_deadline_now(count, deadline)
+            pc = state.rip
+            if fast:
+                window = window_cache.get(pc)
+                if (window is None
+                        or window.generation != memory.code_generation):
+                    window = build_window(memory, pc)
+                k = window.count
+                if k:
+                    if count + k > max_instructions:
+                        k = max_instructions - count
+                    pcs = window.pcs
+                    thunks = window.thunks
+                    i = 0
+                    try:
+                        if window.has_store:
+                            generation = window.generation
+                            while i < k:
+                                thunks[i](state)
+                                i += 1
+                                if memory.code_generation != generation:
+                                    break   # self-modifying: re-decode
+                        else:
+                            while i < k:
+                                thunks[i](state)
+                                i += 1
+                    except BaseException:
+                        # Same observable state as the slow path: the
+                        # faulting instruction is not counted or traced
+                        # and RIP points at it.
+                        count += i
+                        if collect_trace:
+                            trace.extend(pcs[:i])
+                        state.rip = pcs[i]
+                        raise
                     count += i
                     if collect_trace:
                         trace.extend(pcs[:i])
-                    state.rip = pcs[i]
-                    raise
-                count += i
-                if collect_trace:
-                    trace.extend(pcs[:i])
-                state.rip = (pcs[i] if i < window.count
-                             else window.resume_pc)
-                continue
-        instruction, _ = _fetch(state, pc)
-        outcome = execute(state, instruction, pc)
-        count += 1
-        if collect_trace:
-            trace.append(pc)
-        if outcome.taken is not None and instruction.spec.cond is not None:
-            branch_events.append((pc, outcome.taken))
-        state.rip = outcome.next_pc
-        if outcome.halt:
-            return InterpResult(InterpStop.HALT, count, trace,
-                                branch_events)
-        if outcome.syscall:
-            if syscall_handler is None:
-                return InterpResult(InterpStop.SYSCALL, count, trace,
+                    state.rip = (pcs[i] if i < window.count
+                                 else window.resume_pc)
+                    continue
+            instruction, _ = _fetch(state, pc)
+            outcome = execute(state, instruction, pc)
+            count += 1
+            if collect_trace:
+                trace.append(pc)
+            if (outcome.taken is not None
+                    and instruction.spec.cond is not None):
+                branch_events.append((pc, outcome.taken))
+            state.rip = outcome.next_pc
+            if outcome.halt:
+                return InterpResult(InterpStop.HALT, count, trace,
                                     branch_events)
-            if not syscall_handler(state):
-                return InterpResult(InterpStop.SYSCALL, count, trace,
-                                    branch_events)
+            if outcome.syscall:
+                if syscall_handler is None:
+                    return InterpResult(InterpStop.SYSCALL, count, trace,
+                                        branch_events)
+                if not syscall_handler(state):
+                    return InterpResult(InterpStop.SYSCALL, count, trace,
+                                        branch_events)
+    finally:
+        _fold_run_counters("cpu.interp", count)
     if raise_on_limit:
         raise SimulationTimeout(
             f"interpreter exceeded {max_instructions} instructions",
@@ -225,65 +244,69 @@ def run_function(state: MachineState, entry: int, *,
     branch_events: List[Tuple[int, bool]] = []
     count = 0
     next_deadline_check = _DEADLINE_STRIDE
-    while count < max_instructions:
-        if count >= next_deadline_check:
-            next_deadline_check = count + _DEADLINE_STRIDE
-            _check_deadline_now(count, deadline)
-        pc = state.rip
-        if pc == sentinel:
-            return InterpResult(InterpStop.RETURNED, count, trace,
-                                branch_events)
-        if fast:
-            window = window_cache.get(pc)
-            if (window is None
-                    or window.generation != memory.code_generation):
-                window = build_window(memory, pc)
-            k = window.count
-            if k:
-                if count + k > max_instructions:
-                    k = max_instructions - count
-                pcs = window.pcs
-                thunks = window.thunks
-                i = 0
-                try:
-                    if window.has_store:
-                        generation = window.generation
-                        while i < k:
-                            thunks[i](state)
-                            i += 1
-                            if memory.code_generation != generation:
-                                break       # self-modifying: re-decode
-                    else:
-                        while i < k:
-                            thunks[i](state)
-                            i += 1
-                except BaseException:
+    try:
+        while count < max_instructions:
+            if count >= next_deadline_check:
+                next_deadline_check = count + _DEADLINE_STRIDE
+                _check_deadline_now(count, deadline)
+            pc = state.rip
+            if pc == sentinel:
+                return InterpResult(InterpStop.RETURNED, count, trace,
+                                    branch_events)
+            if fast:
+                window = window_cache.get(pc)
+                if (window is None
+                        or window.generation != memory.code_generation):
+                    window = build_window(memory, pc)
+                k = window.count
+                if k:
+                    if count + k > max_instructions:
+                        k = max_instructions - count
+                    pcs = window.pcs
+                    thunks = window.thunks
+                    i = 0
+                    try:
+                        if window.has_store:
+                            generation = window.generation
+                            while i < k:
+                                thunks[i](state)
+                                i += 1
+                                if memory.code_generation != generation:
+                                    break   # self-modifying: re-decode
+                        else:
+                            while i < k:
+                                thunks[i](state)
+                                i += 1
+                    except BaseException:
+                        count += i
+                        if collect_trace:
+                            trace.extend(pcs[:i])
+                        state.rip = pcs[i]
+                        raise
                     count += i
                     if collect_trace:
                         trace.extend(pcs[:i])
-                    state.rip = pcs[i]
-                    raise
-                count += i
-                if collect_trace:
-                    trace.extend(pcs[:i])
-                state.rip = (pcs[i] if i < window.count
-                             else window.resume_pc)
-                continue
-        instruction, _ = _fetch(state, pc)
-        outcome = execute(state, instruction, pc)
-        count += 1
-        if collect_trace:
-            trace.append(pc)
-        if outcome.taken is not None and instruction.spec.cond is not None:
-            branch_events.append((pc, outcome.taken))
-        state.rip = outcome.next_pc
-        if outcome.halt:
-            return InterpResult(InterpStop.HALT, count, trace,
-                                branch_events)
-        if outcome.syscall:
-            if syscall_handler is None or not syscall_handler(state):
-                return InterpResult(InterpStop.SYSCALL, count, trace,
+                    state.rip = (pcs[i] if i < window.count
+                                 else window.resume_pc)
+                    continue
+            instruction, _ = _fetch(state, pc)
+            outcome = execute(state, instruction, pc)
+            count += 1
+            if collect_trace:
+                trace.append(pc)
+            if (outcome.taken is not None
+                    and instruction.spec.cond is not None):
+                branch_events.append((pc, outcome.taken))
+            state.rip = outcome.next_pc
+            if outcome.halt:
+                return InterpResult(InterpStop.HALT, count, trace,
                                     branch_events)
+            if outcome.syscall:
+                if syscall_handler is None or not syscall_handler(state):
+                    return InterpResult(InterpStop.SYSCALL, count, trace,
+                                        branch_events)
+    finally:
+        _fold_run_counters("cpu.interp", count)
     raise SimulationTimeout(
         f"run_function exceeded {max_instructions} instructions",
         budget=max_instructions, executed=count)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..cpu.config import CpuGeneration
 from ..cpu.core import Core
 from ..cpu.state import MachineState
@@ -90,7 +91,12 @@ def run_experiment(name: str, request: RunRequest) -> str:
         known = ", ".join(EXPERIMENTS)
         raise CampaignError(
             f"unknown experiment {name!r}; known: {known}") from None
-    return spec.runner(request)
+    sink = telemetry.current()
+    if sink is None:
+        return spec.runner(request)
+    sink.count("exp.runs")
+    with sink.span(f"exp.{name}"):
+        return spec.runner(request)
 
 
 @dataclass

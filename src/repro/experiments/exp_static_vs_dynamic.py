@@ -17,10 +17,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..analysis import ascii_table
 from ..analysis.aliasing import build_alias_map
 from ..analysis.cfg import CodeImage, linear_sweep
-from ..analysis.differential import DifferentialReport, validate_victim
+from ..analysis.differential import (DifferentialReport, btb_insertions,
+                                     false_hit_blocks, validate_victim)
 from ..cpu.config import CpuGeneration, generation
 from ..isa.assembler import AssembledProgram, Assembler
 from ..memory.address import BLOCK_SIZE
@@ -95,22 +97,17 @@ def run_gadget_validation(config: Optional[CpuGeneration] = None
     amap = build_alias_map(
         linear_sweep(CodeImage.from_program(program)), config)
 
-    harness = CallHarness(config)
-    harness.load(program)
-    events: List[Tuple] = []
-    false_hits: List[Tuple[int, Tuple[int, int, int]]] = []
-    harness.core.btb.event_log = events
-    harness.core.false_hit_log = false_hits
-    f1 = program.address_of("F1")
-    f2 = program.address_of("F2")
-    harness.call(f1)                 # allocate the jmp's BTB entry
-    harness.call(f2)                 # aliased fetch -> false hit
+    with telemetry.session(trace=True) as sink:
+        harness = CallHarness(config)
+        harness.load(program)
+        f1 = program.address_of("F1")
+        f2 = program.address_of("F2")
+        harness.call(f1)             # allocate the jmp's BTB entry
+        harness.call(f2)             # aliased fetch -> false hit
 
-    observed = {(coord, pc & ~(BLOCK_SIZE - 1))
-                for pc, coord in false_hits}
+    observed = false_hit_blocks(sink.events)
     predicted = amap.false_hit_blocks
-    insertions = {(tag, set_index, offset)
-                  for _e, tag, set_index, offset, _t, _k in events}
+    insertions = btb_insertions(sink.events)
     return {
         "observed_false_hits": sorted(observed),
         "predicted_false_hits": sorted(predicted),

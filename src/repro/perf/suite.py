@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..cpu import Core, MachineState, StopReason, interpret, set_fast_path
 from ..cpu.config import DEFAULT_GENERATION
 from ..isa.assembler import Assembler
@@ -41,6 +42,12 @@ SCHEMA_VERSION = 1
 
 #: default regression threshold for baseline comparison (25%)
 DEFAULT_THRESHOLD = 0.25
+
+#: budget for telemetry-enabled runtime overhead on the core hot loop.
+#: Disabled mode does strictly less work at every instrumentation site
+#: (a single ``is None`` check at most), so gating the *enabled* cost
+#: below this bound also bounds the disabled cost from above.
+TELEMETRY_THRESHOLD = 0.03
 
 
 @dataclass
@@ -216,6 +223,75 @@ _WORKLOADS: Tuple[Callable[[bool], BenchResult], ...] = (
 
 
 # ----------------------------------------------------------------------
+# telemetry overhead
+# ----------------------------------------------------------------------
+def measure_telemetry_overhead(*, quick: bool = False
+                               ) -> Dict[str, object]:
+    """Pair the core hot loop with telemetry off (no sink — the
+    default) against a counters-only session.
+
+    Rounds interleave the two modes and each side keeps its best time,
+    so scheduler jitter cancels instead of accumulating on one side.
+    The returned ``overhead`` is ``enabled/disabled - 1``; the sampled
+    counter snapshot documents what the enabled run recorded.
+    """
+    program = _straightline_program(1_000 if quick else 5_000)
+
+    def workload() -> int:
+        state = _fresh_state(program)
+        core = Core()
+        return core.run(state).instructions
+
+    rounds = 3 if quick else 5
+    disabled_s = float("inf")
+    enabled_s = float("inf")
+    work = 0
+    counters: Dict[str, int] = {}
+    previous = set_fast_path(True)
+    try:
+        workload()                       # warm the decode caches
+        for _ in range(rounds):
+            started = time.perf_counter()
+            work = workload()
+            disabled_s = min(disabled_s,
+                             time.perf_counter() - started)
+            with telemetry.session() as sink:
+                started = time.perf_counter()
+                work = workload()
+                enabled_s = min(enabled_s,
+                                time.perf_counter() - started)
+            counters = sink.snapshot()
+    finally:
+        set_fast_path(previous)
+    overhead = (enabled_s / disabled_s - 1.0) if disabled_s else 0.0
+    return {
+        "unit": "instructions",
+        "work": work,
+        "disabled_seconds": round(disabled_s, 6),
+        "enabled_seconds": round(enabled_s, 6),
+        "overhead": round(overhead, 4),
+        "counters": counters,
+    }
+
+
+def check_telemetry_overhead(payload: Dict[str, object],
+                             threshold: float = TELEMETRY_THRESHOLD
+                             ) -> List[str]:
+    """The <3% gate: telemetry-enabled runtime must stay within
+    ``threshold`` of the disabled runtime (which upper-bounds the
+    disabled-mode cost — see :data:`TELEMETRY_THRESHOLD`).  Returns
+    human-readable failures; empty means pass."""
+    info = payload.get("telemetry")
+    if not isinstance(info, dict):
+        return ["telemetry: overhead section missing from report"]
+    overhead = float(info.get("overhead", 0.0))
+    if overhead > threshold:
+        return [f"telemetry: enabled-mode overhead {overhead:.1%} "
+                f"exceeds the {threshold:.0%} budget"]
+    return []
+
+
+# ----------------------------------------------------------------------
 # suite driver
 # ----------------------------------------------------------------------
 def run_suite(*, quick: bool = False,
@@ -230,11 +306,17 @@ def run_suite(*, quick: bool = False,
         say(f"{result.name:24s} slow {result.slow_rate:12.1f} "
             f"{result.unit}/s  fast {result.fast_rate:12.1f} "
             f"{result.unit}/s  speedup {result.speedup:5.2f}x")
+    overhead = measure_telemetry_overhead(quick=quick)
+    say(f"{'telemetry_overhead':24s} disabled "
+        f"{overhead['disabled_seconds']:.6f}s  enabled "
+        f"{overhead['enabled_seconds']:.6f}s  overhead "
+        f"{float(overhead['overhead']):+.1%}")
     return {
         "schema": SCHEMA_VERSION,
         "suite": "perf",
         "quick": quick,
         "benchmarks": benchmarks,
+        "telemetry": overhead,
     }
 
 
@@ -289,6 +371,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=DEFAULT_THRESHOLD,
                         help="allowed fractional speedup regression "
                              "(default: 0.25)")
+    parser.add_argument("--telemetry-threshold", type=float,
+                        default=TELEMETRY_THRESHOLD,
+                        help="allowed fractional telemetry overhead "
+                             "on the core hot loop (default: 0.03)")
     args = parser.parse_args(argv)
 
     def echo(line: str) -> None:
@@ -313,12 +399,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline = json.load(handle)
         regressions = compare_to_baseline(payload, baseline,
                                           args.threshold)
+        regressions += check_telemetry_overhead(
+            payload, args.telemetry_threshold)
         if regressions:
             for line in regressions:
                 print(f"PERF REGRESSION: {line}", file=sys.stderr)
             return 1
         print(f"no regressions vs {args.compare} "
-              f"(threshold {args.threshold:.0%})")
+              f"(threshold {args.threshold:.0%}, telemetry "
+              f"{args.telemetry_threshold:.0%})")
     return 0
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from .. import telemetry
 from ..errors import CampaignError, SimulationTimeout, WorkerCrashed
 from .artifacts import (atomic_write_bytes, atomic_write_json,
                         atomic_write_text, digest_text)
@@ -172,6 +173,7 @@ class CampaignRunner:
         self._inflight[record.job_id] = WorkerHandle(
             spec=record.spec, attempt=attempt, process=process,
             conn=recv_conn, heartbeat=heartbeat)
+        telemetry.count("runner.job.launches")
         self._event(record.job_id, f"attempt {attempt} started "
                                    f"(pid {process.pid})")
 
@@ -183,17 +185,19 @@ class CampaignRunner:
             delay = self._backoff(record.attempts)
             record.status = JobStatus.PENDING
             record.eligible_at = time.monotonic() + delay
+            telemetry.count("runner.job.retries")
             self._event(record.job_id,
                         f"{status.value.lower()} ({message}); retrying "
                         f"in {delay:.2f}s "
                         f"({record.attempts_left()} attempts left)")
         else:
             record.status = status
+            telemetry.count(f"runner.job.{status.value.lower()}")
             self._event(record.job_id, f"{status.value} ({message})")
         self.manifest.save()
 
-    def _complete(self, record: JobRecord, output: str,
-                  duration: float) -> None:
+    def _complete(self, record: JobRecord, output: str, duration: float,
+                  counters: Optional[Dict[str, int]] = None) -> None:
         artifact = Path("artifacts") / f"{record.job_id}.txt"
         atomic_write_text(self.manifest.directory / artifact, output)
         record.attempts += 1
@@ -202,7 +206,9 @@ class CampaignRunner:
         record.digest = digest_text(output)
         record.artifact = str(artifact)
         record.error = ""
+        record.counters = dict(counters or {})
         self.manifest.save()
+        telemetry.count("runner.job.completed")
         self._event(record.job_id,
                     f"COMPLETED in {duration:.2f}s "
                     f"(digest {record.digest[:12]})")
@@ -233,8 +239,11 @@ class CampaignRunner:
             return
         kind = message[0]
         if kind == "ok":
-            _, output, duration = message
-            self._complete(record, output, duration)
+            # Pre-telemetry workers sent 3-tuples; current ones append
+            # the counter snapshot.
+            _, output, duration = message[:3]
+            counters = message[3] if len(message) > 3 else None
+            self._complete(record, output, duration, counters)
             return
         _, error, text, transient, _duration = message
         timed_out = isinstance(error, SimulationTimeout) and \
@@ -242,11 +251,29 @@ class CampaignRunner:
         status = JobStatus.TIMED_OUT if timed_out else JobStatus.FAILED
         self._retry_or_fail(record, status, text, transient=transient)
 
+    def _finalize_closed_pipe(self, handle: WorkerHandle) -> None:
+        """The result pipe is gone: no message can ever arrive, so the
+        attempt is settled as a crash *now* — even if the process is
+        still alive (wedged), waiting out the watchdog budget would buy
+        nothing."""
+        was_alive = handle.alive()
+        handle.kill()
+        del self._inflight[handle.job_id]
+        record = self.manifest.jobs[handle.job_id]
+        detail = ("result pipe closed with the worker still alive"
+                  if was_alive else "result pipe closed")
+        crash = WorkerCrashed(
+            f"worker for {handle.job_id!r} lost its result pipe "
+            f"({detail})", exitcode=handle.process.exitcode)
+        self._retry_or_fail(record, JobStatus.CRASHED, str(crash),
+                            transient=True)
+
     def _kill_timed_out(self, handle: WorkerHandle,
                         reason: str) -> None:
         handle.kill()
         del self._inflight[handle.job_id]
         record = self.manifest.jobs[handle.job_id]
+        telemetry.count("runner.watchdog.kills")
         self._retry_or_fail(record, JobStatus.TIMED_OUT,
                             f"watchdog: {reason}", transient=True)
 
@@ -255,14 +282,18 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def _interrupt(self, chaos_victim: WorkerHandle) -> None:
         """A chaos kill interrupts the whole campaign, the way a real
-        box dies: the victim's record shows the crash, every other
+        box dies: the victim's interrupted attempt is accounted through
+        :meth:`_retry_or_fail` exactly like an ordinary worker crash
+        (attempt counted, retry/backoff policy applied), every other
         in-flight job rolls back to PENDING (their interrupted attempt
         never reported), and the manifest is flagged for resume."""
         victim_record = self.manifest.jobs[chaos_victim.job_id]
-        victim_record.status = JobStatus.CRASHED
-        victim_record.error = "chaos: worker SIGKILLed mid-campaign"
         del self._inflight[chaos_victim.job_id]
+        telemetry.count("runner.chaos.kills")
         self._event(chaos_victim.job_id, "chaos: worker SIGKILLed")
+        self._retry_or_fail(victim_record, JobStatus.CRASHED,
+                            "chaos: worker SIGKILLed mid-campaign",
+                            transient=True)
         for handle in list(self._inflight.values()):
             handle.kill()
             record = self.manifest.jobs[handle.job_id]
@@ -275,6 +306,35 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
+    def _launch_pass(self, now: float) -> None:
+        """Launch runnable jobs up to the worker limit."""
+        for record in self.manifest.records():
+            if len(self._inflight) >= self.max_workers:
+                break
+            if record.job_id in self._inflight:
+                continue
+            if record.runnable(now):
+                self._launch(record)
+
+    def _settle_pass(self, now: float) -> None:
+        """Settle finished, pipe-less, and overdue workers."""
+        for handle in list(self._inflight.values()):
+            try:
+                has_message = handle.conn.poll(0)
+            except OSError:
+                # The pipe is closed (chaos kill, or the worker's end
+                # died) — no result can ever arrive, so finalize as a
+                # crash immediately rather than waiting for the
+                # process to die or the watchdog budget to expire.
+                self._finalize_closed_pipe(handle)
+                continue
+            if has_message or not handle.alive():
+                self._finalize(handle)
+                continue
+            reason = self.watchdog.overdue(handle, now)
+            if reason is not None:
+                self._kill_timed_out(handle, reason)
+
     def run(self) -> RunManifest:
         """Drive every runnable job to a terminal state (or until a
         chaos interruption).  Returns the (saved) manifest."""
@@ -284,26 +344,8 @@ class CampaignRunner:
         try:
             while True:
                 now = time.monotonic()
-                # ----- launch ------------------------------------------
-                for record in manifest.records():
-                    if len(self._inflight) >= self.max_workers:
-                        break
-                    if record.job_id in self._inflight:
-                        continue
-                    if record.runnable(now):
-                        self._launch(record)
-                # ----- settle finished / overdue workers ---------------
-                for handle in list(self._inflight.values()):
-                    try:
-                        has_message = handle.conn.poll(0)
-                    except OSError:     # pipe closed by a chaos kill
-                        has_message = False
-                    if has_message or not handle.alive():
-                        self._finalize(handle)
-                        continue
-                    reason = self.watchdog.overdue(handle, now)
-                    if reason is not None:
-                        self._kill_timed_out(handle, reason)
+                self._launch_pass(now)
+                self._settle_pass(now)
                 # ----- chaos -------------------------------------------
                 if self.chaos is not None and not self.chaos.exhausted:
                     victim = self.chaos.maybe_kill(

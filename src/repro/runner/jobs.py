@@ -125,6 +125,10 @@ class JobRecord:
     artifact: str = ""
     #: message of the final error (non-COMPLETED terminal states)
     error: str = ""
+    #: deterministic telemetry counter snapshot from the successful
+    #: attempt (see :mod:`repro.telemetry`; empty for pre-telemetry
+    #: manifests and failed jobs)
+    counters: Dict[str, int] = field(default_factory=dict)
     #: monotonic timestamp before which no retry may launch
     eligible_at: float = field(default=0.0, repr=False, compare=False)
 
@@ -150,6 +154,8 @@ class JobRecord:
             "digest": self.digest,
             "artifact": self.artifact,
             "error": self.error,
+            "counters": {name: self.counters[name]
+                         for name in sorted(self.counters)},
         }
 
     @classmethod
@@ -162,6 +168,7 @@ class JobRecord:
             digest=str(payload["digest"]),
             artifact=str(payload["artifact"]),
             error=str(payload["error"]),
+            counters=dict(payload.get("counters", {})),
         )
 
 

@@ -10,11 +10,14 @@ The parent forks one process per attempt; the child
    job's wall-clock budget, so a non-terminating victim raises
    :class:`SimulationTimeout` in-band before the watchdog has to
    SIGKILL anything;
-3. runs the job and ships ``("ok", output, duration)`` or
+3. runs the job inside a counters-only :func:`repro.telemetry.session`
+   and ships ``("ok", output, duration, counters)`` or
    ``("error", exception, message, transient, duration)`` back over
    the result pipe.  Exceptions cross the process boundary pickled
    (see the ``__reduce__`` support in :mod:`repro.errors`); anything
-   unpicklable degrades to its message.
+   unpicklable degrades to its message — and if even *that* send fails
+   (broken pipe after a parent-side kill) the worker exits with
+   :data:`SEND_FAILED_EXIT` instead of dying silently as a 0.
 
 Worker death without a message (SIGKILL, segfault) is detected by the
 parent from the exit code and treated as a transient
@@ -30,12 +33,18 @@ import time
 from hashlib import sha256
 from typing import Optional, Tuple
 
+from .. import telemetry
 from ..errors import (CalibrationError, CampaignError, MeasurementError,
                       MeasurementUnstable, ReproError, SimulationTimeout)
 from .jobs import KIND_EXPERIMENT, KIND_SELFTEST, JobSpec
 
 #: seconds between heartbeat stamps
 HEARTBEAT_INTERVAL = 0.05
+
+#: exit code when no result message could reach the parent at all —
+#: nonzero so the parent's died-without-a-result path classifies the
+#: attempt as a crash instead of mistaking it for a clean exit
+SEND_FAILED_EXIT = 70
 
 #: fraction of the wall-clock budget given to the in-band interpreter
 #: deadline (the watchdog keeps the full budget as the hard backstop)
@@ -63,7 +72,10 @@ def _run_selftest(spec: JobSpec, attempt: int) -> str:
       optional sleep widens the chaos-kill window);
     * ``fail:<k>`` — raise :class:`MeasurementUnstable` on the first
       ``k`` attempts, succeed afterwards;
-    * ``crash:<k>`` — SIGKILL ourselves on the first ``k`` attempts.
+    * ``crash:<k>`` — SIGKILL ourselves on the first ``k`` attempts;
+    * ``badpickle`` — raise an exception whose class cannot be
+      pickled (it is function-local), exercising ``_send_error``'s
+      fallback paths.
     """
     program, _, argument = spec.name.partition(":")
     if program == "hang":
@@ -90,6 +102,11 @@ def _run_selftest(spec: JobSpec, attempt: int) -> str:
         if attempt <= int(argument or "1"):
             os.kill(os.getpid(), signal.SIGKILL)
         return "survived"
+    if program == "badpickle":
+        class _UnpicklableError(Exception):
+            """Function-local, so pickle cannot resolve the class."""
+        raise _UnpicklableError(
+            f"unpicklable selftest error (seed={spec.seed})")
     raise CampaignError(f"unknown selftest program {spec.name!r}")
 
 
@@ -119,11 +136,21 @@ def _send_error(conn, error: BaseException, duration: float) -> None:
                       is_transient(error), duration)
     try:
         conn.send(payload)
+        return
     except Exception:
         # Unpicklable exception (shouldn't happen for ReproErrors —
-        # pinned by tests — but third-party errors make no promises).
+        # pinned by tests — but third-party errors make no promises):
+        # degrade to the message-only payload.
+        pass
+    try:
         conn.send(("error", None, f"{type(error).__name__}: {error}",
                    is_transient(error), duration))
+    except Exception:
+        # The fallback send failed too — typically a broken pipe after
+        # a parent-side kill.  Nothing can reach the parent, so exit
+        # nonzero: the parent's died-without-a-result path is the only
+        # remaining reaper and must not see a clean exit code.
+        os._exit(SEND_FAILED_EXIT)
 
 
 def worker_main(spec_dict: dict, attempt: int, conn, heartbeat) -> None:
@@ -137,13 +164,17 @@ def worker_main(spec_dict: dict, attempt: int, conn, heartbeat) -> None:
     from ..cpu.interp import set_ambient_deadline
     set_ambient_deadline(started + spec.timeout_s * _DEADLINE_FRACTION)
     try:
-        output = execute_job(spec, attempt)
+        # Counters only (no trace): the snapshot rides back with the
+        # result and lands in the manifest's per-job record.
+        with telemetry.session() as sink:
+            output = execute_job(spec, attempt)
     except ReproError as error:
         _send_error(conn, error, time.monotonic() - started)
     except BaseException as error:      # noqa: BLE001 - report, don't die
         _send_error(conn, error, time.monotonic() - started)
     else:
-        conn.send(("ok", output, time.monotonic() - started))
+        conn.send(("ok", output, time.monotonic() - started,
+                   sink.snapshot()))
     finally:
         set_ambient_deadline(None)
         stop.set()

@@ -1,0 +1,272 @@
+"""Unified observability: counters, spans, and a structured trace.
+
+The paper's results are distributions over micro-architectural events —
+BTB insertions and deallocations, false hits, squashes, LBR records —
+and the campaigns that produce them add a second population of events
+worth counting: probe attempts and retries, job attempts, backoff
+delays, watchdog kills.  Before this module each layer grew its own
+ad-hoc instrumentation (``BTB.event_log``, ``Core.false_hit_log``);
+this package replaces them with one sink shared by every layer:
+
+* **counters** — monotonically increasing integer counts keyed by
+  dotted event names (``cpu.btb.insert``, ``core.probe.retries``,
+  ``runner.watchdog.kills``);
+* **spans** — named wall-clock timings (count + total seconds) for
+  coarse phases such as one experiment run;
+* **trace** — an optional structured event stream, one JSON object per
+  event, serialised as JSON lines.
+
+Determinism contract (see DESIGN.md §11)
+----------------------------------------
+Counters and trace events record *simulated* facts only; given a fixed
+seed they are byte-reproducible (``repro trace`` twice → identical
+files).  Spans record host wall-clock time and are therefore excluded
+from every digest and from the default ``repro stats`` output.  Events
+originating in the campaign *runner* interleave with real scheduling
+and are exempt from the byte-stability guarantee — only their per-job
+counter totals are deterministic.
+
+Overhead contract
+-----------------
+Disabled (no sink installed — the default) the instrumented layers pay
+one ``is None`` check per *rare* event at most: every hot-loop count is
+either derived from totals the layers already maintain or folded in at
+run boundaries.  The perf suite's ``telemetry_overhead`` workload gates
+the *enabled* cost below 3 %, which bounds the disabled cost from
+above (disabled mode does strictly less work at every site).
+
+Usage
+-----
+>>> from repro import telemetry
+>>> with telemetry.session(trace=True) as sink:
+...     run_experiment("fig2", RunRequest(fast=True, seed=0))
+>>> sink.counters["cpu.btb.dealloc"]
+>>> telemetry.render_trace(sink)          # canonical JSONL
+
+Layers capture the active sink at construction time
+(:func:`current`), so objects built inside a ``session`` report to it
+automatically; :meth:`repro.cpu.core.Core.attach_telemetry` rebinds an
+existing core.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "TelemetrySink",
+    "count",
+    "counters_digest",
+    "current",
+    "emit",
+    "install",
+    "render_stats",
+    "render_trace",
+    "session",
+    "trace_digest",
+    "uninstall",
+]
+
+
+class TelemetrySink:
+    """One observability scope: counters + spans + optional trace.
+
+    Not thread-safe by design — the simulator is single-threaded and
+    campaign workers each install their own sink in their own process.
+    """
+
+    __slots__ = ("counters", "events", "timings", "trace_enabled",
+                 "_seq", "_sources", "_finalized")
+
+    def __init__(self, *, trace: bool = False):
+        #: dotted event name -> integer count (deterministic)
+        self.counters: Dict[str, int] = {}
+        #: structured trace records, in emission order (deterministic)
+        self.events: List[dict] = []
+        #: span name -> [count, total_seconds] (wall clock — excluded
+        #: from digests and from deterministic output)
+        self.timings: Dict[str, List[float]] = {}
+        self.trace_enabled = bool(trace)
+        self._seq = 0
+        self._sources: List[Callable[[], Dict[str, int]]] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the ``name`` counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def emit(self, name: str, fields: Optional[dict] = None) -> None:
+        """Count the event and, with tracing on, append a trace record.
+
+        ``fields`` must hold JSON-serialisable, *deterministic* values
+        (addresses, BTB coordinates, kinds) — never wall-clock time.
+        """
+        self.counters[name] = self.counters.get(name, 0) + 1
+        if self.trace_enabled:
+            record = {"seq": self._seq, "ev": name}
+            if fields:
+                record.update(fields)
+            self.events.append(record)
+        self._seq += 1
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a phase; accumulates into :attr:`timings`."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            entry = self.timings.get(name)
+            if entry is None:
+                self.timings[name] = [1, elapsed]
+            else:
+                entry[0] += 1
+                entry[1] += elapsed
+
+    # ------------------------------------------------------------------
+    # deferred counter sources (hot layers fold totals at finalize)
+    # ------------------------------------------------------------------
+    def register(self, source: Callable[[], Dict[str, int]]) -> None:
+        """Register a callable returning counter totals to fold in at
+        :meth:`finalize` — how per-lookup-hot layers (BTB stats) report
+        without paying a per-event dict update."""
+        self._sources.append(source)
+
+    def finalize(self) -> "TelemetrySink":
+        """Fold registered sources into the counters (idempotent)."""
+        if not self._finalized:
+            self._finalized = True
+            for source in self._sources:
+                for name, value in source().items():
+                    if value:
+                        self.count(name, value)
+        return self
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Sorted copy of the (finalized) counters — what campaign
+        workers ship back to the manifest."""
+        self.finalize()
+        return {name: self.counters[name]
+                for name in sorted(self.counters)}
+
+
+# ----------------------------------------------------------------------
+# module-level active sink
+# ----------------------------------------------------------------------
+_SINK: Optional[TelemetrySink] = None
+
+
+def current() -> Optional[TelemetrySink]:
+    """The active sink, or None when telemetry is disabled."""
+    return _SINK
+
+
+def install(sink: TelemetrySink) -> TelemetrySink:
+    """Make ``sink`` the active sink (prefer :func:`session`)."""
+    global _SINK
+    _SINK = sink
+    return sink
+
+
+def uninstall() -> Optional[TelemetrySink]:
+    """Disable telemetry; returns the previously active sink."""
+    global _SINK
+    previous = _SINK
+    _SINK = None
+    if previous is not None:
+        previous.finalize()
+    return previous
+
+
+@contextmanager
+def session(*, trace: bool = False) -> Iterator[TelemetrySink]:
+    """Install a fresh sink for the duration of the block.
+
+    The sink is finalized (deferred counter sources folded in) on the
+    way out, and the previously active sink — usually None — is
+    restored, so sessions nest.
+    """
+    global _SINK
+    previous = _SINK
+    sink = TelemetrySink(trace=trace)
+    _SINK = sink
+    try:
+        yield sink
+    finally:
+        _SINK = previous
+        sink.finalize()
+
+
+def count(name: str, n: int = 1) -> None:
+    """Count against the active sink, if any (cold paths only)."""
+    sink = _SINK
+    if sink is not None:
+        sink.count(name, n)
+
+
+def emit(name: str, fields: Optional[dict] = None) -> None:
+    """Emit against the active sink, if any (cold paths only)."""
+    sink = _SINK
+    if sink is not None:
+        sink.emit(name, fields)
+
+
+# ----------------------------------------------------------------------
+# canonical serialisation (byte-stable under a fixed seed)
+# ----------------------------------------------------------------------
+def render_trace(sink: TelemetrySink) -> str:
+    """Canonical JSON-lines form of the trace: one event per line,
+    sorted keys, no whitespace — byte-identical across runs with the
+    same seed."""
+    lines = [json.dumps(event, sort_keys=True, separators=(",", ":"))
+             for event in sink.events]
+    return "".join(line + "\n" for line in lines)
+
+
+def trace_digest(sink: TelemetrySink) -> str:
+    return hashlib.sha256(
+        render_trace(sink).encode("utf-8")).hexdigest()
+
+
+def counters_digest(counters: Dict[str, int]) -> str:
+    """Stable digest of a counter mapping (order-insensitive)."""
+    canonical = json.dumps(counters, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def render_stats(sink: TelemetrySink, *,
+                 timings: bool = False) -> str:
+    """Printable counter report.
+
+    Deterministic by default; ``timings=True`` appends the wall-clock
+    span section (explicitly non-reproducible, never digested).
+    """
+    sink.finalize()
+    names = sorted(sink.counters)
+    width = max((len(name) for name in names), default=7)
+    lines = ["counter".ljust(width) + "  count",
+             "-" * width + "  -----"]
+    for name in names:
+        lines.append(f"{name.ljust(width)}  {sink.counters[name]}")
+    lines.append(f"events traced: {len(sink.events)}")
+    lines.append(f"stats digest: {counters_digest(sink.snapshot())}")
+    if timings:
+        lines.append("")
+        lines.append("span timings (wall clock; not reproducible):")
+        for name in sorted(sink.timings):
+            calls, total = sink.timings[name]
+            lines.append(f"  {name}: {int(calls)} call(s), "
+                         f"{total:.3f}s total")
+    return "\n".join(lines) + "\n"

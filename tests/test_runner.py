@@ -400,6 +400,195 @@ def test_chaos_monkey_validation_and_determinism():
 
 
 # ----------------------------------------------------------------------
+# chaos-interrupt accounting: the victim's attempt is charged through
+# the same retry/fail path as an ordinary worker crash
+# ----------------------------------------------------------------------
+def _interrupted_records(tmp_path, campaign_id, max_attempts):
+    specs = [_selftest("solo", "work:100:2.0",
+                       max_attempts=max_attempts)]
+    chaos = ChaosMonkey(mode="kill-worker", kills=1, delay_s=0.05,
+                        seed=1)
+    manifest = run_campaign(specs, tmp_path, campaign_id=campaign_id,
+                            seed=0, max_workers=1, chaos=chaos,
+                            backoff_base=0.01, backoff_cap=0.05)
+    assert manifest.interrupted
+    return manifest.jobs["solo"]
+
+
+def test_chaos_victim_attempt_counted_with_retries_left(tmp_path):
+    record = _interrupted_records(tmp_path, "chaos-acct", 3)
+    # One attempt spent, retry policy applied: back to PENDING with
+    # backoff — exactly what an ordinary worker crash produces.
+    assert record.attempts == 1
+    assert record.status is JobStatus.PENDING
+    assert "chaos" in record.error
+    # The interrupted manifest resumes to completion.
+    resumed = run_campaign([], tmp_path, campaign_id="chaos-acct",
+                           resume=True, backoff_base=0.01,
+                           backoff_cap=0.05)
+    assert resumed.all_completed()
+    # (resume zeroes attempt counts, so the fresh run records 1)
+    assert resumed.jobs["solo"].attempts == 1
+
+
+def test_chaos_victim_exhausts_budget_like_ordinary_crash(tmp_path):
+    record = _interrupted_records(tmp_path, "chaos-budget", 1)
+    # No attempts left: terminal CRASHED, not a silent PENDING reset.
+    assert record.attempts == 1
+    assert record.status is JobStatus.CRASHED
+    assert "chaos" in record.error
+
+
+# ----------------------------------------------------------------------
+# _send_error fallback paths (satellite: double send failure)
+# ----------------------------------------------------------------------
+class _DeadConn:
+    """A pipe end whose every send raises."""
+
+    def __init__(self, failures=2):
+        self.failures = failures
+        self.sent = []
+
+    def send(self, payload):
+        if self.failures > 0:
+            self.failures -= 1
+            raise BrokenPipeError("no reader")
+        self.sent.append(payload)
+
+
+def test_send_error_falls_back_to_message_only():
+    from repro.runner.worker import _send_error
+    conn = _DeadConn(failures=1)
+    _send_error(conn, ValueError("boom"), 0.5)
+    assert len(conn.sent) == 1
+    kind, error, text, transient, duration = conn.sent[0]
+    assert kind == "error"
+    assert error is None                  # degraded: message only
+    assert "ValueError: boom" in text
+    assert transient is False
+    assert duration == 0.5
+
+
+def test_send_error_double_failure_exits_nonzero(monkeypatch):
+    from repro.runner import worker
+
+    exits = []
+
+    def fake_exit(code):
+        exits.append(code)
+        raise SystemExit(code)            # stop like the real one
+
+    monkeypatch.setattr(os, "_exit", fake_exit)
+    with pytest.raises(SystemExit):
+        worker._send_error(_DeadConn(failures=2), ValueError("boom"),
+                           0.1)
+    assert exits == [worker.SEND_FAILED_EXIT]
+    assert worker.SEND_FAILED_EXIT != 0
+
+
+def test_badpickle_error_degrades_to_message(tmp_path):
+    """An unpicklable exception still reaches the parent (as text) via
+    the fallback send, and the job fails loudly instead of hanging."""
+    specs = [_selftest("bp", "badpickle", max_attempts=1)]
+    manifest = run_campaign(specs, tmp_path, campaign_id="badpickle",
+                            seed=0)
+    record = manifest.jobs["bp"]
+    assert record.status is JobStatus.FAILED
+    assert "_UnpicklableError" in record.error
+    assert "unpicklable selftest error" in record.error
+
+
+def test_worker_without_reader_exits_send_failed(tmp_path):
+    """Both sends hit a broken pipe (no reader at all): the worker must
+    exit with SEND_FAILED_EXIT, never a clean 0."""
+    from repro.runner.worker import SEND_FAILED_EXIT, worker_main
+
+    ctx = multiprocessing.get_context("fork")
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    heartbeat = ctx.Value("d", 0.0, lock=False)
+    recv_conn.close()                     # nobody will ever read
+    spec = _selftest("orphan", "fail:99", max_attempts=1)
+    process = ctx.Process(target=worker_main,
+                          args=(spec.to_dict(), 1, send_conn,
+                                heartbeat))
+    process.start()
+    send_conn.close()
+    process.join(timeout=30.0)
+    assert process.exitcode == SEND_FAILED_EXIT
+
+
+# ----------------------------------------------------------------------
+# closed-pipe settle (satellite: don't wait out the watchdog)
+# ----------------------------------------------------------------------
+def test_closed_pipe_live_worker_finalizes_immediately(tmp_path):
+    from repro.runner import CampaignRunner
+
+    spec = _selftest("wedged", "sleep:30", timeout_s=60.0,
+                     max_attempts=1)
+    manifest = RunManifest.create("wedged", tmp_path, specs=[spec],
+                                  seed=0, created="t")
+    runner = CampaignRunner(manifest, max_workers=1,
+                            stall_timeout=60.0)
+    runner._launch_pass(time.monotonic())
+    handle = runner._inflight["wedged"]
+    assert handle.alive()
+    handle.conn.close()                   # the pipe dies, the worker
+    started = time.monotonic()            # stays alive (wedged)
+    runner._settle_pass(time.monotonic())
+    elapsed = time.monotonic() - started
+    # Settled as CRASHED *now* — not after the 60s budget.
+    assert elapsed < 10.0
+    assert not runner._inflight
+    record = manifest.jobs["wedged"]
+    assert record.status is JobStatus.CRASHED
+    assert record.attempts == 1
+    assert "result pipe closed" in record.error
+    assert "still alive" in record.error
+    assert not handle.alive()             # the zombie was reaped
+
+
+# ----------------------------------------------------------------------
+# telemetry integration: runner counters + per-job snapshots
+# ----------------------------------------------------------------------
+def test_runner_lifecycle_counters(tmp_path):
+    from repro import telemetry
+
+    specs = [_selftest("ok", "work:50"),
+             _selftest("flaky", "fail:1", max_attempts=3)]
+    with telemetry.session() as sink:
+        manifest = run_campaign(specs, tmp_path, campaign_id="count",
+                                seed=0, backoff_base=0.01,
+                                backoff_cap=0.05)
+    assert manifest.all_completed()
+    counters = sink.snapshot()
+    assert counters["runner.job.launches"] == 3   # ok + flaky twice
+    assert counters["runner.job.completed"] == 2
+    assert counters["runner.job.retries"] == 1
+
+
+def test_experiment_job_counters_land_in_manifest(tmp_path):
+    specs = experiment_jobs(fast=True, seed=0, only=["fig2"])
+    manifest = run_campaign(specs, tmp_path, campaign_id="tele",
+                            seed=0, max_workers=1)
+    assert manifest.all_completed()
+    record = manifest.jobs["fig2"]
+    assert record.counters["exp.runs"] == 1
+    assert record.counters["cpu.btb.lookups"] > 0
+    # The snapshot survives the manifest checkpoint round-trip.
+    loaded = RunManifest.load(tmp_path, "tele")
+    assert loaded.jobs["fig2"].counters == record.counters
+
+
+def test_selftest_job_counters_default_empty(tmp_path):
+    specs = [_selftest("quiet", "work:10")]
+    manifest = run_campaign(specs, tmp_path, campaign_id="quiet",
+                            seed=0)
+    assert manifest.jobs["quiet"].counters == {}
+    loaded = RunManifest.load(tmp_path, "quiet")
+    assert loaded.jobs["quiet"].counters == {}
+
+
+# ----------------------------------------------------------------------
 # interpreter deadline guard (satellite: step/cycle budget)
 # ----------------------------------------------------------------------
 def _infinite_loop_state():

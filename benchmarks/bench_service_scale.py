@@ -1,0 +1,139 @@
+"""Service-scale benchmark: scheduler overhead and recovery latency
+of the sharded campaign service (:mod:`repro.service`).
+
+Two questions, answered with deterministic selftest workloads so the
+numbers isolate the *scheduler*, not the experiments:
+
+* **scale-out overhead** — wall-clock per job as the same campaign
+  spreads across 1, 2, and 4 shard fault domains.  Sharding pays a
+  process-group launch + merge cost; it must stay a small constant,
+  not grow with job count;
+* **recovery latency** — how long a campaign that loses a whole
+  shard (SIGKILLed process group, breaker threshold 1) takes to
+  quarantine, reassign, and still converge to the clean aggregate
+  digest — the robustness headline of DESIGN.md §12.
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_scale.py [--smoke]
+
+``--smoke`` runs a reduced matrix (CI-friendly, a few seconds).
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from conftest import report    # pytest: terminal-summary buffer
+except ImportError:                # standalone: no conftest needed
+    report = None
+
+from repro.analysis import ascii_table
+from repro.runner.jobs import JobSpec, KIND_SELFTEST
+from repro.service import (CHAOS_KILL_SHARD, ServiceChaos,
+                           run_service_campaign)
+
+
+def _specs(count, program="work:50:0.01"):
+    return [JobSpec(job_id=f"j{index:03d}", kind=KIND_SELFTEST,
+                    name=program, seed=0, timeout_s=60.0,
+                    max_attempts=2)
+            for index in range(count)]
+
+
+def _aggregate_digest(runs_dir, campaign_id):
+    path = Path(runs_dir) / campaign_id / "aggregate.json"
+    return json.loads(path.read_text())["digest"]
+
+
+def _scale_sweep(*, jobs, shard_counts, seed=7):
+    rows = []
+    digests = set()
+    with tempfile.TemporaryDirectory() as runs_dir:
+        for shards in shard_counts:
+            started = time.monotonic()
+            manifest = run_service_campaign(
+                _specs(jobs), runs_dir,
+                campaign_id=f"scale-{shards}", seed=seed,
+                shards=shards)
+            elapsed = time.monotonic() - started
+            assert manifest.status == "COMPLETED", manifest.status
+            digests.add(_aggregate_digest(runs_dir,
+                                          f"scale-{shards}"))
+            rows.append((shards, jobs, f"{elapsed:.2f}s",
+                         f"{1000 * elapsed / jobs:.0f}ms"))
+    # the aggregate digest is layout-independent: every shard count
+    # must merge to the same bytes
+    assert len(digests) == 1, digests
+    return ascii_table(("shards", "jobs", "wall", "per-job"), rows)
+
+
+def _recovery_probe(*, jobs, seed=7):
+    # slow enough that the kill lands while the victim shard is
+    # still mid-flight
+    specs = _specs(jobs, program="work:50:0.2")
+    with tempfile.TemporaryDirectory() as runs_dir:
+        started = time.monotonic()
+        run_service_campaign(specs, runs_dir,
+                             campaign_id="clean", seed=seed, shards=2)
+        clean_s = time.monotonic() - started
+        clean_digest = _aggregate_digest(runs_dir, "clean")
+
+        chaos = ServiceChaos(mode=CHAOS_KILL_SHARD, strikes=1,
+                             delay_s=0.1, seed=1, target="s00")
+        started = time.monotonic()
+        manifest = run_service_campaign(
+            specs, runs_dir, campaign_id="chaos", seed=seed,
+            shards=2, options={"breaker_threshold": 1}, chaos=chaos)
+        chaos_s = time.monotonic() - started
+        assert manifest.status == "COMPLETED", manifest.status
+        assert manifest.shards["s00"].status == "QUARANTINED"
+        assert _aggregate_digest(runs_dir, "chaos") == clean_digest
+    overhead = chaos_s - clean_s
+    return (f"clean {clean_s:.2f}s vs shard-loss {chaos_s:.2f}s "
+            f"(+{overhead:.2f}s to quarantine, reassign, and "
+            f"converge byte-identically)")
+
+
+def test_service_scale_overhead(benchmark):
+    body = benchmark.pedantic(
+        lambda: _scale_sweep(jobs=12, shard_counts=(1, 2, 4)),
+        rounds=1, iterations=1)
+    report("Service — scale-out overhead per fault domain", body)
+
+
+def test_service_recovery_latency(benchmark):
+    body = benchmark.pedantic(lambda: _recovery_probe(jobs=8),
+                              rounds=1, iterations=1)
+    report("Service — shard-loss recovery latency", body)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded service scheduler overhead + recovery "
+                    "latency")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced matrix (CI-friendly)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        print("--- Service scale (smoke) ---")
+        print(_scale_sweep(jobs=6, shard_counts=(1, 2),
+                           seed=args.seed))
+        print("--- Recovery (smoke) ---")
+        print(_recovery_probe(jobs=4, seed=args.seed))
+        return 0
+    print("--- Service scale-out overhead ---")
+    print(_scale_sweep(jobs=24, shard_counts=(1, 2, 4),
+                       seed=args.seed))
+    print("--- Shard-loss recovery latency ---")
+    print(_recovery_probe(jobs=12, seed=args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

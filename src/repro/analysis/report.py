@@ -96,5 +96,37 @@ def campaign_block(campaign_id: str,
     return "\n".join(lines)
 
 
+def service_block(campaign_id: str, status: str,
+                  shards: Sequence[Tuple[str, str, int, int, int,
+                                         str]],
+                  jobs: Sequence[Tuple[str, int]],
+                  lost: Sequence[Tuple[str, Sequence[str]]] = (),
+                  digest: str = "") -> str:
+    """Render a sharded service campaign summary.
+
+    ``shards`` rows are ``(shard_id, status, jobs, strikes, restarts,
+    origin)`` and ``jobs`` rows ``(status, count)`` — plain tuples
+    keep the renderer decoupled from :mod:`repro.service`, like
+    :func:`campaign_block` is from the runner.
+    """
+    tally = ", ".join(f"{count} {status_}"
+                      for status_, count in sorted(jobs))
+    lines = [f"campaign {campaign_id}: {status} ({tally})"]
+    if digest:
+        lines.append(f"aggregate digest: {digest}")
+    lines.append(ascii_table(
+        ("shard", "status", "jobs", "strikes", "restarts", "origin"),
+        [(shard_id, status_, count, strikes, restarts, origin or "-")
+         for shard_id, status_, count, strikes, restarts, origin
+         in shards]))
+    for shard_id, job_ids in lost:
+        lines.append(f"LOST from {shard_id}: "
+                     + ", ".join(sorted(job_ids)))
+    if status == "INTERRUPTED":
+        lines.append("campaign INTERRUPTED — resume with "
+                     f"`repro campaign --resume {campaign_id}`")
+    return "\n".join(lines)
+
+
 def pct(value: float) -> str:
     return f"{100 * value:.1f}%"

@@ -12,7 +12,22 @@ Commands
     Run the whole experiment suite through the crash-tolerant runner
     (:mod:`repro.runner`): subprocess-isolated workers, watchdog
     timeouts, retry with backoff, checkpointed ``--resume``, and a
-    ``--chaos kill-worker`` failure drill.
+    ``--chaos kill-worker`` failure drill.  With ``--shards N`` the
+    campaign runs through the sharded service scheduler
+    (:mod:`repro.service`) instead: N supervised process-group fault
+    domains, heartbeat leases, a consecutive-failure circuit breaker
+    with quarantine + job reassignment, and the shard-level
+    ``--chaos kill-shard`` / ``--chaos stall-shard`` drills.  Exits
+    0 COMPLETED, 1 FAILED, 3 INTERRUPTED (resumable), 4 DEGRADED
+    (completed with exactly-accounted job loss).
+``serve [--port P] [--runs-dir DIR] [--queue-depth N]``
+    Run the campaign service: a stdlib HTTP/JSON API
+    (:mod:`repro.service.http`) with bounded-queue admission control
+    in front of the sharded scheduler.  SIGTERM/SIGINT shut down
+    gracefully — the running campaign checkpoints as resumable.
+``submit [--url URL] [...campaign flags]``
+    Submit a campaign to a running service and (by default) wait for
+    its terminal state; same exit-code contract as ``campaign``.
 ``bench``
     Run the perf-regression suite (:mod:`repro.perf.suite`): times the
     simulator hot loops with the decoded-window fast path off and on,
@@ -117,13 +132,85 @@ def _campaign_rows(manifest):
     return rows
 
 
+#: chaos drills handled by the sharded service (the plain runner keeps
+#: worker-level kill-worker)
+_SHARD_CHAOS = ("kill-shard", "stall-shard")
+
+_SERVICE_EXIT = {"COMPLETED": 0, "FAILED": 1, "INTERRUPTED": 3,
+                 "DEGRADED": 4}
+
+
+def _render_service_summary(manifest) -> str:
+    from .analysis import service_block
+    from .service import merge_shards
+    merged = merge_shards(manifest)
+    tally: Dict[str, int] = {}
+    for entry in merged["jobs"].values():
+        status = str(entry["status"])
+        tally[status] = tally.get(status, 0) + 1
+    digest = (str(merged["digest"])
+              if manifest.aggregate_path.exists() else "")
+    return service_block(
+        manifest.campaign_id, manifest.status,
+        [(entry.shard_id, entry.status, len(entry.jobs),
+          entry.strikes, entry.restarts, entry.origin)
+         for entry in manifest.shards.values()],
+        sorted(tally.items()),
+        lost=sorted(manifest.lost.items()),
+        digest=digest)
+
+
+def _cmd_campaign_service(args, specs) -> int:
+    from .service import ServiceChaos, run_service_campaign
+    chaos = None
+    if args.chaos in _SHARD_CHAOS:
+        chaos = ServiceChaos(mode=args.chaos,
+                             strikes=args.chaos_kills,
+                             delay_s=args.chaos_delay,
+                             seed=args.seed or 0,
+                             target=args.chaos_target)
+    elif args.chaos is not None:
+        print("--chaos kill-worker drills the single-host runner; "
+              "use kill-shard/stall-shard with --shards",
+              file=sys.stderr)
+        return 2
+    options = {
+        "workers_per_shard": args.jobs,
+        "stall_timeout": args.stall_timeout,
+        "lease_s": args.lease,
+        "breaker_threshold": args.breaker_threshold,
+        "max_reassignments": args.max_reassignments,
+    }
+
+    def on_event(shard_id: str, message: str) -> None:
+        print(f"[{shard_id}] {message}")
+
+    try:
+        manifest = run_service_campaign(
+            specs, args.runs_dir,
+            campaign_id=args.resume or args.campaign_id,
+            seed=args.seed, shards=max(args.shards, 1),
+            resume=args.resume is not None, options=options,
+            chaos=chaos,
+            on_event=on_event if args.verbose else None)
+    except CampaignError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(_render_service_summary(manifest))
+    print(f"manifest: {manifest.path}")
+    return _SERVICE_EXIT.get(manifest.status, 1)
+
+
 def _cmd_campaign(args) -> int:
     from .runner import (ChaosMonkey, experiment_jobs, run_campaign)
-    chaos = None
-    if args.chaos is not None:
-        chaos = ChaosMonkey(mode=args.chaos, kills=args.chaos_kills,
-                            delay_s=args.chaos_delay,
-                            seed=args.seed or 0)
+    use_service = args.shards > 0 or args.chaos in _SHARD_CHAOS
+    if args.resume is not None:
+        from pathlib import Path
+
+        from .service import SERVICE_MANIFEST_NAME
+        if (Path(args.runs_dir) / args.resume /
+                SERVICE_MANIFEST_NAME).exists():
+            use_service = True
     specs = []
     if args.resume is None:
         only = (args.only.split(",") if args.only else None)
@@ -135,6 +222,13 @@ def _cmd_campaign(args) -> int:
         except CampaignError as error:
             print(str(error), file=sys.stderr)
             return 2
+    if use_service:
+        return _cmd_campaign_service(args, specs)
+    chaos = None
+    if args.chaos is not None:
+        chaos = ChaosMonkey(mode=args.chaos, kills=args.chaos_kills,
+                            delay_s=args.chaos_delay,
+                            seed=args.seed or 0)
 
     def on_event(job_id: str, message: str) -> None:
         print(f"[{job_id}] {message}")
@@ -156,6 +250,106 @@ def _cmd_campaign(args) -> int:
     if manifest.interrupted:
         return 3
     return 0 if manifest.all_completed() else 1
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .service import ServiceServer
+
+    def on_event(shard_id: str, message: str) -> None:
+        print(f"[{shard_id}] {message}", flush=True)
+
+    server = ServiceServer(
+        args.runs_dir, host=args.host, port=args.port,
+        queue_depth=args.queue_depth,
+        options={"workers_per_shard": args.jobs},
+        on_event=on_event if args.verbose else None)
+    stop_requested = threading.Event()
+
+    def _handle(signum, frame):    # noqa: ARG001 - signal signature
+        stop_requested.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    server.start()
+    print(f"serving on {server.url} (runs: {args.runs_dir}, "
+          f"queue depth {args.queue_depth})", flush=True)
+    while not stop_requested.wait(0.2):
+        pass
+    print("shutting down (running campaign checkpoints as "
+          "resumable) ...", flush=True)
+    server.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .analysis import service_block
+    from .errors import AdmissionRejected, ServiceError
+    from .service import ServiceClient
+    client = ServiceClient(args.url, timeout=args.http_timeout)
+    try:
+        if args.resume is not None:
+            campaign_id = args.resume
+            client.resume(campaign_id)
+            print(f"resume accepted: {campaign_id}")
+        else:
+            experiments: Dict[str, object] = {"fast": args.fast}
+            if args.only:
+                experiments["only"] = args.only.split(",")
+            if args.seed is not None:
+                experiments["seed"] = args.seed
+            if args.plan:
+                experiments["plan"] = args.plan
+                experiments["plan_factor"] = args.plan_factor
+            experiments["timeout_s"] = args.timeout
+            experiments["max_attempts"] = args.retries + 1
+            payload: Dict[str, object] = {
+                "experiments": experiments,
+                "shards": args.shards or 2,
+            }
+            if args.seed is not None:
+                payload["seed"] = args.seed
+            campaign_id = client.submit(payload)
+            print(f"submitted: {campaign_id}")
+        if args.no_wait:
+            return 0
+        status = client.wait(campaign_id,
+                             timeout=args.wait_timeout or None)
+        final = str(status.get("status"))
+        digest = ""
+        jobs_tally = [(name, int(count)) for name, count
+                      in dict(status.get("jobs", {})).items()]
+        try:
+            results = client.results(campaign_id)
+            digest = str(results.get("digest", ""))
+            jobs_tally = {}
+            for entry in dict(results.get("jobs", {})).values():
+                name = str(entry["status"])
+                jobs_tally[name] = jobs_tally.get(name, 0) + 1
+            jobs_tally = sorted(jobs_tally.items())
+        except ServiceError:
+            pass                   # not terminal-with-aggregate yet
+        shards = [(shard_id, str(info.get("status")),
+                   int(info.get("jobs", 0)),
+                   int(info.get("strikes", 0)),
+                   int(info.get("restarts", 0)),
+                   str(info.get("origin", "")))
+                  for shard_id, info
+                  in dict(status.get("shards", {})).items()]
+        print(service_block(campaign_id, final, shards,
+                            sorted(jobs_tally),
+                            lost=sorted(dict(status.get(
+                                "lost", {})).items()),
+                            digest=digest))
+        return _SERVICE_EXIT.get(final, 1)
+    except AdmissionRejected as error:
+        print(f"rejected (backpressure): {error}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
 
 def _observe(name: str, fast: bool, seed: Optional[int]):
@@ -306,18 +500,97 @@ def main(argv=None) -> int:
                           help="resume campaign ID: skip COMPLETED "
                                "jobs, re-run the rest")
     campaign.add_argument("--chaos", default=None,
-                          choices=["kill-worker"],
-                          help="failure drill: SIGKILL random workers "
-                               "mid-campaign, then interrupt (prove "
-                               "--resume converges)")
+                          choices=["kill-worker", "kill-shard",
+                                   "stall-shard"],
+                          help="failure drill: kill-worker SIGKILLs "
+                               "random workers then interrupts (prove "
+                               "--resume converges); kill-shard / "
+                               "stall-shard strike whole shard process "
+                               "groups (the service must self-heal)")
     campaign.add_argument("--chaos-kills", type=int, default=1,
-                          help="workers to kill before interrupting")
+                          help="workers/shards to strike")
     campaign.add_argument("--chaos-delay", type=float, default=0.2,
                           metavar="S",
                           help="minimum campaign age before the first "
                                "chaos kill")
+    campaign.add_argument("--chaos-target", default=None,
+                          metavar="SHARD",
+                          help="pin shard chaos to one shard id "
+                               "(default: pseudo-random victim)")
+    campaign.add_argument("--shards", type=int, default=0,
+                          help="run through the sharded service "
+                               "scheduler with N fault domains "
+                               "(default 0 = single-host runner)")
+    campaign.add_argument("--lease", type=float, default=5.0,
+                          metavar="S",
+                          help="shard heartbeat lease; a staler shard "
+                               "is struck (service mode)")
+    campaign.add_argument("--breaker-threshold", type=int, default=2,
+                          metavar="N",
+                          help="consecutive strikes before a shard is "
+                               "quarantined (service mode)")
+    campaign.add_argument("--max-reassignments", type=int, default=1,
+                          metavar="N",
+                          help="per-job reassignment budget after "
+                               "quarantines; beyond it the job is "
+                               "LOST and the campaign DEGRADED")
     campaign.add_argument("--verbose", "-v", action="store_true",
                           help="print per-job lifecycle events")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: sharded scheduler behind a "
+             "stdlib HTTP/JSON API with bounded-queue admission "
+             "control")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (default 8642; 0 = ephemeral)")
+    serve.add_argument("--runs-dir", default="runs",
+                       help="checkpoint root (default: runs/)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="bounded submission queue; beyond it "
+                            "submissions get HTTP 429 (default 8)")
+    serve.add_argument("--jobs", "-j", type=int, default=2,
+                       help="workers per shard (default 2)")
+    serve.add_argument("--verbose", "-v", action="store_true",
+                       help="print shard lifecycle events")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running service and wait for "
+             "its terminal state")
+    submit.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="service base URL")
+    submit.add_argument("--fast", action="store_true",
+                        help="reduced parameters per experiment")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="campaign-wide seed for every job")
+    submit.add_argument("--only", default=None, metavar="A,B,...",
+                        help="comma-separated experiment subset")
+    submit.add_argument("--plan", default="",
+                        help="fault-plan preset every job carries")
+    submit.add_argument("--plan-factor", type=float, default=1.0,
+                        help="scale factor applied to --plan rates")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        metavar="S",
+                        help="per-job wall-clock budget, seconds")
+    submit.add_argument("--retries", type=int, default=2,
+                        help="retry budget per job (default 2)")
+    submit.add_argument("--shards", type=int, default=2,
+                        help="shard count for the submission")
+    submit.add_argument("--resume", default=None, metavar="ID",
+                        help="ask the service to resume campaign ID "
+                             "instead of submitting new jobs")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return right after the 202 instead of "
+                             "polling to a terminal state")
+    submit.add_argument("--wait-timeout", type=float, default=0.0,
+                        metavar="S",
+                        help="give up waiting after S seconds "
+                             "(default: wait forever)")
+    submit.add_argument("--http-timeout", type=float, default=10.0,
+                        metavar="S",
+                        help="per-request HTTP timeout")
 
     bench = sub.add_parser(
         "bench",
@@ -390,6 +663,10 @@ def main(argv=None) -> int:
         return _cmd_demo(args.seed)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "bench":
         from .perf.suite import DEFAULT_THRESHOLD
         from .perf.suite import main as bench_main

@@ -24,7 +24,9 @@ schema.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
 import random
 import time
 from dataclasses import dataclass
@@ -36,7 +38,7 @@ from ..errors import CampaignError, SimulationTimeout, WorkerCrashed
 from .artifacts import (atomic_write_bytes, atomic_write_json,
                         atomic_write_text, digest_text)
 from .jobs import (JobRecord, JobSpec, JobStatus, KIND_EXPERIMENT,
-                   KIND_SELFTEST, experiment_jobs)
+                   KIND_SELFTEST, experiment_jobs, specs_from_payload)
 from .manifest import MANIFEST_NAME, RunManifest, list_campaigns
 from .watchdog import Watchdog, WorkerHandle
 from .worker import execute_job, is_transient, worker_main
@@ -63,16 +65,33 @@ __all__ = [
     "list_campaigns",
     "new_campaign_id",
     "run_campaign",
+    "specs_from_payload",
 ]
 
 #: chaos modes the runner understands
 CHAOS_KILL_WORKER = "kill-worker"
 
 
+#: process-local sequence folded into generated ids so two campaigns
+#: created in the same wall-clock second by the same process never
+#: collide (the pid component covers concurrent submitters)
+_ID_SEQUENCE = itertools.count()
+
+
 def new_campaign_id(prefix: str = "campaign") -> str:
-    """A sortable, human-readable campaign id."""
+    """A sortable, human-readable, **collision-safe** campaign id.
+
+    The wall-clock stamp has second granularity, so two campaigns (or
+    two shards) starting concurrently used to race for the same run
+    directory; the pid + process-local counter suffix makes the id
+    unique across processes and within one.  Nothing downstream may
+    depend on the id for reproducibility: artifact digests are content
+    digests (:func:`digest_text`) and the aggregate digest of the
+    campaign service excludes the campaign id entirely.
+    """
     stamp = time.strftime("%Y%m%d-%H%M%S")
-    return f"{prefix}-{stamp}-{random.randrange(16**4):04x}"
+    unique = f"p{os.getpid()}c{next(_ID_SEQUENCE)}"
+    return f"{prefix}-{stamp}-{unique}-{random.randrange(16**4):04x}"
 
 
 @dataclass
@@ -123,7 +142,9 @@ class CampaignRunner:
                  backoff_cap: float = 4.0,
                  poll_interval: float = 0.02,
                  chaos: Optional[ChaosMonkey] = None,
-                 on_event: Optional[Callable[[str, str], None]] = None):
+                 on_event: Optional[Callable[[str, str], None]] = None,
+                 on_transition: Optional[Callable[[JobRecord],
+                                                  None]] = None):
         if max_workers < 1:
             raise CampaignError("max_workers must be >= 1")
         self.manifest = manifest
@@ -134,6 +155,10 @@ class CampaignRunner:
         self.poll_interval = poll_interval
         self.chaos = chaos
         self._on_event = on_event
+        #: structured hook fired after every persisted job state
+        #: transition — the shard engine streams these to the campaign
+        #: service for live cross-shard progress accounting
+        self._on_transition = on_transition
         self._backoff_rng = random.Random(
             f"backoff:{manifest.campaign_id}")
         try:
@@ -146,6 +171,10 @@ class CampaignRunner:
     def _event(self, job_id: str, message: str) -> None:
         if self._on_event is not None:
             self._on_event(job_id, message)
+
+    def _transition(self, record: JobRecord) -> None:
+        if self._on_transition is not None:
+            self._on_transition(record)
 
     def _backoff(self, attempt: int) -> float:
         """Exponential backoff with full jitter, seconds."""
@@ -195,6 +224,7 @@ class CampaignRunner:
             telemetry.count(f"runner.job.{status.value.lower()}")
             self._event(record.job_id, f"{status.value} ({message})")
         self.manifest.save()
+        self._transition(record)
 
     def _complete(self, record: JobRecord, output: str, duration: float,
                   counters: Optional[Dict[str, int]] = None) -> None:
@@ -212,6 +242,7 @@ class CampaignRunner:
         self._event(record.job_id,
                     f"COMPLETED in {duration:.2f}s "
                     f"(digest {record.digest[:12]})")
+        self._transition(record)
 
     def _finalize(self, handle: WorkerHandle) -> None:
         """The worker delivered a message or died; settle the record."""

@@ -198,3 +198,65 @@ def experiment_jobs(*, fast: bool = False, seed: Optional[int] = None,
                 max_attempts=max_attempts)
         for name in names
     ]
+
+
+def specs_from_payload(payload: Dict[str, object]) -> List[JobSpec]:
+    """Build the job list of a service submission (``POST /campaigns``).
+
+    Two payload shapes, mirroring the CLI:
+
+    * ``{"jobs": [<JobSpec dict>, ...]}`` — explicit specs, validated
+      through :meth:`JobSpec.from_dict` (unknown fields and bad values
+      raise :class:`CampaignError`, never a bare ``TypeError``);
+    * ``{"experiments": {"only": [...], "fast": ..., "seed": ...,
+      "timeout_s": ..., "max_attempts": ..., "plan": ...,
+      "plan_factor": ...}}`` — one job per registered experiment,
+      resolved through the experiment registry like
+      ``repro campaign --only``.
+    """
+    jobs = payload.get("jobs")
+    if jobs is not None:
+        if not isinstance(jobs, list) or not jobs:
+            raise CampaignError(
+                "payload 'jobs' must be a non-empty list of job specs")
+        specs: List[JobSpec] = []
+        seen = set()
+        for entry in jobs:
+            if not isinstance(entry, dict):
+                raise CampaignError(
+                    f"job spec must be an object, got {entry!r}")
+            try:
+                spec = JobSpec.from_dict(entry)
+            except TypeError as error:
+                raise CampaignError(
+                    f"bad job spec {entry!r}: {error}") from None
+            if not spec.name:
+                raise CampaignError(
+                    f"job spec {spec.job_id!r} has no program/"
+                    f"experiment name")
+            if spec.job_id in seen:
+                raise CampaignError(
+                    f"duplicate job id {spec.job_id!r}")
+            seen.add(spec.job_id)
+            specs.append(spec)
+        return specs
+    experiments = payload.get("experiments")
+    if experiments is not None:
+        if not isinstance(experiments, dict):
+            raise CampaignError("payload 'experiments' must be an "
+                                "object of experiment_jobs options")
+        allowed = {"only", "fast", "seed", "plan", "plan_factor",
+                   "timeout_s", "max_attempts"}
+        unknown = set(experiments) - allowed
+        if unknown:
+            raise CampaignError(
+                f"unknown experiments option(s) "
+                f"{', '.join(sorted(unknown))}")
+        options = dict(experiments)
+        only = options.pop("only", None)
+        if only is not None and not isinstance(only, list):
+            raise CampaignError("experiments 'only' must be a list")
+        return experiment_jobs(only=only, **options)
+    raise CampaignError(
+        "payload must carry 'jobs' (explicit specs) or "
+        "'experiments' (registry selection)")

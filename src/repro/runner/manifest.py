@@ -9,13 +9,22 @@ atomically renamed into place *before* the manifest recorded them.
 Schema (``schema`` bumps on incompatible change)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "campaign_id": "...",
       "created": "2026-08-06T12:00:00",   # informational only
       "seed": 0,                          # campaign-level default seed
       "interrupted": false,               # a chaos/abort left work behind
+      "shard_id": "",                     # v2: "" = unsharded campaign
+      "parent": "",                       # v2: owning service campaign
       "jobs": { "<job_id>": JobRecord, ... }
     }
+
+Schema v2 (the sharded campaign service, DESIGN.md §12) only *adds*
+fields: ``shard_id`` names the shard this manifest belongs to and
+``parent`` the service campaign that owns it.  The loader defaults
+both for schema-v1 manifests written by the pre-service runner, so a
+v1 campaign loads, resumes, and completes unchanged under the sharded
+scheduler.
 """
 
 from __future__ import annotations
@@ -28,7 +37,9 @@ from ..errors import CampaignError
 from .artifacts import atomic_write_json, read_json
 from .jobs import JobRecord, JobSpec, JobStatus
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: schemas the defaulting loader accepts (v1 = pre-service manifests)
+SUPPORTED_SCHEMAS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 ARTIFACT_DIR = "artifacts"
@@ -43,6 +54,10 @@ class RunManifest:
     created: str = ""
     seed: Optional[int] = None
     interrupted: bool = False
+    #: shard this manifest belongs to ("" = standalone campaign)
+    shard_id: str = ""
+    #: service campaign owning this shard ("" = standalone campaign)
+    parent: str = ""
     jobs: Dict[str, JobRecord] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -51,10 +66,12 @@ class RunManifest:
     @classmethod
     def create(cls, campaign_id: str, runs_dir: Path, *,
                specs: List[JobSpec], seed: Optional[int],
-               created: str = "") -> "RunManifest":
+               created: str = "", shard_id: str = "",
+               parent: str = "") -> "RunManifest":
         directory = Path(runs_dir) / campaign_id
         manifest = cls(campaign_id=campaign_id, directory=directory,
-                       created=created, seed=seed)
+                       created=created, seed=seed, shard_id=shard_id,
+                       parent=parent)
         for spec in specs:
             if spec.job_id in manifest.jobs:
                 raise CampaignError(
@@ -71,16 +88,20 @@ class RunManifest:
                 f"no manifest for campaign {campaign_id!r} "
                 f"under {runs_dir}")
         payload = read_json(path)
-        if payload.get("schema") != SCHEMA_VERSION:
+        if payload.get("schema") not in SUPPORTED_SCHEMAS:
             raise CampaignError(
                 f"manifest schema {payload.get('schema')!r} "
-                f"!= supported {SCHEMA_VERSION}")
+                f"not in supported {SUPPORTED_SCHEMAS}")
         manifest = cls(
             campaign_id=str(payload["campaign_id"]),
             directory=directory,
             created=str(payload.get("created", "")),
             seed=payload.get("seed"),
             interrupted=bool(payload.get("interrupted", False)),
+            # v2 shard fields: defaulted for v1 manifests so pre-service
+            # campaigns load and resume under the sharded scheduler
+            shard_id=str(payload.get("shard_id", "")),
+            parent=str(payload.get("parent", "")),
         )
         for job_id, record in payload["jobs"].items():
             manifest.jobs[job_id] = JobRecord.from_dict(record)
@@ -101,10 +122,24 @@ class RunManifest:
             "created": self.created,
             "seed": self.seed,
             "interrupted": self.interrupted,
+            "shard_id": self.shard_id,
+            "parent": self.parent,
             "jobs": {job_id: record.to_dict()
                      for job_id, record in self.jobs.items()},
         }
         atomic_write_json(self.path, payload)
+
+    def add_specs(self, specs: List[JobSpec]) -> List[str]:
+        """Append fresh PENDING jobs (the cross-shard reassignment
+        path).  Specs whose job id already exists are skipped — a
+        reassignment replayed on resume must stay idempotent."""
+        added: List[str] = []
+        for spec in specs:
+            if spec.job_id in self.jobs:
+                continue
+            self.jobs[spec.job_id] = JobRecord(spec=spec)
+            added.append(spec.job_id)
+        return added
 
     # ------------------------------------------------------------------
     # resume semantics

@@ -88,9 +88,14 @@ def _run_selftest(spec: JobSpec, attempt: int) -> str:
         rounds_text, _, sleep_text = argument.partition(":")
         if sleep_text:
             time.sleep(float(sleep_text))
+        rounds = int(rounds_text or "1000")
         value = f"seed={spec.seed}".encode()
-        for _ in range(int(rounds_text or "1000")):
+        for _ in range(rounds):
             value = sha256(value).digest()
+        # deterministic counters so service-level aggregation has
+        # real (and seed-stable) snapshots to merge in tests/CI
+        telemetry.count("selftest.jobs")
+        telemetry.count("selftest.rounds", rounds)
         return f"work digest {value.hex()}"
     if program == "fail":
         if attempt <= int(argument or "1"):

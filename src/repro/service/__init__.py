@@ -1,0 +1,71 @@
+"""Sharded campaign service: fault-domain scheduling over the
+single-host campaign runner.
+
+``repro.runner`` gives one process-pool crash tolerance (worker
+watchdogs, retries, checkpointed manifests).  This package promotes it
+into a *service*: a campaign's jobs are partitioned across N **shards**
+— each a supervised process group and an explicit fault domain — with
+shard health tracking (heartbeat lease + consecutive-failure circuit
+breaker), quarantine + job reassignment, admission-controlled
+submissions over a stdlib HTTP/JSON API, graceful DEGRADED completion
+with exact loss accounting, and a seed-stable cross-shard aggregate
+digest that is byte-identical between clean and chaos-recovered runs.
+
+See DESIGN.md §12 for the architecture and the fault-injection drills
+that gate it in CI.
+"""
+
+from .client import ServiceClient
+from .http import DEFAULT_QUEUE_DEPTH, MAX_BODY_BYTES, ServiceServer
+from .partition import partition_jobs, shard_name
+from .scheduler import (AGGREGATE_NAME, CAMPAIGN_COMPLETED,
+                        CAMPAIGN_DEGRADED, CAMPAIGN_FAILED,
+                        CAMPAIGN_INTERRUPTED, CAMPAIGN_QUEUED,
+                        CAMPAIGN_RUNNING, CHAOS_KILL_SHARD,
+                        CHAOS_STALL_SHARD, DEFAULT_OPTIONS,
+                        SERVICE_MANIFEST_NAME, TERMINAL_STATES,
+                        CampaignService, ServiceChaos, ServiceManifest,
+                        ShardEntry, create_service_campaign,
+                        list_service_campaigns, load_or_adopt_campaign,
+                        merge_shards, resume_service_campaign,
+                        run_service_campaign)
+from .shards import (SHARD_COMPLETED, SHARD_HEARTBEAT_INTERVAL,
+                     SHARD_PENDING, SHARD_QUARANTINED, SHARD_RUNNING,
+                     ShardHandle)
+
+__all__ = [
+    "AGGREGATE_NAME",
+    "CAMPAIGN_COMPLETED",
+    "CAMPAIGN_DEGRADED",
+    "CAMPAIGN_FAILED",
+    "CAMPAIGN_INTERRUPTED",
+    "CAMPAIGN_QUEUED",
+    "CAMPAIGN_RUNNING",
+    "CHAOS_KILL_SHARD",
+    "CHAOS_STALL_SHARD",
+    "CampaignService",
+    "DEFAULT_OPTIONS",
+    "DEFAULT_QUEUE_DEPTH",
+    "MAX_BODY_BYTES",
+    "SERVICE_MANIFEST_NAME",
+    "SHARD_COMPLETED",
+    "SHARD_HEARTBEAT_INTERVAL",
+    "SHARD_PENDING",
+    "SHARD_QUARANTINED",
+    "SHARD_RUNNING",
+    "ServiceChaos",
+    "ServiceClient",
+    "ServiceManifest",
+    "ServiceServer",
+    "ShardEntry",
+    "ShardHandle",
+    "TERMINAL_STATES",
+    "create_service_campaign",
+    "list_service_campaigns",
+    "load_or_adopt_campaign",
+    "merge_shards",
+    "partition_jobs",
+    "resume_service_campaign",
+    "run_service_campaign",
+    "shard_name",
+]

@@ -1,0 +1,112 @@
+"""Thin stdlib client for the campaign service (``repro submit``).
+
+Wraps the HTTP/JSON API with typed errors: a 429 from the bounded
+admission queue raises :class:`repro.errors.AdmissionRejected` so
+callers can back off explicitly, anything else non-2xx raises
+:class:`repro.errors.ServiceError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from ..errors import AdmissionRejected, ServiceError
+from .scheduler import TERMINAL_STATES
+
+DEFAULT_TIMEOUT = 10.0
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, *,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None
+                 ) -> Tuple[int, Dict[str, object]]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                raw = response.read()
+                code = response.status
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            code = error.code
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: "
+                f"{error.reason}") from error
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        return code, decoded
+
+    def _checked(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None,
+                 ok=(200, 202)) -> Dict[str, object]:
+        code, decoded = self._request(method, path, payload)
+        if code == 429:
+            raise AdmissionRejected(
+                str(decoded.get("error", "submission rejected")),
+                queue_depth=int(decoded.get("queue_depth", 0)),
+                pending=int(decoded.get("pending", 0)))
+        if code not in ok:
+            raise ServiceError(
+                f"{method} {path} -> HTTP {code}: "
+                f"{decoded.get('error', decoded)}")
+        return decoded
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._checked("GET", "/health")
+
+    def campaigns(self) -> Dict[str, object]:
+        return self._checked("GET", "/campaigns")
+
+    def submit(self, payload: Dict[str, object]) -> str:
+        decoded = self._checked("POST", "/campaigns", payload)
+        return str(decoded["campaign_id"])
+
+    def status(self, campaign_id: str) -> Dict[str, object]:
+        return self._checked("GET", f"/campaigns/{campaign_id}")
+
+    def results(self, campaign_id: str) -> Dict[str, object]:
+        return self._checked("GET",
+                             f"/campaigns/{campaign_id}/results")
+
+    def resume(self, campaign_id: str) -> None:
+        self._checked("POST", f"/campaigns/{campaign_id}/resume", {})
+
+    def wait(self, campaign_id: str, *,
+             timeout: Optional[float] = None,
+             poll_interval: float = 0.5) -> Dict[str, object]:
+        """Poll until the campaign reaches a terminal state."""
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            status = self.status(campaign_id)
+            if str(status.get("status")) in TERMINAL_STATES:
+                return status
+            if deadline is not None and \
+                    time.monotonic() > deadline:
+                raise ServiceError(
+                    f"campaign {campaign_id!r} still "
+                    f"{status.get('status')} after {timeout:.1f}s")
+            time.sleep(poll_interval)

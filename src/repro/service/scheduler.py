@@ -1,0 +1,867 @@
+"""The sharded campaign scheduler: explicit fault domains on top of
+the single-host shard engine.
+
+``CampaignService`` drives one campaign whose jobs were partitioned
+into shards (:mod:`repro.service.partition`), each shard running as a
+supervised process group (:mod:`repro.service.shards`).  The
+cross-shard robustness layer lives here:
+
+* **heartbeat lease** — a shard whose stamp goes stale is killed and
+  struck, on the monotonic clock (like the per-worker watchdog);
+* **circuit breaker** — ``breaker_threshold`` *consecutive* strikes
+  quarantine the shard: its process group is erased and its
+  non-COMPLETED jobs are **reassigned** to a healthy shard (an idle or
+  finished one is preferred; otherwise a fresh recovery shard is
+  spun up).  COMPLETED work in a quarantined shard is never re-run —
+  its artifacts were atomically persisted before the manifest recorded
+  them;
+* **graceful degradation** — a job that exhausts its reassignment
+  budget is recorded as LOST against the shard that lost it, and the
+  campaign completes ``DEGRADED`` with exact per-shard loss accounting
+  instead of hanging or silently dropping results;
+* **cross-shard merge** — when every shard is terminal the per-shard
+  manifests and telemetry counter snapshots merge into one seed-stable
+  ``aggregate.json`` whose digest is byte-identical between a clean
+  run and any interrupted/quarantined/resumed run that recovered every
+  job (the digest covers job results, merged counters, losses, and
+  status — never campaign ids or shard layout).
+
+All service state checkpoints into ``runs/<id>/campaign.json`` via
+atomic writes, so a SIGKILL of the service process at any instant
+leaves a resumable campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import telemetry
+from ..errors import ServiceError
+from ..runner import RunManifest, new_campaign_id
+from ..runner.artifacts import atomic_write_json, read_json
+from ..runner.jobs import JobSpec, JobStatus
+from ..runner.manifest import MANIFEST_NAME
+from .partition import partition_jobs
+from .shards import (SHARD_COMPLETED, SHARD_PENDING, SHARD_QUARANTINED,
+                     SHARD_RUNNING, ShardHandle, load_shard_manifest,
+                     shard_main, unfinished_jobs)
+
+SERVICE_MANIFEST_NAME = "campaign.json"
+AGGREGATE_NAME = "aggregate.json"
+SERVICE_SCHEMA_VERSION = 1
+
+#: campaign lifecycle states
+CAMPAIGN_QUEUED = "QUEUED"
+CAMPAIGN_RUNNING = "RUNNING"
+CAMPAIGN_INTERRUPTED = "INTERRUPTED"
+CAMPAIGN_COMPLETED = "COMPLETED"
+CAMPAIGN_DEGRADED = "DEGRADED"
+CAMPAIGN_FAILED = "FAILED"
+
+TERMINAL_STATES = (CAMPAIGN_COMPLETED, CAMPAIGN_DEGRADED,
+                   CAMPAIGN_FAILED)
+
+#: scheduler knobs persisted with the campaign (resume reuses them)
+DEFAULT_OPTIONS: Dict[str, object] = {
+    "workers_per_shard": 2,
+    "concurrent_shards": 0,          # 0 = every shard at once
+    "lease_s": 5.0,
+    "breaker_threshold": 2,
+    "max_reassignments": 1,
+    "stall_timeout": 10.0,
+    "backoff_base": 0.25,
+    "backoff_cap": 4.0,
+    "poll_interval": 0.02,
+}
+
+#: chaos modes the service understands (the campaign runner keeps its
+#: own worker-level ``kill-worker`` drill)
+CHAOS_KILL_SHARD = "kill-shard"
+CHAOS_STALL_SHARD = "stall-shard"
+
+
+# ----------------------------------------------------------------------
+# persisted service state
+# ----------------------------------------------------------------------
+@dataclass
+class ShardEntry:
+    """One shard's persisted supervision state."""
+
+    shard_id: str
+    #: manifest directory relative to the campaign directory
+    #: ("." = the campaign directory itself, for adopted v1 manifests)
+    directory: str
+    jobs: List[str] = field(default_factory=list)
+    status: str = SHARD_PENDING
+    #: consecutive failures since the last successful completion
+    strikes: int = 0
+    restarts: int = 0
+    #: quarantined shard this one recovered jobs from ("" = original)
+    origin: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "directory": self.directory,
+            "jobs": list(self.jobs),
+            "status": self.status,
+            "strikes": self.strikes,
+            "restarts": self.restarts,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ShardEntry":
+        return cls(
+            shard_id=str(payload["shard_id"]),
+            directory=str(payload["directory"]),
+            jobs=[str(job) for job in payload.get("jobs", [])],
+            status=str(payload.get("status", SHARD_PENDING)),
+            strikes=int(payload.get("strikes", 0)),
+            restarts=int(payload.get("restarts", 0)),
+            origin=str(payload.get("origin", "")),
+        )
+
+
+@dataclass
+class ServiceManifest:
+    """All persisted state of one sharded campaign."""
+
+    campaign_id: str
+    directory: Path
+    created: str = ""
+    seed: Optional[int] = None
+    status: str = CAMPAIGN_QUEUED
+    options: Dict[str, object] = field(default_factory=dict)
+    shards: Dict[str, ShardEntry] = field(default_factory=dict)
+    #: shard id -> jobs lost when that shard became irrecoverable
+    lost: Dict[str, List[str]] = field(default_factory=dict)
+    #: job id -> times it has been reassigned after a quarantine
+    reassignments: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def path(self) -> Path:
+        return self.directory / SERVICE_MANIFEST_NAME
+
+    @property
+    def aggregate_path(self) -> Path:
+        return self.directory / AGGREGATE_NAME
+
+    def shard_dir(self, entry: ShardEntry) -> Path:
+        if entry.directory in ("", "."):
+            return self.directory
+        return self.directory / entry.directory
+
+    def job_ids(self) -> List[str]:
+        """Every unique job in the campaign, sorted."""
+        ids = set()
+        for entry in self.shards.values():
+            ids.update(entry.jobs)
+        return sorted(ids)
+
+    def save(self) -> None:
+        payload = {
+            "schema": SERVICE_SCHEMA_VERSION,
+            "campaign_id": self.campaign_id,
+            "created": self.created,
+            "seed": self.seed,
+            "status": self.status,
+            "options": self.options,
+            "shards": {shard_id: entry.to_dict()
+                       for shard_id, entry in self.shards.items()},
+            "lost": {shard_id: sorted(jobs)
+                     for shard_id, jobs in self.lost.items()},
+            "reassignments": dict(sorted(self.reassignments.items())),
+        }
+        atomic_write_json(self.path, payload)
+
+    @classmethod
+    def load(cls, runs_dir: Path,
+             campaign_id: str) -> "ServiceManifest":
+        directory = Path(runs_dir) / campaign_id
+        path = directory / SERVICE_MANIFEST_NAME
+        if not path.exists():
+            raise ServiceError(
+                f"no service manifest for campaign {campaign_id!r} "
+                f"under {runs_dir}")
+        payload = read_json(path)
+        if payload.get("schema") != SERVICE_SCHEMA_VERSION:
+            raise ServiceError(
+                f"service manifest schema {payload.get('schema')!r} "
+                f"!= supported {SERVICE_SCHEMA_VERSION}")
+        manifest = cls(
+            campaign_id=str(payload["campaign_id"]),
+            directory=directory,
+            created=str(payload.get("created", "")),
+            seed=payload.get("seed"),
+            status=str(payload.get("status", CAMPAIGN_QUEUED)),
+            options=dict(payload.get("options", {})),
+            lost={shard: [str(job) for job in jobs]
+                  for shard, jobs in payload.get("lost", {}).items()},
+            reassignments={job: int(count) for job, count in
+                           payload.get("reassignments", {}).items()},
+        )
+        for shard_id, entry in payload.get("shards", {}).items():
+            manifest.shards[shard_id] = ShardEntry.from_dict(entry)
+        return manifest
+
+
+def list_service_campaigns(runs_dir: Path) -> List[str]:
+    """Campaign ids with a service manifest under ``runs_dir``."""
+    runs_dir = Path(runs_dir)
+    if not runs_dir.is_dir():
+        return []
+    return sorted(entry.name for entry in runs_dir.iterdir()
+                  if (entry / SERVICE_MANIFEST_NAME).is_file())
+
+
+# ----------------------------------------------------------------------
+# chaos: shard-level failure drills
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceChaos:
+    """Deterministically strikes shard process groups mid-campaign.
+
+    ``kill-shard`` SIGKILLs the whole group (a box dying);
+    ``stall-shard`` SIGSTOPs it (a frozen/overloaded box) — the
+    heartbeat lease, on the monotonic clock, must then trip the
+    circuit breaker within its budget.  Unlike the worker-level
+    ``kill-worker`` drill, the service is expected to *self-heal*:
+    restart or quarantine + reassign, and still converge.
+    """
+
+    mode: str = CHAOS_KILL_SHARD
+    strikes: int = 1
+    delay_s: float = 0.2
+    seed: int = 0
+    #: pin the victim shard (tests); None picks pseudo-randomly
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in (CHAOS_KILL_SHARD, CHAOS_STALL_SHARD):
+            raise ServiceError(
+                f"unknown service chaos mode {self.mode!r}; known: "
+                f"{CHAOS_KILL_SHARD}, {CHAOS_STALL_SHARD}")
+        self._rng = random.Random(f"service-chaos:{self.seed}")
+        self._struck = 0
+        #: (monotonic stamp, shard id) per strike, for lease-budget
+        #: regression tests
+        self.events: List[Tuple[float, str]] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return self._struck >= self.strikes
+
+    def maybe_strike(self, handles: List[ShardHandle],
+                     age: float) -> Optional[str]:
+        if self.exhausted or age < self.delay_s or not handles:
+            return None
+        candidates = sorted(handles, key=lambda h: h.shard_id)
+        if self.target is not None:
+            candidates = [handle for handle in candidates
+                          if handle.shard_id == self.target]
+        if not candidates:
+            return None
+        victim = self._rng.choice(candidates)
+        signum = (signal.SIGKILL if self.mode == CHAOS_KILL_SHARD
+                  else signal.SIGSTOP)
+        victim.signal_group(signum)
+        self._struck += 1
+        self.events.append((time.monotonic(), victim.shard_id))
+        return victim.shard_id
+
+
+# ----------------------------------------------------------------------
+# creation / resume
+# ----------------------------------------------------------------------
+def create_service_campaign(specs: List[JobSpec], runs_dir, *,
+                            campaign_id: Optional[str] = None,
+                            seed: Optional[int] = None,
+                            shards: int = 2,
+                            options: Optional[Dict[str, object]] = None,
+                            created: str = "") -> ServiceManifest:
+    """Partition ``specs`` into shard manifests and persist the
+    service manifest (status QUEUED — run it with
+    :class:`CampaignService`)."""
+    runs_dir = Path(runs_dir)
+    campaign_id = campaign_id or new_campaign_id("service")
+    directory = runs_dir / campaign_id
+    if (directory / SERVICE_MANIFEST_NAME).exists() or \
+            (directory / MANIFEST_NAME).exists():
+        raise ServiceError(
+            f"campaign {campaign_id!r} already exists under "
+            f"{runs_dir}; use resume")
+    assignment = partition_jobs(specs, shards, seed=seed)
+    manifest = ServiceManifest(
+        campaign_id=campaign_id, directory=directory, created=created,
+        seed=seed, options={**DEFAULT_OPTIONS, **(options or {})})
+    for shard_id, shard_specs in assignment.items():
+        shard_manifest = RunManifest.create(
+            shard_id, directory / "shards", specs=shard_specs,
+            seed=seed, created=created, shard_id=shard_id,
+            parent=campaign_id)
+        shard_manifest.save()
+        manifest.shards[shard_id] = ShardEntry(
+            shard_id=shard_id, directory=f"shards/{shard_id}",
+            jobs=[spec.job_id for spec in shard_specs])
+    manifest.save()
+    return manifest
+
+
+def load_or_adopt_campaign(runs_dir, campaign_id: str,
+                           ) -> ServiceManifest:
+    """Load a service campaign — or adopt a legacy (schema-v1,
+    pre-service) single-manifest campaign as a one-shard service
+    campaign whose shard directory is the campaign directory itself."""
+    runs_dir = Path(runs_dir)
+    directory = runs_dir / campaign_id
+    if (directory / SERVICE_MANIFEST_NAME).exists():
+        return ServiceManifest.load(runs_dir, campaign_id)
+    if not (directory / MANIFEST_NAME).exists():
+        raise ServiceError(
+            f"no campaign {campaign_id!r} under {runs_dir}")
+    legacy = RunManifest.load(runs_dir, campaign_id)
+    status = (SHARD_COMPLETED if legacy.all_completed()
+              else SHARD_PENDING)
+    entry = ShardEntry(shard_id="s00", directory=".",
+                       jobs=sorted(legacy.jobs), status=status)
+    manifest = ServiceManifest(
+        campaign_id=campaign_id, directory=directory,
+        created=legacy.created, seed=legacy.seed,
+        status=CAMPAIGN_QUEUED, options=dict(DEFAULT_OPTIONS),
+        shards={"s00": entry})
+    manifest.save()
+    return manifest
+
+
+def resume_service_campaign(runs_dir, campaign_id: str, *,
+                            options: Optional[Dict[str, object]] = None
+                            ) -> ServiceManifest:
+    """Reload a campaign for another run: RUNNING shards (left by a
+    dead service process) become PENDING, orphaned quarantine work is
+    re-reassigned, and LOST jobs get a fresh reassignment budget — an
+    explicit resume, like ``--resume`` on the single-host runner,
+    restores every job's chance to complete."""
+    manifest = load_or_adopt_campaign(runs_dir, campaign_id)
+    if options:
+        manifest.options.update(options)
+    for entry in manifest.shards.values():
+        if entry.status == SHARD_RUNNING:
+            entry.status = SHARD_PENDING
+    _reconcile_orphans(manifest)
+    _restore_lost(manifest)
+    manifest.status = CAMPAIGN_QUEUED
+    manifest.save()
+    return manifest
+
+
+def _owned_job_ids(manifest: ServiceManifest) -> set:
+    """Jobs some live (non-quarantined) shard is responsible for."""
+    owned = set()
+    for entry in manifest.shards.values():
+        if entry.status != SHARD_QUARANTINED:
+            owned.update(entry.jobs)
+    for jobs in manifest.lost.values():
+        owned.update(jobs)
+    return owned
+
+
+def _recovery_entry(manifest: ServiceManifest, origin: str,
+                    specs: List[JobSpec]) -> ShardEntry:
+    """Create a fresh recovery shard holding ``specs``."""
+    sequence = 1 + sum(1 for shard_id in manifest.shards
+                       if shard_id.startswith(f"{origin}-r"))
+    shard_id = f"{origin}-r{sequence}"
+    shard_manifest = RunManifest.create(
+        shard_id, manifest.directory / "shards", specs=specs,
+        seed=manifest.seed, created=manifest.created,
+        shard_id=shard_id, parent=manifest.campaign_id)
+    shard_manifest.save()
+    entry = ShardEntry(shard_id=shard_id,
+                       directory=f"shards/{shard_id}",
+                       jobs=[spec.job_id for spec in specs],
+                       origin=origin)
+    manifest.shards[shard_id] = entry
+    return entry
+
+
+def _reconcile_orphans(manifest: ServiceManifest) -> None:
+    """Re-home unfinished jobs of quarantined shards that no live
+    shard owns (a service crash in the quarantine window)."""
+    owned = _owned_job_ids(manifest)
+    for entry in list(manifest.shards.values()):
+        if entry.status != SHARD_QUARANTINED:
+            continue
+        shard_manifest = load_shard_manifest(
+            manifest.shard_dir(entry))
+        orphans = [spec for spec in unfinished_jobs(shard_manifest)
+                   if spec.job_id not in owned]
+        if orphans:
+            _recovery_entry(manifest, entry.shard_id, orphans)
+            owned.update(spec.job_id for spec in orphans)
+
+
+def _restore_lost(manifest: ServiceManifest) -> None:
+    """Give LOST jobs a fresh reassignment budget on explicit resume."""
+    if not manifest.lost:
+        return
+    for shard_id, jobs in sorted(manifest.lost.items()):
+        entry = manifest.shards.get(shard_id)
+        if entry is None:
+            continue
+        shard_manifest = load_shard_manifest(
+            manifest.shard_dir(entry))
+        specs = [shard_manifest.jobs[job].spec for job in sorted(jobs)
+                 if job in shard_manifest.jobs]
+        if specs:
+            _recovery_entry(manifest, shard_id, specs)
+        for job in jobs:
+            manifest.reassignments.pop(job, None)
+    manifest.lost = {}
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+class CampaignService:
+    """Drives one sharded campaign to a terminal state."""
+
+    def __init__(self, manifest: ServiceManifest, *,
+                 chaos: Optional[ServiceChaos] = None,
+                 stop_event: Optional[threading.Event] = None,
+                 on_event: Optional[Callable[[str, str],
+                                             None]] = None):
+        self.manifest = manifest
+        options = {**DEFAULT_OPTIONS, **manifest.options}
+        manifest.options = options
+        self.workers_per_shard = int(options["workers_per_shard"])
+        self.concurrent_shards = int(options["concurrent_shards"])
+        self.lease_s = float(options["lease_s"])
+        self.breaker_threshold = int(options["breaker_threshold"])
+        self.max_reassignments = int(options["max_reassignments"])
+        self.poll_interval = float(options["poll_interval"])
+        if self.lease_s <= 0:
+            raise ServiceError("lease_s must be positive")
+        if self.breaker_threshold < 1:
+            raise ServiceError("breaker_threshold must be >= 1")
+        self.chaos = chaos
+        self.stop_event = stop_event
+        self._on_event = on_event
+        self._lock = threading.RLock()
+        self._running: Dict[str, ShardHandle] = {}
+        #: live job status tallies, fed by shard uplink messages
+        self._job_status: Dict[str, str] = {}
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:          # pragma: no cover - non-POSIX
+            self._ctx = multiprocessing.get_context("spawn")
+
+    # ------------------------------------------------------------------
+    def _event(self, shard_id: str, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(shard_id, message)
+
+    def _seed_job_status(self) -> None:
+        for entry in self.manifest.shards.values():
+            try:
+                shard_manifest = load_shard_manifest(
+                    self.manifest.shard_dir(entry))
+            except Exception:       # noqa: BLE001 - tolerate partial
+                continue
+            for job_id, record in shard_manifest.jobs.items():
+                if record.status is JobStatus.COMPLETED or \
+                        job_id not in self._job_status:
+                    self._job_status[job_id] = record.status.value
+
+    # ------------------------------------------------------------------
+    # shard lifecycle
+    # ------------------------------------------------------------------
+    def _runnable_entries(self) -> List[ShardEntry]:
+        return [entry for entry in self.manifest.shards.values()
+                if entry.status == SHARD_PENDING
+                and entry.shard_id not in self._running]
+
+    def _launch(self, entry: ShardEntry) -> None:
+        heartbeat = self._ctx.Value("d", 0.0, lock=False)
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=shard_main,
+            args=(str(self.manifest.shard_dir(entry)),
+                  dict(self.manifest.options), send_conn, heartbeat),
+            name=f"repro-shard-{entry.shard_id}",
+            daemon=False,       # shards fork their own workers
+        )
+        process.start()
+        send_conn.close()
+        entry.status = SHARD_RUNNING
+        self.manifest.save()
+        self._running[entry.shard_id] = ShardHandle(
+            shard_id=entry.shard_id, process=process, conn=recv_conn,
+            heartbeat=heartbeat)
+        telemetry.count("service.shard.launches")
+        self._event(entry.shard_id,
+                    f"shard started (pgid {process.pid})")
+
+    def _launch_pass(self) -> None:
+        limit = self.concurrent_shards or len(self.manifest.shards)
+        for entry in self._runnable_entries():
+            if len(self._running) >= limit:
+                break
+            self._launch(entry)
+
+    def _complete_shard(self, entry: ShardEntry,
+                        handle: ShardHandle, counts: Dict[str, int]
+                        ) -> None:
+        handle.process.join(timeout=5.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        self._running.pop(entry.shard_id, None)
+        entry.status = SHARD_COMPLETED
+        entry.strikes = 0           # consecutive-failure breaker
+        self.manifest.save()
+        telemetry.count("service.shard.completed")
+        summary = ", ".join(f"{count} {status}" for status, count
+                            in sorted(counts.items()))
+        self._event(entry.shard_id, f"shard completed ({summary})")
+
+    def _strike(self, entry: ShardEntry, handle: ShardHandle,
+                reason: str) -> None:
+        """One shard failure: kill the group, count it against the
+        circuit breaker, restart or quarantine."""
+        handle.kill_group()
+        self._running.pop(entry.shard_id, None)
+        entry.strikes += 1
+        telemetry.count("service.shard.strikes")
+        self._event(entry.shard_id,
+                    f"strike {entry.strikes}/{self.breaker_threshold}"
+                    f" ({reason})")
+        if entry.strikes >= self.breaker_threshold:
+            self._quarantine(entry)
+        else:
+            entry.restarts += 1
+            entry.status = SHARD_PENDING
+            telemetry.count("service.shard.restarts")
+            self.manifest.save()
+
+    def _quarantine(self, entry: ShardEntry) -> None:
+        """Trip the breaker: the shard is sick; move its unfinished
+        work to healthy shards (or declare it lost)."""
+        entry.status = SHARD_QUARANTINED
+        telemetry.count("service.shard.quarantines")
+        shard_manifest = load_shard_manifest(
+            self.manifest.shard_dir(entry))
+        pending = unfinished_jobs(shard_manifest)
+        reassignable: List[JobSpec] = []
+        lost: List[str] = []
+        for spec in pending:
+            used = self.manifest.reassignments.get(spec.job_id, 0)
+            if used >= self.max_reassignments:
+                lost.append(spec.job_id)
+            else:
+                reassignable.append(spec)
+        if lost:
+            bucket = self.manifest.lost.setdefault(entry.shard_id, [])
+            bucket.extend(job for job in sorted(lost)
+                          if job not in bucket)
+            telemetry.count("service.job.lost", len(lost))
+            for job in lost:
+                self._job_status[job] = "LOST"
+        target_id = None
+        if reassignable:
+            target_id = self._reassign(entry, reassignable)
+        self.manifest.save()
+        detail = []
+        if reassignable:
+            detail.append(f"{len(reassignable)} job(s) reassigned "
+                          f"to {target_id}")
+        if lost:
+            detail.append(f"{len(lost)} job(s) LOST")
+        self._event(entry.shard_id,
+                    "QUARANTINED (circuit breaker): "
+                    + ("; ".join(detail) or "no unfinished jobs"))
+
+    def _reassign(self, sick: ShardEntry,
+                  specs: List[JobSpec]) -> str:
+        """Move ``specs`` to a healthy shard.  Prefers an idle healthy
+        shard (PENDING, or COMPLETED — it relaunches and resume
+        semantics skip its finished jobs); falls back to a fresh
+        recovery shard when every healthy shard is mid-flight."""
+        for job in specs:
+            self.manifest.reassignments[job.job_id] = \
+                self.manifest.reassignments.get(job.job_id, 0) + 1
+        telemetry.count("service.job.reassigned", len(specs))
+        candidates = sorted(
+            (entry for entry in self.manifest.shards.values()
+             if entry.status in (SHARD_PENDING, SHARD_COMPLETED)
+             and entry.shard_id not in self._running),
+            key=lambda entry: (len(entry.jobs), entry.shard_id))
+        if candidates:
+            target = candidates[0]
+            target_manifest = load_shard_manifest(
+                self.manifest.shard_dir(target))
+            added = target_manifest.add_specs(specs)
+            target_manifest.save()
+            target.jobs.extend(job for job in added
+                               if job not in target.jobs)
+            target.status = SHARD_PENDING
+            return target.shard_id
+        return _recovery_entry(self.manifest, sick.shard_id,
+                               specs).shard_id
+
+    # ------------------------------------------------------------------
+    # settle: uplink messages, deaths, leases
+    # ------------------------------------------------------------------
+    def _settle(self, handle: ShardHandle, now: float) -> None:
+        entry = self.manifest.shards[handle.shard_id]
+        while handle.shard_id in self._running:
+            try:
+                if not handle.conn.poll(0):
+                    break
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "job":
+                _, job_id, status, attempts = message
+                self._job_status[job_id] = status
+                self._event(handle.shard_id,
+                            f"[{job_id}] {status} "
+                            f"(attempt {attempts})")
+            elif kind == "done":
+                self._complete_shard(entry, handle, message[1])
+                return
+            elif kind == "error":
+                self._strike(entry, handle,
+                             f"shard engine failed: {message[1]}")
+                return
+        if not handle.alive():
+            self._strike(entry, handle,
+                         "shard process group died without a result")
+            return
+        if handle.lease_expired(self.lease_s, now):
+            stale = now - handle.last_beat()
+            self._strike(entry, handle,
+                         f"heartbeat lease expired "
+                         f"({stale:.2f}s > {self.lease_s:.2f}s)")
+
+    def _settle_pass(self, now: float) -> None:
+        for handle in list(self._running.values()):
+            self._settle(handle, now)
+
+    # ------------------------------------------------------------------
+    # terminal accounting
+    # ------------------------------------------------------------------
+    def _interrupt(self) -> None:
+        for handle in list(self._running.values()):
+            handle.kill_group()
+            entry = self.manifest.shards[handle.shard_id]
+            entry.status = SHARD_PENDING
+            self._running.pop(handle.shard_id, None)
+        self.manifest.status = CAMPAIGN_INTERRUPTED
+        self.manifest.save()
+        self._event("service", "campaign INTERRUPTED "
+                               "(resumable)")
+
+    def _finalize(self) -> None:
+        aggregate = merge_shards(self.manifest)
+        self.manifest.status = str(aggregate["status"])
+        atomic_write_json(self.manifest.aggregate_path, aggregate)
+        self.manifest.save()
+        telemetry.count(
+            f"service.campaign.{self.manifest.status.lower()}")
+        self._event("service",
+                    f"campaign {self.manifest.status} "
+                    f"(aggregate digest "
+                    f"{str(aggregate['digest'])[:12]})")
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> ServiceManifest:
+        manifest = self.manifest
+        with self._lock:
+            manifest.status = CAMPAIGN_RUNNING
+            manifest.save()
+            self._seed_job_status()
+        started = time.monotonic()
+        try:
+            while True:
+                if self.stop_event is not None and \
+                        self.stop_event.is_set():
+                    with self._lock:
+                        self._interrupt()
+                    return manifest
+                now = time.monotonic()
+                with self._lock:
+                    self._launch_pass()
+                    self._settle_pass(now)
+                    if self.chaos is not None and \
+                            not self.chaos.exhausted:
+                        victim = self.chaos.maybe_strike(
+                            list(self._running.values()),
+                            now - started)
+                        if victim is not None:
+                            telemetry.count("service.chaos.strikes")
+                            self._event(victim,
+                                        f"chaos: {self.chaos.mode}")
+                    done = (not self._running
+                            and not self._runnable_entries())
+                if done:
+                    break
+                time.sleep(self.poll_interval)
+            with self._lock:
+                self._finalize()
+        finally:
+            with self._lock:
+                for handle in list(self._running.values()):
+                    handle.kill_group()
+                self._running.clear()
+                if manifest.status == CAMPAIGN_RUNNING:
+                    manifest.status = CAMPAIGN_INTERRUPTED
+                manifest.save()
+        return manifest
+
+    # ------------------------------------------------------------------
+    # live status (HTTP layer; thread-safe)
+    # ------------------------------------------------------------------
+    def status_snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            shards = {}
+            for shard_id, entry in self.manifest.shards.items():
+                handle = self._running.get(shard_id)
+                shards[shard_id] = {
+                    "status": entry.status,
+                    "strikes": entry.strikes,
+                    "restarts": entry.restarts,
+                    "origin": entry.origin,
+                    "jobs": len(entry.jobs),
+                    "pgid": handle.pgid if handle else None,
+                }
+            tally: Dict[str, int] = {}
+            for status in self._job_status.values():
+                tally[status] = tally.get(status, 0) + 1
+            return {
+                "campaign_id": self.manifest.campaign_id,
+                "status": self.manifest.status,
+                "seed": self.manifest.seed,
+                "shards": shards,
+                "jobs": tally,
+                "total_jobs": len(self.manifest.job_ids()),
+                "lost": {shard: list(jobs) for shard, jobs
+                         in self.manifest.lost.items()},
+            }
+
+
+# ----------------------------------------------------------------------
+# cross-shard merge
+# ----------------------------------------------------------------------
+def merge_shards(manifest: ServiceManifest) -> Dict[str, object]:
+    """Merge every shard manifest + telemetry counter snapshot into the
+    campaign's seed-stable aggregate.
+
+    The aggregate ``digest`` covers per-job digests, merged counters,
+    loss accounting, seed, and status — and deliberately **excludes**
+    campaign/shard ids and layout, so a quarantine that moved jobs
+    between shards (or a different shard count) cannot change it.
+    """
+    records: Dict[str, object] = {}
+    for shard_id in sorted(manifest.shards):
+        entry = manifest.shards[shard_id]
+        try:
+            shard_manifest = load_shard_manifest(
+                manifest.shard_dir(entry))
+        except Exception:           # noqa: BLE001 - missing shard dir
+            continue
+        for job_id, record in shard_manifest.jobs.items():
+            best = records.get(job_id)
+            if best is None or (
+                    record.status is JobStatus.COMPLETED
+                    and best.status is not JobStatus.COMPLETED):
+                records[job_id] = record
+    # losses: prune jobs that some shard completed after all (a stale
+    # quarantine read) — the accounting must be exact
+    lost: Dict[str, List[str]] = {}
+    lost_jobs = set()
+    for shard_id, jobs in sorted(manifest.lost.items()):
+        remaining = sorted(
+            job for job in jobs
+            if job not in records
+            or records[job].status is not JobStatus.COMPLETED)
+        if remaining:
+            lost[shard_id] = remaining
+            lost_jobs.update(remaining)
+    jobs: Dict[str, Dict[str, object]] = {}
+    completed_counters = []
+    for job_id in sorted(records):
+        record = records[job_id]
+        if job_id in lost_jobs:
+            status = "LOST"
+        else:
+            status = record.status.value
+        jobs[job_id] = {"status": status, "digest": record.digest}
+        if record.status is JobStatus.COMPLETED:
+            completed_counters.append(record.counters)
+    counters = telemetry.merge_counters(*completed_counters)
+    if lost_jobs:
+        status = CAMPAIGN_DEGRADED
+    elif all(entry["status"] == JobStatus.COMPLETED.value
+             for entry in jobs.values()) and jobs:
+        status = CAMPAIGN_COMPLETED
+    else:
+        status = CAMPAIGN_FAILED
+    core = {
+        "seed": manifest.seed,
+        "status": status,
+        "jobs": jobs,
+        "lost": lost,
+        "counters": counters,
+    }
+    canonical = json.dumps(core, sort_keys=True,
+                           separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return {
+        "schema": SERVICE_SCHEMA_VERSION,
+        "campaign_id": manifest.campaign_id,
+        "digest": digest,
+        **core,
+    }
+
+
+def run_service_campaign(specs: List[JobSpec], runs_dir, *,
+                         campaign_id: Optional[str] = None,
+                         seed: Optional[int] = None,
+                         shards: int = 2,
+                         resume: bool = False,
+                         options: Optional[Dict[str, object]] = None,
+                         chaos: Optional[ServiceChaos] = None,
+                         stop_event: Optional[threading.Event] = None,
+                         on_event: Optional[Callable[[str, str],
+                                                     None]] = None,
+                         created: str = "") -> ServiceManifest:
+    """Create (or resume) a sharded campaign and run it to a terminal
+    state — the service-layer analogue of
+    :func:`repro.runner.run_campaign`."""
+    if resume:
+        if campaign_id is None:
+            raise ServiceError("resume requires a campaign id")
+        manifest = resume_service_campaign(runs_dir, campaign_id,
+                                           options=options)
+    else:
+        manifest = create_service_campaign(
+            specs, runs_dir, campaign_id=campaign_id, seed=seed,
+            shards=shards, options=options, created=created)
+    service = CampaignService(manifest, chaos=chaos,
+                              stop_event=stop_event,
+                              on_event=on_event)
+    return service.run()

@@ -1,0 +1,172 @@
+"""Shard fault domains: one supervised worker-pool process group each.
+
+A *shard* is the unit of failure the service reasons about.  Each
+shard runs as its own child process which immediately calls
+``os.setsid()`` — so the shard **and every worker it forks** live in a
+private process group that one ``killpg`` erases, exactly the fault a
+real box dying takes with it.  Inside the shard, the existing
+:class:`repro.runner.CampaignRunner` provides the per-job guarantees
+(subprocess workers, watchdog, retry/backoff, checkpointed manifest);
+this module adds the parent-side view the scheduler supervises:
+
+* a **heartbeat lease** — the shard stamps a shared monotonic value
+  twice per second; a stamp older than the lease means the shard is
+  stalled (SIGSTOPped, deadlocked, swapping) even if its process is
+  technically alive;
+* a structured **uplink pipe** — per-job lifecycle transitions stream
+  up for live progress accounting, followed by one terminal
+  ``("done", summary)`` / ``("error", text)`` message;
+* **group kill** — quarantine and chaos both address the whole
+  process group, never just the supervisor process.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..runner import CampaignRunner, RunManifest
+from ..runner.jobs import JobStatus
+
+#: seconds between shard heartbeat stamps (the scheduler's lease
+#: should be a comfortable multiple of this)
+SHARD_HEARTBEAT_INTERVAL = 0.5
+
+#: shard lifecycle states tracked by the service manifest
+SHARD_PENDING = "PENDING"
+SHARD_RUNNING = "RUNNING"
+SHARD_COMPLETED = "COMPLETED"
+SHARD_QUARANTINED = "QUARANTINED"
+
+
+def _beat(heartbeat, stop: threading.Event) -> None:
+    while not stop.is_set():
+        heartbeat.value = time.monotonic()
+        stop.wait(SHARD_HEARTBEAT_INTERVAL)
+
+
+def shard_main(manifest_dir: str, options: dict, conn,
+               heartbeat) -> None:
+    """Entry point of a shard supervisor child process.
+
+    Loads the checkpointed shard manifest from ``manifest_dir``
+    (``runs/<campaign>/shards/<shard>/`` — or the campaign directory
+    itself for an adopted legacy v1 manifest), makes every
+    non-COMPLETED job runnable again, and drives the shard engine to
+    completion, streaming transitions to the parent scheduler.
+    """
+    os.setsid()             # own process group: killpg == shard death
+    stop = threading.Event()
+    thread = threading.Thread(target=_beat, args=(heartbeat, stop),
+                              daemon=True)
+    thread.start()
+
+    def uplink(record) -> None:
+        try:
+            conn.send(("job", record.job_id, record.status.value,
+                       record.attempts))
+        except OSError:     # parent gone; keep checkpointing to disk
+            pass
+
+    try:
+        directory = Path(manifest_dir)
+        manifest = RunManifest.load(directory.parent, directory.name)
+        manifest.reset_for_resume()
+        runner = CampaignRunner(
+            manifest,
+            max_workers=int(options.get("workers_per_shard", 2)),
+            stall_timeout=float(options.get("stall_timeout", 10.0)),
+            backoff_base=float(options.get("backoff_base", 0.25)),
+            backoff_cap=float(options.get("backoff_cap", 4.0)),
+            on_transition=uplink)
+        runner.run()
+        counts = manifest.counts()
+        conn.send(("done", counts))
+    except BaseException as error:      # noqa: BLE001 - report upward
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except OSError:
+            pass
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class ShardHandle:
+    """Parent-side view of one running shard process group."""
+
+    shard_id: str
+    process: object                     # multiprocessing.Process
+    conn: object                        # receiving end of the uplink
+    heartbeat: object                   # multiprocessing.Value("d")
+    started: float = field(default_factory=time.monotonic)
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    @property
+    def pgid(self) -> Optional[int]:
+        """After ``setsid`` the shard's pid *is* its process group."""
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def last_beat(self) -> float:
+        """Most recent heartbeat stamp, falling back to launch time
+        until the first beat lands (monotonic clock, like
+        :mod:`repro.runner.watchdog`)."""
+        beat = self.heartbeat.value
+        return beat if beat > 0 else self.started
+
+    def lease_expired(self, lease_s: float,
+                      now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        return now - self.last_beat() > lease_s
+
+    def signal_group(self, signum: int) -> bool:
+        """Deliver ``signum`` to the whole shard process group."""
+        pgid = self.pgid
+        if pgid is None:
+            return False
+        try:
+            os.killpg(pgid, signum)
+            return True
+        except (ProcessLookupError, PermissionError, OSError):
+            return False
+
+    def kill_group(self) -> None:
+        """SIGKILL the shard and every worker it forked (idempotent).
+
+        SIGKILL terminates SIGSTOPped processes too, so this also
+        reaps a stalled shard without needing a SIGCONT first.
+        """
+        self.signal_group(signal.SIGKILL)
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def load_shard_manifest(directory: Path) -> RunManifest:
+    """Load a shard's checkpointed manifest from its directory."""
+    directory = Path(directory)
+    return RunManifest.load(directory.parent, directory.name)
+
+
+def unfinished_jobs(manifest: RunManifest) -> list:
+    """Specs of every job a dead shard still owed (anything not
+    COMPLETED — their artifacts, if any, were never recorded)."""
+    return [record.spec for record in manifest.records()
+            if record.status is not JobStatus.COMPLETED]

@@ -64,6 +64,7 @@ __all__ = [
     "current",
     "emit",
     "install",
+    "merge_counters",
     "render_stats",
     "render_trace",
     "session",
@@ -237,6 +238,24 @@ def render_trace(sink: TelemetrySink) -> str:
 def trace_digest(sink: TelemetrySink) -> str:
     return hashlib.sha256(
         render_trace(sink).encode("utf-8")).hexdigest()
+
+
+def merge_counters(*snapshots: Dict[str, int]) -> Dict[str, int]:
+    """Merge counter snapshots into one aggregate, sorted by name.
+
+    The merge is **commutative and associative** — integer addition per
+    counter name — so cross-shard aggregation can fold per-job
+    snapshots in whatever order shards finish (or resume) and always
+    produce the same aggregate, hence the same
+    :func:`counters_digest`.  Spans never appear here: snapshots are
+    counters-only by construction (:meth:`TelemetrySink.snapshot`), so
+    wall-clock timings cannot leak into merged digests.
+    """
+    merged: Dict[str, int] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            merged[name] = merged.get(name, 0) + int(value)
+    return {name: merged[name] for name in sorted(merged)}
 
 
 def counters_digest(counters: Dict[str, int]) -> str:

@@ -579,13 +579,19 @@ def test_experiment_job_counters_land_in_manifest(tmp_path):
     assert loaded.jobs["fig2"].counters == record.counters
 
 
-def test_selftest_job_counters_default_empty(tmp_path):
-    specs = [_selftest("quiet", "work:10")]
-    manifest = run_campaign(specs, tmp_path, campaign_id="quiet",
+def test_selftest_job_counters(tmp_path):
+    # `work:` emits deterministic counters (the service aggregation
+    # drills merge them); `sleep:` stays quiet
+    specs = [_selftest("busy", "work:10"),
+             _selftest("quiet", "sleep:0.01")]
+    manifest = run_campaign(specs, tmp_path, campaign_id="tally",
                             seed=0)
+    assert manifest.jobs["busy"].counters == {
+        "selftest.jobs": 1, "selftest.rounds": 10}
     assert manifest.jobs["quiet"].counters == {}
-    loaded = RunManifest.load(tmp_path, "quiet")
-    assert loaded.jobs["quiet"].counters == {}
+    loaded = RunManifest.load(tmp_path, "tally")
+    assert loaded.jobs["busy"].counters == \
+        manifest.jobs["busy"].counters
 
 
 # ----------------------------------------------------------------------
@@ -665,3 +671,64 @@ def test_cli_campaign_unknown_experiment(tmp_path, capsys):
                  "--runs-dir", str(tmp_path)])
     assert code == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# campaign id generation (collision safety) and manifest back-compat
+# ----------------------------------------------------------------------
+def test_campaign_ids_unique_in_a_tight_burst():
+    from repro.runner import new_campaign_id
+    # second-granularity stamps collide trivially; the pid/counter
+    # suffix must keep a same-second burst unique
+    ids = [new_campaign_id() for _ in range(256)]
+    assert len(set(ids)) == len(ids)
+    assert all(identifier.startswith("campaign-")
+               for identifier in ids)
+
+
+def test_artifact_digests_independent_of_campaign_id(tmp_path):
+    specs = [_selftest("solo", "work:5")]
+    one = run_campaign(specs, tmp_path, campaign_id="id-one", seed=3)
+    two = run_campaign(specs, tmp_path, campaign_id="id-two", seed=3)
+    assert one.digests() == two.digests()
+
+
+def test_schema_v1_manifest_loads_resumes_and_completes(tmp_path):
+    """PR-2 era manifests (schema 1, no shard fields) must keep
+    working: load with defaulted shard fields, resume, complete."""
+    manifest = RunManifest.create(
+        "legacy", tmp_path,
+        specs=[_selftest("a", "work:5"), _selftest("b", "work:5")],
+        seed=4)
+    # mark one job COMPLETED so resume provably skips it
+    record = manifest.jobs["a"]
+    record.status = JobStatus.COMPLETED
+    record.digest = "f" * 64
+    manifest.save()
+    payload = json.loads(manifest.path.read_text())
+    payload["schema"] = 1
+    del payload["shard_id"]
+    del payload["parent"]
+    manifest.path.write_text(json.dumps(payload))
+
+    loaded = RunManifest.load(tmp_path, "legacy")
+    assert loaded.shard_id == "" and loaded.parent == ""
+    assert loaded.jobs["a"].status is JobStatus.COMPLETED
+
+    finished = run_campaign([], tmp_path, campaign_id="legacy",
+                            resume=True)
+    assert finished.all_completed()
+    # the completed record survived untouched (resume skipped it)
+    assert finished.jobs["a"].digest == "f" * 64
+    # and the manifest was upgraded to the current schema on save
+    assert json.loads(finished.path.read_text())["schema"] == 2
+
+
+def test_add_specs_is_idempotent(tmp_path):
+    manifest = RunManifest.create(
+        "camp", tmp_path, specs=[_selftest("a", "work:1")], seed=0)
+    added = manifest.add_specs([_selftest("a", "work:1"),
+                                _selftest("b", "work:1")])
+    assert added == ["b"]
+    assert manifest.add_specs([_selftest("b", "work:1")]) == []
+    assert sorted(manifest.jobs) == ["a", "b"]

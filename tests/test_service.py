@@ -1,0 +1,378 @@
+"""The sharded campaign service: deterministic partitioning, shard
+fault domains, the heartbeat-lease circuit breaker, quarantine +
+reassignment, DEGRADED loss accounting, and cross-shard aggregate
+convergence.
+
+Like the runner tests, the heavyweight scenarios use KIND_SELFTEST
+jobs so the scheduler machinery is exercised without paying for real
+experiments.  Chaos scenarios pin their victim shard (``target=``) so
+assertions are deterministic.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import CampaignError, ServiceError
+from repro.runner import JobStatus, RunManifest
+from repro.runner.jobs import (JobSpec, KIND_SELFTEST,
+                               specs_from_payload)
+from repro.service import (CAMPAIGN_COMPLETED, CAMPAIGN_DEGRADED,
+                           CAMPAIGN_INTERRUPTED, CHAOS_KILL_SHARD,
+                           CHAOS_STALL_SHARD, CampaignService,
+                           SHARD_QUARANTINED, ServiceChaos,
+                           ServiceManifest, create_service_campaign,
+                           list_service_campaigns,
+                           load_or_adopt_campaign, merge_shards,
+                           partition_jobs, resume_service_campaign,
+                           run_service_campaign, shard_name)
+
+
+def _selftest(job_id, program, **kwargs):
+    kwargs.setdefault("timeout_s", 30.0)
+    kwargs.setdefault("max_attempts", 2)
+    return JobSpec(job_id=job_id, kind=KIND_SELFTEST, name=program,
+                   seed=0, **kwargs)
+
+
+def _specs(count=6, program="work:3:0.05"):
+    return [_selftest(f"j{index:02d}", program)
+            for index in range(count)]
+
+
+def _aggregate(runs_dir, campaign_id):
+    path = runs_dir / campaign_id / "aggregate.json"
+    return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------------------
+# partitioner
+# ----------------------------------------------------------------------
+def test_partition_is_deterministic_and_order_independent():
+    specs = _specs(11)
+    forward = partition_jobs(specs, 3, seed=7)
+    backward = partition_jobs(list(reversed(specs)), 3, seed=7)
+    assert forward == backward
+    again = partition_jobs(specs, 3, seed=7)
+    assert again == forward
+
+
+def test_partition_balanced_within_one():
+    for count in (5, 8, 17, 100):
+        shards = partition_jobs(_specs(count), 4, seed=0)
+        sizes = [len(jobs) for jobs in shards.values()]
+        assert sum(sizes) == count
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_partition_seed_changes_layout_not_membership():
+    specs = _specs(16)
+    a = partition_jobs(specs, 4, seed=1)
+    b = partition_jobs(specs, 4, seed=2)
+    all_a = sorted(s.job_id for jobs in a.values() for s in jobs)
+    all_b = sorted(s.job_id for jobs in b.values() for s in jobs)
+    assert all_a == all_b == sorted(s.job_id for s in specs)
+    assert a != b          # different spread (overwhelmingly likely)
+
+
+def test_partition_clamps_shards_to_job_count():
+    shards = partition_jobs(_specs(2), 8, seed=0)
+    assert len(shards) == 2
+    assert set(shards) == {shard_name(0), shard_name(1)}
+
+
+def test_partition_rejects_bad_input():
+    with pytest.raises(ServiceError):
+        partition_jobs(_specs(3), 0)
+    with pytest.raises(ServiceError):
+        partition_jobs([], 2)
+    dupes = [_selftest("same", "work:1"), _selftest("same", "work:1")]
+    with pytest.raises(ServiceError):
+        partition_jobs(dupes, 2)
+
+
+# ----------------------------------------------------------------------
+# submission payloads
+# ----------------------------------------------------------------------
+def test_specs_from_payload_jobs_path():
+    payload = {"jobs": [
+        {"job_id": "a", "kind": "selftest", "name": "work:1"},
+        {"job_id": "b", "kind": "selftest", "name": "work:2"},
+    ]}
+    specs = specs_from_payload(payload)
+    assert [s.job_id for s in specs] == ["a", "b"]
+
+
+def test_specs_from_payload_experiments_path():
+    specs = specs_from_payload(
+        {"experiments": {"only": ["fig2"], "fast": True, "seed": 3}})
+    assert [s.job_id for s in specs] == ["fig2"]
+    assert specs[0].fast and specs[0].seed == 3
+
+
+def test_specs_from_payload_rejects_garbage():
+    with pytest.raises(CampaignError):
+        specs_from_payload({})
+    with pytest.raises(CampaignError):
+        specs_from_payload({"jobs": []})
+    with pytest.raises(CampaignError):
+        specs_from_payload({"jobs": [{"job_id": "a"}]})
+    with pytest.raises(CampaignError):
+        specs_from_payload({"jobs": [
+            {"job_id": "a", "kind": "selftest", "name": "work:1"},
+            {"job_id": "a", "kind": "selftest", "name": "work:1"}]})
+    with pytest.raises(CampaignError):
+        specs_from_payload({"experiments": {"bogus_option": 1}})
+
+
+# ----------------------------------------------------------------------
+# service manifest persistence
+# ----------------------------------------------------------------------
+def test_service_manifest_roundtrip(tmp_path):
+    manifest = create_service_campaign(
+        _specs(5), tmp_path, campaign_id="camp", seed=9, shards=2)
+    loaded = ServiceManifest.load(tmp_path, "camp")
+    assert loaded.campaign_id == "camp"
+    assert loaded.seed == 9
+    assert sorted(loaded.shards) == ["s00", "s01"]
+    assert loaded.job_ids() == [f"j{i:02d}" for i in range(5)]
+    # each shard has a checkpointed v2 engine manifest of its own
+    for entry in loaded.shards.values():
+        shard = RunManifest.load(tmp_path / "camp" / "shards",
+                                 entry.shard_id)
+        assert shard.parent == "camp"
+        assert shard.shard_id == entry.shard_id
+        assert sorted(shard.jobs) == sorted(entry.jobs)
+    assert list_service_campaigns(tmp_path) == ["camp"]
+
+
+def test_create_refuses_existing_campaign(tmp_path):
+    create_service_campaign(_specs(2), tmp_path, campaign_id="camp",
+                            shards=2)
+    with pytest.raises(ServiceError):
+        create_service_campaign(_specs(2), tmp_path,
+                                campaign_id="camp", shards=2)
+
+
+def test_chaos_rejects_unknown_mode():
+    with pytest.raises(ServiceError):
+        ServiceChaos(mode="set-on-fire")
+
+
+# ----------------------------------------------------------------------
+# clean sharded completion
+# ----------------------------------------------------------------------
+def test_sharded_campaign_completes_and_merges(tmp_path):
+    manifest = run_service_campaign(
+        _specs(6), tmp_path, campaign_id="clean", seed=7, shards=3)
+    assert manifest.status == CAMPAIGN_COMPLETED
+    aggregate = _aggregate(tmp_path, "clean")
+    assert aggregate["status"] == CAMPAIGN_COMPLETED
+    assert sorted(aggregate["jobs"]) == [f"j{i:02d}" for i in range(6)]
+    assert all(entry["status"] == "COMPLETED" and entry["digest"]
+               for entry in aggregate["jobs"].values())
+    assert aggregate["lost"] == {}
+    # merged counters came from the per-job telemetry sessions
+    assert aggregate["counters"]
+    # the digest is recomputable from the persisted state
+    assert merge_shards(manifest)["digest"] == aggregate["digest"]
+
+
+def test_aggregate_digest_excludes_campaign_and_shard_layout(tmp_path):
+    one = run_service_campaign(_specs(6), tmp_path,
+                               campaign_id="one", seed=7, shards=1)
+    three = run_service_campaign(_specs(6), tmp_path,
+                                 campaign_id="three", seed=7, shards=3)
+    assert one.status == three.status == CAMPAIGN_COMPLETED
+    assert (_aggregate(tmp_path, "one")["digest"]
+            == _aggregate(tmp_path, "three")["digest"])
+
+
+# ----------------------------------------------------------------------
+# chaos: kill-shard — quarantine, reassignment, convergence
+# ----------------------------------------------------------------------
+def test_kill_shard_quarantines_reassigns_and_converges(tmp_path):
+    clean = run_service_campaign(_specs(6), tmp_path,
+                                 campaign_id="clean", seed=7, shards=3)
+    assert clean.status == CAMPAIGN_COMPLETED
+    events = []
+    chaos = ServiceChaos(mode=CHAOS_KILL_SHARD, strikes=1,
+                         delay_s=0.05, seed=1, target="s01")
+    manifest = run_service_campaign(
+        _specs(6), tmp_path, campaign_id="chaos", seed=7, shards=3,
+        options={"breaker_threshold": 1}, chaos=chaos,
+        on_event=lambda shard, message: events.append((shard,
+                                                       message)))
+    assert manifest.status == CAMPAIGN_COMPLETED
+    assert manifest.shards["s01"].status == SHARD_QUARANTINED
+    # its jobs were reassigned somewhere and completed
+    reassigned = set(manifest.reassignments)
+    assert reassigned and reassigned <= set(
+        manifest.shards["s01"].jobs)
+    assert any("QUARANTINED" in message for _, message in events)
+    # convergence: byte-identical merged digest despite the chaos
+    assert (_aggregate(tmp_path, "chaos")["digest"]
+            == _aggregate(tmp_path, "clean")["digest"])
+
+
+def test_kill_shard_below_threshold_restarts_in_place(tmp_path):
+    chaos = ServiceChaos(mode=CHAOS_KILL_SHARD, strikes=1,
+                         delay_s=0.05, seed=1, target="s00")
+    manifest = run_service_campaign(
+        _specs(4), tmp_path, campaign_id="restart", seed=7, shards=2,
+        options={"breaker_threshold": 2}, chaos=chaos)
+    assert manifest.status == CAMPAIGN_COMPLETED
+    assert manifest.shards["s00"].restarts >= 1
+    assert manifest.shards["s00"].status != SHARD_QUARANTINED
+    assert manifest.reassignments == {}
+
+
+# ----------------------------------------------------------------------
+# chaos: stall-shard — the heartbeat lease trips the breaker
+# ----------------------------------------------------------------------
+def test_stalled_shard_trips_breaker_within_lease_budget(tmp_path):
+    """A SIGSTOPped shard never exits, so only the lease can detect
+    it.  The breaker must trip within a small multiple of the lease —
+    far sooner than any per-job timeout (jobs here have 60s budgets)
+    — proving the monotonic lease clock drove the quarantine."""
+    lease_s = 0.8
+    events = []
+
+    def on_event(shard, message):
+        events.append((time.monotonic(), shard, message))
+
+    chaos = ServiceChaos(mode=CHAOS_STALL_SHARD, strikes=1,
+                         delay_s=0.1, seed=1, target="s00")
+    manifest = run_service_campaign(
+        [_selftest(f"j{i}", "work:3:0.3", timeout_s=60.0)
+         for i in range(4)],
+        tmp_path, campaign_id="stall", seed=7, shards=2,
+        options={"breaker_threshold": 1, "lease_s": lease_s},
+        chaos=chaos, on_event=on_event)
+    assert manifest.status == CAMPAIGN_COMPLETED
+    assert manifest.shards["s00"].status == SHARD_QUARANTINED
+    assert chaos.events, "chaos never fired"
+    stalled_at = chaos.events[0][0]
+    tripped = [stamp for stamp, shard, message in events
+               if shard == "s00" and "lease expired" in message]
+    assert tripped, f"lease never tripped; events: {events}"
+    # lease + one heartbeat interval + generous scheduler slack —
+    # and nowhere near the 60s job budget
+    assert tripped[0] - stalled_at < lease_s + 5.0
+
+
+# ----------------------------------------------------------------------
+# graceful degradation: exact loss accounting
+# ----------------------------------------------------------------------
+def test_exhausted_reassignment_budget_degrades_exactly(tmp_path):
+    chaos = ServiceChaos(mode=CHAOS_KILL_SHARD, strikes=1,
+                         delay_s=0.05, seed=1, target="s01")
+    manifest = run_service_campaign(
+        _specs(6), tmp_path, campaign_id="degraded", seed=7, shards=3,
+        options={"breaker_threshold": 1, "max_reassignments": 0},
+        chaos=chaos)
+    assert manifest.status == CAMPAIGN_DEGRADED
+    aggregate = _aggregate(tmp_path, "degraded")
+    assert aggregate["status"] == CAMPAIGN_DEGRADED
+    # exact accounting: the quarantined shard's unfinished jobs, no
+    # more and no less, attributed to the shard that lost them
+    lost = aggregate["lost"]
+    assert set(lost) == {"s01"}
+    statuses = {job: entry["status"]
+                for job, entry in aggregate["jobs"].items()}
+    assert sorted(lost["s01"]) == sorted(
+        job for job, status in statuses.items() if status == "LOST")
+    completed = [job for job, status in statuses.items()
+                 if status == "COMPLETED"]
+    assert sorted(completed + lost["s01"]) == sorted(statuses)
+
+
+def test_resume_restores_lost_jobs_and_converges(tmp_path):
+    clean = run_service_campaign(_specs(6), tmp_path,
+                                 campaign_id="clean", seed=7, shards=3)
+    chaos = ServiceChaos(mode=CHAOS_KILL_SHARD, strikes=1,
+                         delay_s=0.05, seed=1, target="s01")
+    degraded = run_service_campaign(
+        _specs(6), tmp_path, campaign_id="degraded", seed=7, shards=3,
+        options={"breaker_threshold": 1, "max_reassignments": 0},
+        chaos=chaos)
+    assert degraded.status == CAMPAIGN_DEGRADED
+    resumed = run_service_campaign(
+        [], tmp_path, campaign_id="degraded", resume=True)
+    assert resumed.status == CAMPAIGN_COMPLETED
+    assert resumed.lost == {}
+    assert (_aggregate(tmp_path, "degraded")["digest"]
+            == _aggregate(tmp_path, "clean")["digest"])
+
+
+# ----------------------------------------------------------------------
+# interrupt + resume
+# ----------------------------------------------------------------------
+def test_stop_event_interrupts_resumably_and_converges(tmp_path):
+    clean = run_service_campaign(_specs(6, "work:3:0.15"), tmp_path,
+                                 campaign_id="clean", seed=7, shards=2)
+    stop = threading.Event()
+
+    def stop_on_first_completion(shard, message):
+        if "COMPLETED" in message:
+            stop.set()
+
+    interrupted = run_service_campaign(
+        _specs(6, "work:3:0.15"), tmp_path,
+        campaign_id="resumable", seed=7, shards=2,
+        stop_event=stop, on_event=stop_on_first_completion)
+    assert interrupted.status == CAMPAIGN_INTERRUPTED
+    assert not (tmp_path / "resumable" / "aggregate.json").exists()
+    resumed = run_service_campaign(
+        [], tmp_path, campaign_id="resumable", resume=True)
+    assert resumed.status == CAMPAIGN_COMPLETED
+    assert (_aggregate(tmp_path, "resumable")["digest"]
+            == _aggregate(tmp_path, "clean")["digest"])
+
+
+def test_resume_requires_campaign_id(tmp_path):
+    with pytest.raises(ServiceError):
+        run_service_campaign([], tmp_path, resume=True)
+    with pytest.raises(ServiceError):
+        resume_service_campaign(tmp_path, "never-existed")
+
+
+# ----------------------------------------------------------------------
+# legacy v1 adoption
+# ----------------------------------------------------------------------
+def _write_v1_campaign(runs_dir, campaign_id, specs):
+    """A schema-v1 manifest exactly as the pre-service runner wrote
+    it: no shard_id/parent fields."""
+    manifest = RunManifest.create(campaign_id, runs_dir, specs=specs,
+                                  seed=5)
+    manifest.save()
+    payload = json.loads(manifest.path.read_text())
+    payload["schema"] = 1
+    payload.pop("shard_id")
+    payload.pop("parent")
+    manifest.path.write_text(json.dumps(payload))
+    return manifest
+
+
+def test_legacy_v1_campaign_adopts_and_completes(tmp_path):
+    _write_v1_campaign(tmp_path, "old", _specs(3))
+    adopted = load_or_adopt_campaign(tmp_path, "old")
+    assert list(adopted.shards) == ["s00"]
+    assert adopted.shards["s00"].directory == "."
+    assert adopted.seed == 5
+    resumed = resume_service_campaign(tmp_path, "old")
+    finished = CampaignService(resumed).run()
+    assert finished.status == CAMPAIGN_COMPLETED
+    aggregate = _aggregate(tmp_path, "old")
+    assert sorted(aggregate["jobs"]) == [f"j{i:02d}" for i in range(3)]
+    # the engine manifest in place was upgraded to schema v2 and the
+    # original job records live on
+    upgraded = RunManifest.load(tmp_path, "old")
+    assert upgraded.all_completed()
+
+
+def test_adopting_missing_campaign_raises(tmp_path):
+    with pytest.raises(ServiceError):
+        load_or_adopt_campaign(tmp_path, "ghost")

@@ -1,0 +1,181 @@
+"""The service HTTP layer: submission round-trips over a real
+ephemeral-port server, bounded-queue backpressure (429 + bounded
+memory under an over-capacity submit loop), graceful shutdown that
+checkpoints the running campaign as resumable, and resume-over-HTTP.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import AdmissionRejected, ServiceError
+from repro.service import (CAMPAIGN_COMPLETED, CAMPAIGN_INTERRUPTED,
+                           ServiceClient, ServiceManifest,
+                           ServiceServer)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    instance = ServiceServer(tmp_path / "runs", port=0,
+                             queue_depth=2)
+    instance.start()
+    try:
+        yield instance
+    finally:
+        instance.stop()
+
+
+def _client(server):
+    return ServiceClient(server.url, timeout=5.0)
+
+
+def _jobs_payload(count=4, program="work:3:0.02", **extra):
+    payload = {"jobs": [
+        {"job_id": f"j{index:02d}", "kind": "selftest",
+         "name": program, "seed": 0, "timeout_s": 30.0,
+         "max_attempts": 2}
+        for index in range(count)
+    ], "seed": 7, "shards": 2}
+    payload.update(extra)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+def test_health_endpoint(server):
+    health = _client(server).health()
+    assert health["status"] == "ok"
+    assert health["queue_depth"] == 2
+    assert health["queued"] == 0
+
+
+def test_submit_wait_results_roundtrip(server):
+    client = _client(server)
+    campaign_id = client.submit(_jobs_payload())
+    status = client.wait(campaign_id, timeout=60.0)
+    assert status["status"] == CAMPAIGN_COMPLETED
+    results = client.results(campaign_id)
+    assert results["campaign_id"] == campaign_id
+    assert results["status"] == CAMPAIGN_COMPLETED
+    assert len(results["jobs"]) == 4
+    assert results["digest"]
+    assert campaign_id in client.campaigns()["campaigns"]
+    # and the merged counters made it into the aggregate
+    assert results["counters"]["selftest.jobs"] == 4
+
+
+def test_unfinished_campaign_results_conflict(server):
+    client = _client(server)
+    campaign_id = client.submit(_jobs_payload(
+        count=2, program="sleep:3"))
+    with pytest.raises(ServiceError, match="409"):
+        client.results(campaign_id)
+
+
+# ----------------------------------------------------------------------
+# error surfaces
+# ----------------------------------------------------------------------
+def _raw(server, method, path, body=b"", headers=None):
+    request = urllib.request.Request(
+        f"{server.url}{path}", data=body if method == "POST" else None,
+        headers=headers or {}, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_unknown_route_and_campaign_404(server):
+    assert _raw(server, "GET", "/nope")[0] == 404
+    assert _raw(server, "GET", "/campaigns/ghost")[0] == 404
+    assert _raw(server, "POST", "/campaigns/ghost/resume",
+                b"{}")[0] == 400
+
+
+def test_bad_payloads_400(server):
+    code, payload = _raw(server, "POST", "/campaigns", b"not json")
+    assert code == 400 and "error" in payload
+    code, _ = _raw(server, "POST", "/campaigns", b"[1,2]")
+    assert code == 400
+    code, _ = _raw(server, "POST", "/campaigns",
+                   json.dumps({"jobs": []}).encode())
+    assert code == 400
+
+
+def test_oversized_body_413(server):
+    blob = b"x" * ((1 << 20) + 1)
+    code, payload = _raw(server, "POST", "/campaigns", blob)
+    assert code == 413
+    assert payload["limit"] == 1 << 20
+
+
+# ----------------------------------------------------------------------
+# backpressure: explicit rejection, bounded memory
+# ----------------------------------------------------------------------
+def test_over_capacity_submissions_get_429(server):
+    client = _client(server)
+    # occupy the scheduler with a slow campaign, then fill the queue
+    client.submit(_jobs_payload(count=1, program="sleep:10",
+                                shards=1))
+    accepted, rejected = [], 0
+    for index in range(12):        # sustained over-capacity loop
+        try:
+            accepted.append(client.submit(_jobs_payload(
+                count=1, program="sleep:10", shards=1)))
+        except AdmissionRejected as error:
+            rejected += 1
+            assert error.queue_depth == 2
+    # the queue admits at most its depth; everything else is an
+    # explicit 429, not silent unbounded buffering
+    assert len(accepted) <= 3      # depth 2 + at most one drained slot
+    assert rejected >= 9
+    health = client.health()
+    assert health["queued"] <= 2
+    # the raw response carries the machine-readable rejection marker
+    code, payload = _raw(
+        server, "POST", "/campaigns",
+        json.dumps(_jobs_payload(count=1, program="sleep:10",
+                                 shards=1)).encode(),
+        headers={"Content-Type": "application/json"})
+    assert code == 429
+    assert payload["rejected"] is True
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown + resume over HTTP
+# ----------------------------------------------------------------------
+def test_stop_checkpoints_running_campaign_resumably(tmp_path):
+    runs_dir = tmp_path / "runs"
+    server = ServiceServer(runs_dir, port=0, queue_depth=2)
+    server.start()
+    client = ServiceClient(server.url, timeout=5.0)
+    campaign_id = client.submit(_jobs_payload(count=4,
+                                              program="sleep:2"))
+    # wait until the scheduler actually picked it up
+    for _ in range(100):
+        if client.health()["running"] == campaign_id:
+            break
+        time.sleep(0.05)
+    server.stop()
+    on_disk = ServiceManifest.load(runs_dir, campaign_id)
+    assert on_disk.status == CAMPAIGN_INTERRUPTED
+
+    # a fresh service instance on the same runs dir resumes it
+    revived = ServiceServer(runs_dir, port=0, queue_depth=2)
+    revived.start()
+    try:
+        client = ServiceClient(revived.url, timeout=5.0)
+        assert campaign_id in client.campaigns()["campaigns"]
+        client.resume(campaign_id)
+        with pytest.raises(ServiceError):
+            client.resume(campaign_id)      # already queued/running
+        status = client.wait(campaign_id, timeout=60.0)
+        assert status["status"] == CAMPAIGN_COMPLETED
+        assert client.results(campaign_id)["digest"]
+    finally:
+        revived.stop()

@@ -242,3 +242,68 @@ def test_cli_stats_unknown_experiment(capsys):
     from repro.cli import main
     assert main(["stats", "nope"]) == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# counter-snapshot merging (the service's cross-shard aggregation)
+# ----------------------------------------------------------------------
+def _random_snapshots(seed, count=6):
+    import random
+    rng = random.Random(seed)
+    names = ["btb.hits", "btb.misses", "probe.rounds", "lbr.reads"]
+    return [
+        {name: rng.randrange(0, 1000)
+         for name in rng.sample(names, rng.randrange(1, len(names)))}
+        for _ in range(count)
+    ]
+
+
+def test_merge_counters_is_commutative_and_associative():
+    import itertools
+    for seed in range(8):
+        snapshots = _random_snapshots(seed, count=4)
+        reference = telemetry.merge_counters(*snapshots)
+        # commutativity: every permutation merges identically
+        for order in itertools.permutations(snapshots):
+            assert telemetry.merge_counters(*order) == reference
+        # associativity: any grouping merges identically
+        left = telemetry.merge_counters(
+            telemetry.merge_counters(snapshots[0], snapshots[1]),
+            snapshots[2], snapshots[3])
+        right = telemetry.merge_counters(
+            snapshots[0], telemetry.merge_counters(
+                snapshots[1], snapshots[2], snapshots[3]))
+        assert left == right == reference
+
+
+def test_merge_counters_digest_stability():
+    for seed in range(4):
+        snapshots = _random_snapshots(seed)
+        forward = telemetry.merge_counters(*snapshots)
+        backward = telemetry.merge_counters(*reversed(snapshots))
+        assert (telemetry.counters_digest(forward)
+                == telemetry.counters_digest(backward))
+
+
+def test_merge_counters_identity_and_empty():
+    assert telemetry.merge_counters() == {}
+    assert telemetry.merge_counters({}, {"a": 1}, {}) == {"a": 1}
+    assert telemetry.merge_counters({"a": 1}, {"a": 2}) == {"a": 3}
+    # output is sorted by name for canonical JSON stability
+    merged = telemetry.merge_counters({"z": 1, "a": 1})
+    assert list(merged) == ["a", "z"]
+
+
+def test_merge_counters_never_sees_spans():
+    """Spans are wall clock and excluded from worker snapshots; a
+    merged aggregate digest therefore stays seed-stable."""
+    with telemetry.session() as sink:
+        telemetry.count("merge.me", 2)
+        with sink.span("wall.clock"):
+            pass
+    snapshot = sink.snapshot()
+    assert "merge.me" in snapshot
+    assert all("wall.clock" not in name for name in snapshot)
+    merged = telemetry.merge_counters(snapshot, snapshot)
+    assert merged["merge.me"] == 4
+    assert all("wall.clock" not in name for name in merged)

@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""End-to-end smoke drill for the sharded campaign service (CI gate).
+
+Drives a real ``repro serve`` subprocess over HTTP and proves the
+service's four headline guarantees, failing loudly if any breaks:
+
+1. **clean run** — a submitted campaign completes with a merged
+   aggregate digest;
+2. **fault-domain recovery** — SIGKILLing one shard's *process group*
+   mid-run (from outside, like a box dying) trips the circuit breaker:
+   the shard is QUARANTINED and, with the reassignment budget
+   exhausted, the campaign completes DEGRADED with exact per-shard
+   loss accounting instead of hanging;
+3. **resume convergence** — resuming the degraded campaign over HTTP
+   recovers the lost jobs and the merged aggregate digest matches the
+   clean run **byte for byte**;
+4. **backpressure** — submissions beyond the bounded queue depth are
+   explicitly rejected with HTTP 429, and SIGTERM shuts the service
+   down gracefully (exit 0) with the interrupted state resumable.
+
+Usage: ``python tools/serve_smoke.py [--runs-dir DIR] [--keep]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import AdmissionRejected, ServiceError  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+URL_PATTERN = re.compile(r"serving on (http://[0-9.]+:[0-9]+)")
+
+
+def _fail(message: str) -> "NoReturn":  # noqa: F821
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _jobs(program: str, count: int = 6) -> list:
+    return [{"job_id": f"j{index:02d}", "kind": "selftest",
+             "name": program, "seed": 0, "timeout_s": 60.0,
+             "max_attempts": 2}
+            for index in range(count)]
+
+
+def _start_server(runs_dir: Path) -> "tuple":
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--runs-dir", str(runs_dir), "--queue-depth", "2", "-v"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=str(REPO),
+        env={**os.environ,
+             "PYTHONPATH": str(REPO / "src"),
+             "PYTHONUNBUFFERED": "1"})
+    deadline = time.monotonic() + 30.0
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            _fail("serve exited before announcing its URL")
+        match = URL_PATTERN.search(line)
+        if match:
+            url = match.group(1)
+            break
+    if url is None:
+        _fail("serve never announced its URL")
+    return process, url
+
+
+def _drain(process) -> None:
+    """Keep the serve subprocess's stdout pipe from filling up."""
+    import threading
+
+    def pump():
+        for line in process.stdout:
+            sys.stdout.write(f"    serve| {line}")
+
+    threading.Thread(target=pump, daemon=True).start()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs-dir", default="runs-serve-smoke")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the runs dir for inspection")
+    args = parser.parse_args(argv)
+    runs_dir = Path(args.runs_dir).resolve()
+    if runs_dir.exists():
+        shutil.rmtree(runs_dir)
+
+    process, url = _start_server(runs_dir)
+    _drain(process)
+    client = ServiceClient(url, timeout=10.0)
+    print(f"== service up at {url}")
+
+    try:
+        # ------------------------------------------------------ clean
+        clean_id = client.submit({
+            "jobs": _jobs("work:3:0.05"), "seed": 7, "shards": 2})
+        status = client.wait(clean_id, timeout=120.0)
+        if status["status"] != "COMPLETED":
+            _fail(f"clean campaign ended {status['status']}")
+        clean_digest = client.results(clean_id)["digest"]
+        print(f"== clean run COMPLETED, digest {clean_digest[:16]}")
+
+        # ------------------------------------- chaos: kill a shard PG
+        chaos_id = client.submit({
+            "jobs": _jobs("work:3:0.5"), "seed": 7, "shards": 2,
+            "options": {"breaker_threshold": 1,
+                        "max_reassignments": 0}})
+        victim_pgid = None
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            snapshot = client.status(chaos_id)
+            shards = snapshot.get("shards", {})
+            running = [(shard_id, info) for shard_id, info
+                       in sorted(shards.items())
+                       if info.get("pgid")]
+            if snapshot.get("status") == "RUNNING" and running:
+                shard_id, info = running[0]
+                victim_pgid = int(info["pgid"])
+                break
+            time.sleep(0.05)
+        if victim_pgid is None:
+            _fail("never saw a running shard to kill")
+        os.killpg(victim_pgid, signal.SIGKILL)
+        print(f"== SIGKILLed shard {shard_id} "
+              f"(process group {victim_pgid})")
+
+        status = client.wait(chaos_id, timeout=120.0)
+        if status["status"] != "DEGRADED":
+            _fail(f"expected DEGRADED after losing {shard_id} with "
+                  f"no reassignment budget, got {status['status']}")
+        lost = status.get("lost", {})
+        if set(lost) != {shard_id}:
+            _fail(f"loss accounting wrong: {lost}")
+        quarantined = [sid for sid, info
+                       in status.get("shards", {}).items()
+                       if info.get("status") == "QUARANTINED"]
+        if quarantined != [shard_id]:
+            _fail(f"expected exactly {shard_id} QUARANTINED, "
+                  f"got {quarantined}")
+        results = client.results(chaos_id)
+        lost_jobs = [job for job, entry in results["jobs"].items()
+                     if entry["status"] == "LOST"]
+        if sorted(lost_jobs) != sorted(lost[shard_id]):
+            _fail(f"aggregate LOST jobs {lost_jobs} != "
+                  f"accounted {lost[shard_id]}")
+        print(f"== chaos run DEGRADED with {shard_id} quarantined, "
+              f"{len(lost_jobs)} job(s) exactly accounted")
+
+        # ------------------------------------------- resume converges
+        client.resume(chaos_id)
+        status = client.wait(chaos_id, timeout=120.0)
+        if status["status"] != "COMPLETED":
+            _fail(f"resume ended {status['status']}")
+        resumed = client.results(chaos_id)
+        if resumed["digest"] != clean_digest:
+            _fail(f"digest mismatch after resume: "
+                  f"{resumed['digest']} != {clean_digest}")
+        campaign_json = json.loads(
+            (runs_dir / chaos_id / "campaign.json").read_text())
+        recovery = [sid for sid in campaign_json["shards"]
+                    if "-r" in sid]
+        if not recovery:
+            _fail("no recovery shard was created on resume")
+        print(f"== resume recovered via {recovery} and converged: "
+              f"aggregate digest byte-identical to the clean run")
+
+        # ---------------------------------------------- backpressure
+        client.submit({"jobs": _jobs("sleep:10", count=1),
+                       "shards": 1})
+        rejected = 0
+        for _ in range(10):
+            try:
+                client.submit({"jobs": _jobs("sleep:10", count=1),
+                               "shards": 1})
+            except AdmissionRejected:
+                rejected += 1
+        if rejected < 7:
+            _fail(f"expected >=7 rejections from a depth-2 queue "
+                  f"under 10 over-capacity submits, got {rejected}")
+        health = client.health()
+        if int(health["queued"]) > 2:
+            _fail(f"queue grew beyond its bound: {health}")
+        print(f"== backpressure: {rejected}/10 over-capacity "
+              f"submissions got 429, queue stayed at "
+              f"{health['queued']}/2")
+
+    except ServiceError as error:
+        _fail(f"service error: {error}")
+    finally:
+        # ------------------------------------------ graceful SIGTERM
+        process.send_signal(signal.SIGTERM)
+        try:
+            code = process.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            _fail("serve did not exit within 30s of SIGTERM")
+
+    if code != 0:
+        _fail(f"serve exited {code} after SIGTERM")
+    print("== SIGTERM shutdown clean (exit 0)")
+    if not args.keep:
+        shutil.rmtree(runs_dir, ignore_errors=True)
+    print("SERVE SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,7 +71,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from .analysis import ascii_table, campaign_block
-from .errors import CampaignError
+from .errors import CampaignError, DiskFaultError
 from .experiments.common import (EXPERIMENTS, RunRequest,
                                  run_experiment)
 
@@ -107,7 +107,7 @@ def _cmd_run(name: str, fast: bool, seed: Optional[int] = None,
     print(output)
     print(f"({time.time() - started:.1f}s)")
     if out is not None:
-        from .runner import atomic_write_text
+        from .storage import atomic_write_text
         path = atomic_write_text(f"{out}/{name}.txt", output + "\n")
         print(f"artifact written atomically to {path}")
     return 0
@@ -135,6 +135,11 @@ def _campaign_rows(manifest):
 #: chaos drills handled by the sharded service (the plain runner keeps
 #: worker-level kill-worker)
 _SHARD_CHAOS = ("kill-shard", "stall-shard")
+
+#: chaos drills that strike the durable storage layer (work in both
+#: single-host and sharded mode — the injector is inherited by forked
+#: shard process groups)
+_STORAGE_CHAOS = ("torn-write", "bit-flip", "enospc", "fsync-fail")
 
 _SERVICE_EXIT = {"COMPLETED": 0, "FAILED": 1, "INTERRUPTED": 3,
                  "DEGRADED": 4}
@@ -193,6 +198,11 @@ def _cmd_campaign_service(args, specs) -> int:
             resume=args.resume is not None, options=options,
             chaos=chaos,
             on_event=on_event if args.verbose else None)
+    except DiskFaultError as error:
+        print(f"storage fault: {error}", file=sys.stderr)
+        print("campaign INTERRUPTED by storage fault; the journal "
+              "recovers it on --resume", file=sys.stderr)
+        return 3
     except CampaignError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -203,6 +213,17 @@ def _cmd_campaign_service(args, specs) -> int:
 
 def _cmd_campaign(args) -> int:
     from .runner import (ChaosMonkey, experiment_jobs, run_campaign)
+    if args.chaos in _STORAGE_CHAOS:
+        # Storage drills perturb the atomic writer itself; the
+        # campaign-level chaos slot is then clear for the runner.
+        from .faults import DiskFaultInjector
+        from .storage import install_disk_faults
+        install_disk_faults(DiskFaultInjector(
+            mode=args.chaos, seed=args.seed or 0,
+            strikes=args.chaos_kills,
+            strike_after=args.chaos_write,
+            match=args.chaos_match))
+        args.chaos = None
     use_service = args.shards > 0 or args.chaos in _SHARD_CHAOS
     if args.resume is not None:
         from pathlib import Path
@@ -240,6 +261,11 @@ def _cmd_campaign(args) -> int:
             seed=args.seed, resume=args.resume is not None,
             max_workers=args.jobs, stall_timeout=args.stall_timeout,
             chaos=chaos, on_event=on_event if args.verbose else None)
+    except DiskFaultError as error:
+        print(f"storage fault: {error}", file=sys.stderr)
+        print("campaign INTERRUPTED by storage fault; the journal "
+              "recovers it on --resume", file=sys.stderr)
+        return 3
     except CampaignError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -374,7 +400,7 @@ def _cmd_stats(name: str, fast: bool, seed: Optional[int] = None,
         return 2
     print(telemetry.render_stats(sink, timings=timings), end="")
     if out is not None:
-        from .runner import atomic_write_text
+        from .storage import atomic_write_text
         # The artifact always gets the deterministic rendering —
         # span timings are wall clock and would break byte-stability.
         path = atomic_write_text(out, telemetry.render_stats(sink))
@@ -392,7 +418,7 @@ def _cmd_trace(name: str, fast: bool, seed: Optional[int] = None,
     if out == "-":
         sys.stdout.write(rendered)
         return 0
-    from .runner import atomic_write_text
+    from .storage import atomic_write_text
     path = atomic_write_text(out if out is not None
                              else f"TRACE_{name}.jsonl", rendered)
     print(f"{len(sink.events)} event(s) traced")
@@ -409,7 +435,7 @@ def _cmd_lint(out: Optional[str] = None,
     rendered = report.render()
     print(rendered, end="")
     if out is not None:
-        from .runner import atomic_write_text
+        from .storage import atomic_write_text
         path = atomic_write_text(out, rendered)
         print(f"report written atomically to {path}")
     status = 0
@@ -501,14 +527,29 @@ def main(argv=None) -> int:
                                "jobs, re-run the rest")
     campaign.add_argument("--chaos", default=None,
                           choices=["kill-worker", "kill-shard",
-                                   "stall-shard"],
+                                   "stall-shard", "torn-write",
+                                   "bit-flip", "enospc",
+                                   "fsync-fail"],
                           help="failure drill: kill-worker SIGKILLs "
                                "random workers then interrupts (prove "
                                "--resume converges); kill-shard / "
                                "stall-shard strike whole shard process "
-                               "groups (the service must self-heal)")
+                               "groups (the service must self-heal); "
+                               "torn-write / bit-flip / enospc / "
+                               "fsync-fail strike manifest checkpoint "
+                               "writes (the storage journal must "
+                               "recover on resume)")
     campaign.add_argument("--chaos-kills", type=int, default=1,
-                          help="workers/shards to strike")
+                          help="workers/shards/writes to strike")
+    campaign.add_argument("--chaos-write", type=int, default=0,
+                          metavar="N",
+                          help="storage chaos: strike the Nth "
+                               "matching checkpoint write (default 0 "
+                               "= seeded in [2, 6])")
+    campaign.add_argument("--chaos-match", default="manifest.json",
+                          metavar="GLOB",
+                          help="storage chaos: file-name glob the "
+                               "fault targets (default manifest.json)")
     campaign.add_argument("--chaos-delay", type=float, default=0.2,
                           metavar="S",
                           help="minimum campaign age before the first "

@@ -182,6 +182,36 @@ class CampaignError(ReproError):
     schema mismatch, unknown job kind, ...)."""
 
 
+class ArtifactCorrupt(_StructuredErrorMixin, CampaignError):
+    """A persisted artifact failed validation on load (checksum
+    mismatch, truncation, invalid JSON, wrong schema tag) and could not
+    be recovered from its write-ahead journal.  The damaged file has
+    already been quarantined to ``<name>.corrupt`` (path recorded in
+    ``quarantined``) so forensics survive and a retried load does not
+    trip over the same bytes."""
+
+    def __init__(self, message: str, *, path: str = "",
+                 reason: str = "", quarantined: str = ""):
+        self.path = path
+        self.reason = reason
+        self.quarantined = quarantined
+        super().__init__(message)
+
+
+class DiskFaultError(_StructuredErrorMixin, CampaignError):
+    """An injected disk fault fired (torn write, ENOSPC, fsync
+    failure) — the storage layer behaves as if the process died
+    mid-checkpoint.  Carries the fault kind and path so drills can
+    assert exactly which write was struck."""
+
+    def __init__(self, message: str, *, path: str = "",
+                 kind: str = "", errno_: int = 0):
+        self.path = path
+        self.kind = kind
+        self.errno_ = errno_
+        super().__init__(message)
+
+
 class WorkerCrashed(_StructuredErrorMixin, CampaignError):
     """A subprocess worker died without delivering a result (SIGKILL,
     segfault, interpreter abort).  Treated as a transient failure by
@@ -207,6 +237,19 @@ class AdmissionRejected(_StructuredErrorMixin, ServiceError):
                  pending: int = 0):
         self.queue_depth = queue_depth
         self.pending = pending
+        super().__init__(message)
+
+
+class ServiceUnavailable(_StructuredErrorMixin, ServiceError):
+    """The service stayed unreachable (connection errors) or kept
+    shedding load (HTTP 503) through the client's whole bounded
+    retry budget.  Picklable so campaign workers can transport it
+    across process boundaries like every other error."""
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: str = ""):
+        self.attempts = attempts
+        self.last_error = last_error
         super().__init__(message)
 
 

@@ -14,12 +14,17 @@ the same surfaces a real machine would —
 * ``system.kernel`` — preemption-point jitter (a slice is cut short by
   an involuntary context switch).
 
+:mod:`repro.faults.disk` extends the same seeded-schedule discipline
+to the *storage* substrate (torn writes, bit rot, ENOSPC, failed
+fsync) for the durability drills in DESIGN.md §13.
+
 Everything is driven by a seeded :class:`FaultInjector` with one RNG
 stream *per surface*, so the injected schedule for any one surface is
 a pure function of ``(plan, seed)`` — reproducible no matter how the
 other surfaces happen to be consulted.
 """
 
+from .disk import (DISK_FAULT_MODES, DiskFaultInjector, disk_chaos)
 from .injector import FaultEvent, FaultInjector, StepFault
 from .plans import (ACCEPTANCE_PLAN, CLEAN_PLAN, HOSTILE_PLAN,
                     NOISY_NEIGHBOUR_PLAN, FaultPlan, plan_by_name)
@@ -27,11 +32,14 @@ from .plans import (ACCEPTANCE_PLAN, CLEAN_PLAN, HOSTILE_PLAN,
 __all__ = [
     "ACCEPTANCE_PLAN",
     "CLEAN_PLAN",
+    "DISK_FAULT_MODES",
+    "DiskFaultInjector",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "HOSTILE_PLAN",
     "NOISY_NEIGHBOUR_PLAN",
     "StepFault",
+    "disk_chaos",
     "plan_by_name",
 ]

@@ -1,0 +1,176 @@
+"""Deterministic disk-fault injection for the durable storage layer.
+
+The LBR/BTB/SGX-Step injector (:mod:`repro.faults.injector`) perturbs
+the *simulated* machine; this one perturbs the checkpointing substrate
+the campaigns persist through — the faults a long unattended
+measurement campaign actually meets:
+
+* ``torn-write`` — the struck write lands truncated at a seeded byte
+  offset **directly on the target path** (modelling a crash on a
+  filesystem whose rename was not atomic, or an fsync that lied),
+  then the injector raises :class:`repro.errors.DiskFaultError` and
+  plays dead, the way the process would have died mid-checkpoint;
+* ``bit-flip`` — one seeded bit of the payload flips silently and the
+  write otherwise succeeds (bit rot / DMA corruption); nothing
+  raises — the damage must be *detected on load* by the envelope
+  checksum;
+* ``enospc`` — the write fails up front with the disk-full errno;
+* ``fsync-fail`` — the data was accepted but durability cannot be
+  promised (fsync returned EIO); the injector leaves the old target
+  in place and plays dead, like a kernel that remounted the disk
+  read-only.
+
+Like every fault surface in this package the schedule is a pure
+function of the seed: the struck write index, torn-byte offset, and
+flipped bit come from one ``random.Random(f"disk-faults:{seed}")``
+stream.  ``match`` restricts the blast radius by file name (default:
+only ``manifest.json`` checkpoints), so a drill tears the checkpoint
+it is aimed at, not every artifact in the campaign.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..errors import DiskFaultError
+
+MODE_TORN_WRITE = "torn-write"
+MODE_BIT_FLIP = "bit-flip"
+MODE_ENOSPC = "enospc"
+MODE_FSYNC_FAIL = "fsync-fail"
+
+DISK_FAULT_MODES = (MODE_TORN_WRITE, MODE_BIT_FLIP, MODE_ENOSPC,
+                    MODE_FSYNC_FAIL)
+
+#: modes after which the injector plays dead (every later matching
+#: write fails too — the "process died / disk gone" half of the drill)
+_CRASHING_MODES = (MODE_TORN_WRITE, MODE_ENOSPC, MODE_FSYNC_FAIL)
+
+
+@dataclass
+class DiskFaultInjector:
+    """Strikes the Nth matching write with one deterministic fault.
+
+    Installed process-globally via
+    :func:`repro.storage.install_disk_faults`; every
+    :func:`repro.storage.atomic_write_bytes` whose file name matches
+    ``match`` consults it.
+    """
+
+    mode: str = MODE_TORN_WRITE
+    seed: int = 0
+    #: faults to inject before going quiet (bit-flip only; crashing
+    #: modes play dead after their first strike regardless)
+    strikes: int = 1
+    #: strike on this (1-based) matching write; 0 = seeded in [2, 6]
+    strike_after: int = 0
+    #: glob applied to the written file's *name* (not its path)
+    match: str = "manifest.json"
+    #: (kind, path, detail) per injected fault, for drills and tests
+    events: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mode not in DISK_FAULT_MODES:
+            raise DiskFaultError(
+                f"unknown disk fault mode {self.mode!r}; known: "
+                f"{', '.join(DISK_FAULT_MODES)}", kind=self.mode)
+        if self.strikes < 1:
+            raise DiskFaultError("strikes must be >= 1",
+                                 kind=self.mode)
+        self._rng = random.Random(f"disk-faults:{self.seed}")
+        if self.strike_after < 1:
+            self.strike_after = self._rng.randint(2, 6)
+        self._seen = 0
+        self._struck = 0
+        self._next_strike = self.strike_after
+        self._dead = False
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        return self._struck >= self.strikes
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def matches(self, path) -> bool:
+        return fnmatch(Path(path).name, self.match)
+
+    # ------------------------------------------------------------------
+    def before_write(self, path, data: bytes) -> bytes:
+        """Consulted by the atomic writer before it touches disk.
+
+        Returns the (possibly corrupted) payload to write, writes a
+        torn target directly, or raises :class:`DiskFaultError`.
+        """
+        if self._dead:
+            # After a crashing strike nothing at all reaches disk —
+            # the process this models is gone — so even non-matching
+            # writes (journals, artifacts) fail until the drill ends.
+            raise DiskFaultError(
+                f"disk offline after injected {self.mode} fault",
+                path=str(path), kind=self.mode)
+        if not self.matches(path):
+            return data
+        self._seen += 1
+        if self.exhausted or self._seen < self._next_strike:
+            return data
+        self._struck += 1
+        self._next_strike += max(1, self.strike_after)
+        if self.mode == MODE_BIT_FLIP:
+            return self._flip_bit(path, data)
+        self._dead = True
+        if self.mode == MODE_ENOSPC:
+            self.events.append((self.mode, str(path), 0))
+            raise DiskFaultError(
+                f"injected ENOSPC writing {path}", path=str(path),
+                kind=self.mode, errno_=errno.ENOSPC)
+        if self.mode == MODE_FSYNC_FAIL:
+            self.events.append((self.mode, str(path), 0))
+            raise DiskFaultError(
+                f"injected fsync failure writing {path} "
+                f"(data not durable)", path=str(path),
+                kind=self.mode, errno_=errno.EIO)
+        return self._tear(path, data)
+
+    # ------------------------------------------------------------------
+    def _flip_bit(self, path, data: bytes) -> bytes:
+        if not data:
+            return data
+        bit = self._rng.randrange(len(data) * 8)
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        self.events.append((self.mode, str(path), bit))
+        return bytes(corrupted)
+
+    def _tear(self, path, data: bytes) -> bytes:
+        offset = self._rng.randrange(1, max(2, len(data)))
+        # Bypass the atomic writer: the whole point is a target that
+        # holds only the first ``offset`` bytes, as if the rename
+        # landed but the data blocks never made it out of the cache.
+        with open(path, "wb") as handle:
+            handle.write(data[:offset])
+        self.events.append((self.mode, str(path), offset))
+        raise DiskFaultError(
+            f"injected torn write of {path} at byte {offset} "
+            f"(process crashed mid-checkpoint)", path=str(path),
+            kind=self.mode, errno_=errno.EIO)
+
+
+def disk_chaos(mode: str, *, seed: int = 0, strikes: int = 1,
+               strike_after: int = 0,
+               match: str = "manifest.json"
+               ) -> Optional[DiskFaultInjector]:
+    """Build the injector for a ``--chaos`` storage drill (None for
+    an unknown mode, so CLI wiring can fall through to other chaos
+    families)."""
+    if mode not in DISK_FAULT_MODES:
+        return None
+    return DiskFaultInjector(mode=mode, seed=seed, strikes=strikes,
+                             strike_after=strike_after, match=match)

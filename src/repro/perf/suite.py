@@ -321,7 +321,7 @@ def run_suite(*, quick: bool = False,
 
 
 def write_report(payload: Dict[str, object], path: str):
-    from ..runner import atomic_write_json
+    from ..storage import atomic_write_json
     return atomic_write_json(path, payload)
 
 

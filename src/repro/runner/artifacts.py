@@ -1,77 +1,26 @@
 """Atomic artifact writes for campaign output.
 
-Every file the runner (or an experiment harness) persists goes through
-:func:`atomic_write_bytes`: the payload is written to a temporary file
-in the *same directory*, fsynced, then :func:`os.replace`'d over the
-destination.  A SIGKILL at any point leaves either the old content or
-the new content — never a truncated file.  The directory entry is
-fsynced too (best-effort) so the rename survives a power cut on
-journalled filesystems.
+Compatibility shim: the implementation moved to
+:mod:`repro.storage.atomic` so the CLI, runner, perf suite, and
+campaign service share one writer (and one disk-fault choke point).
+Import from :mod:`repro.storage` in new code.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from pathlib import Path
-from typing import Union
+from ..storage.atomic import (PathLike, _fsync_dir, atomic_write,
+                              atomic_write_bytes, atomic_write_json,
+                              atomic_write_text, digest_text,
+                              read_json)
 
-PathLike = Union[str, os.PathLike]
+__all__ = [
+    "PathLike",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "digest_text",
+    "read_json",
+]
 
-
-def digest_text(text: str) -> str:
-    """Stable content digest used by the manifest to compare job
-    results across runs (clean vs resumed campaigns must byte-match)."""
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def _fsync_dir(directory: Path) -> None:
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:          # platform without directory fds
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
-    """Write ``data`` to ``path`` atomically (tmp + fsync + rename)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-    _fsync_dir(path.parent)
-    return path
-
-
-def atomic_write_text(path: PathLike, text: str) -> Path:
-    return atomic_write_bytes(path, text.encode("utf-8"))
-
-
-def atomic_write_json(path: PathLike, payload: object) -> Path:
-    """Serialize deterministically (sorted keys, stable layout) so
-    identical campaign states produce byte-identical manifests."""
-    text = json.dumps(payload, indent=2, sort_keys=True,
-                      ensure_ascii=False) + "\n"
-    return atomic_write_text(path, text)
-
-
-def read_json(path: PathLike) -> object:
-    with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+_ = _fsync_dir  # re-exported for existing internal callers

@@ -34,12 +34,14 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..errors import CampaignError
-from .artifacts import atomic_write_json, read_json
+from ..storage import checkpoint, load_checkpoint
 from .jobs import JobRecord, JobSpec, JobStatus
 
 SCHEMA_VERSION = 2
 #: schemas the defaulting loader accepts (v1 = pre-service manifests)
 SUPPORTED_SCHEMAS = (1, 2)
+#: envelope schema tag on every journaled manifest checkpoint
+SCHEMA_TAG = "repro.runner.manifest"
 
 MANIFEST_NAME = "manifest.json"
 ARTIFACT_DIR = "artifacts"
@@ -83,14 +85,21 @@ class RunManifest:
     def load(cls, runs_dir: Path, campaign_id: str) -> "RunManifest":
         directory = Path(runs_dir) / campaign_id
         path = directory / MANIFEST_NAME
-        if not path.exists():
+        try:
+            # Journaled load: an interrupted checkpoint is replayed
+            # from the WAL, a corrupted one quarantined and healed
+            # (ArtifactCorrupt propagates when nothing recovers — the
+            # service layer turns that into shard-loss accounting).
+            payload = load_checkpoint(path, expect_schema=SCHEMA_TAG)
+        except FileNotFoundError:
             raise CampaignError(
                 f"no manifest for campaign {campaign_id!r} "
-                f"under {runs_dir}")
-        payload = read_json(path)
-        if payload.get("schema") not in SUPPORTED_SCHEMAS:
+                f"under {runs_dir}") from None
+        schema = payload.get("schema") \
+            if isinstance(payload, dict) else None
+        if schema not in SUPPORTED_SCHEMAS:
             raise CampaignError(
-                f"manifest schema {payload.get('schema')!r} "
+                f"manifest schema {schema!r} "
                 f"not in supported {SUPPORTED_SCHEMAS}")
         manifest = cls(
             campaign_id=str(payload["campaign_id"]),
@@ -127,7 +136,7 @@ class RunManifest:
             "jobs": {job_id: record.to_dict()
                      for job_id, record in self.jobs.items()},
         }
-        atomic_write_json(self.path, payload)
+        checkpoint(self.path, payload, SCHEMA_TAG)
 
     def add_specs(self, specs: List[JobSpec]) -> List[str]:
         """Append fresh PENDING jobs (the cross-shard reassignment

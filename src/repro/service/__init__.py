@@ -18,23 +18,25 @@ that gate it in CI.
 from .client import ServiceClient
 from .http import DEFAULT_QUEUE_DEPTH, MAX_BODY_BYTES, ServiceServer
 from .partition import partition_jobs, shard_name
-from .scheduler import (AGGREGATE_NAME, CAMPAIGN_COMPLETED,
-                        CAMPAIGN_DEGRADED, CAMPAIGN_FAILED,
-                        CAMPAIGN_INTERRUPTED, CAMPAIGN_QUEUED,
-                        CAMPAIGN_RUNNING, CHAOS_KILL_SHARD,
-                        CHAOS_STALL_SHARD, DEFAULT_OPTIONS,
-                        SERVICE_MANIFEST_NAME, TERMINAL_STATES,
+from .scheduler import (AGGREGATE_NAME, AGGREGATE_SCHEMA_TAG,
+                        CAMPAIGN_COMPLETED, CAMPAIGN_DEGRADED,
+                        CAMPAIGN_FAILED, CAMPAIGN_INTERRUPTED,
+                        CAMPAIGN_QUEUED, CAMPAIGN_RUNNING,
+                        CHAOS_KILL_SHARD, CHAOS_STALL_SHARD,
+                        DEFAULT_OPTIONS, SERVICE_MANIFEST_NAME,
+                        SERVICE_SCHEMA_TAG, TERMINAL_STATES,
                         CampaignService, ServiceChaos, ServiceManifest,
                         ShardEntry, create_service_campaign,
                         list_service_campaigns, load_or_adopt_campaign,
-                        merge_shards, resume_service_campaign,
-                        run_service_campaign)
+                        merge_shards, rebuild_service_manifest,
+                        resume_service_campaign, run_service_campaign)
 from .shards import (SHARD_COMPLETED, SHARD_HEARTBEAT_INTERVAL,
                      SHARD_PENDING, SHARD_QUARANTINED, SHARD_RUNNING,
                      ShardHandle)
 
 __all__ = [
     "AGGREGATE_NAME",
+    "AGGREGATE_SCHEMA_TAG",
     "CAMPAIGN_COMPLETED",
     "CAMPAIGN_DEGRADED",
     "CAMPAIGN_FAILED",
@@ -48,6 +50,7 @@ __all__ = [
     "DEFAULT_QUEUE_DEPTH",
     "MAX_BODY_BYTES",
     "SERVICE_MANIFEST_NAME",
+    "SERVICE_SCHEMA_TAG",
     "SHARD_COMPLETED",
     "SHARD_HEARTBEAT_INTERVAL",
     "SHARD_PENDING",
@@ -65,6 +68,7 @@ __all__ = [
     "load_or_adopt_campaign",
     "merge_shards",
     "partition_jobs",
+    "rebuild_service_manifest",
     "resume_service_campaign",
     "run_service_campaign",
     "shard_name",

@@ -1,42 +1,73 @@
-"""Thin stdlib client for the campaign service (``repro submit``).
+"""Self-healing stdlib client for the campaign service
+(``repro submit``).
 
-Wraps the HTTP/JSON API with typed errors: a 429 from the bounded
-admission queue raises :class:`repro.errors.AdmissionRejected` so
-callers can back off explicitly, anything else non-2xx raises
-:class:`repro.errors.ServiceError` with the server's message.
+Wraps the HTTP/JSON API with typed errors and a bounded retry loop:
+
+* transient failures — a connection refused/reset (the server
+  restarting) or an HTTP 503 (the scheduler shedding load while it
+  quarantines shards) — are retried with exponential backoff plus
+  full jitter, up to ``max_attempts``;
+* when the budget is exhausted the client raises
+  :class:`repro.errors.ServiceUnavailable` (picklable, carries the
+  attempt count and last transport error) instead of hanging or
+  looping forever against a dead server;
+* a 429 from the bounded admission queue raises
+  :class:`repro.errors.AdmissionRejected` so callers can back off
+  explicitly; anything else non-2xx raises
+  :class:`repro.errors.ServiceError` with the server's message.
+
+Retrying a submit is safe because :meth:`ServiceClient.submit`
+attaches an idempotency key (generated when the caller does not
+provide one): the server derives the campaign id from the key, so the
+retry of a request whose response was lost finds the already-created
+campaign instead of spawning a duplicate.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Dict, Optional, Tuple
 
-from ..errors import AdmissionRejected, ServiceError
+from ..errors import (AdmissionRejected, ServiceError,
+                      ServiceUnavailable)
 from .scheduler import TERMINAL_STATES
 
 DEFAULT_TIMEOUT = 10.0
+#: total tries per request (1 initial + retries)
+DEFAULT_MAX_ATTEMPTS = 4
+DEFAULT_BACKOFF_BASE = 0.2
+DEFAULT_BACKOFF_CAP = 2.0
 
 
 class ServiceClient:
     """Talks to one ``repro serve`` instance."""
 
     def __init__(self, base_url: str, *,
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 retry_seed: Optional[int] = None):
+        if max_attempts < 1:
+            raise ServiceError("max_attempts must be >= 1")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: seedable for deterministic backoff schedules in tests
+        self._rng = random.Random(retry_seed)
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str,
-                 payload: Optional[Dict[str, object]] = None
-                 ) -> Tuple[int, Dict[str, object]]:
-        body = None
-        headers = {"Accept": "application/json"}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+    def _request_once(self, method: str, path: str,
+                      body: Optional[bytes],
+                      headers: Dict[str, str]
+                      ) -> Tuple[int, Dict[str, object]]:
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=body, headers=headers,
             method=method)
@@ -48,15 +79,54 @@ class ServiceClient:
         except urllib.error.HTTPError as error:
             raw = error.read()
             code = error.code
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"service unreachable at {self.base_url}: "
-                f"{error.reason}") from error
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
             decoded = {"error": raw.decode("utf-8", "replace")}
+        if not isinstance(decoded, dict):
+            decoded = {"result": decoded}
         return code, decoded
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with full jitter: uniform in
+        ``[0, min(cap, base * 2**(attempt-1))]``, so a thundering herd
+        of retrying clients decorrelates instead of re-stampeding."""
+        ceiling = min(self.backoff_cap,
+                      self.backoff_base * (2 ** (attempt - 1)))
+        return self._rng.uniform(0.0, ceiling)
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None
+                 ) -> Tuple[int, Dict[str, object]]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error = ""
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                code, decoded = self._request_once(
+                    method, path, body, headers)
+            except urllib.error.URLError as error:
+                # connection refused/reset, DNS, timeout: the server
+                # may be restarting — retry within budget
+                last_error = str(getattr(error, "reason", None)
+                                 or error)
+            except (ConnectionError, TimeoutError) as error:
+                last_error = str(error)
+            else:
+                if code != 503:
+                    return code, decoded
+                # the service is alive but shedding (quarantining
+                # shards): back off and retry like an outage
+                last_error = str(decoded.get("error", "HTTP 503"))
+            if attempt < self.max_attempts:
+                time.sleep(self._backoff(attempt))
+        raise ServiceUnavailable(
+            f"service at {self.base_url} unavailable after "
+            f"{self.max_attempts} attempt(s): {last_error}",
+            attempts=self.max_attempts, last_error=last_error)
 
     def _checked(self, method: str, path: str,
                  payload: Optional[Dict[str, object]] = None,
@@ -77,11 +147,38 @@ class ServiceClient:
     def health(self) -> Dict[str, object]:
         return self._checked("GET", "/health")
 
+    def healthz(self) -> Dict[str, object]:
+        return self._checked("GET", "/healthz")
+
+    def ready(self) -> bool:
+        """One unretried readiness probe (a 503 here is an answer —
+        "not ready" — not an outage)."""
+        try:
+            code, decoded = self._request_once(
+                "GET", "/readyz", None,
+                {"Accept": "application/json"})
+        except (urllib.error.URLError, ConnectionError,
+                TimeoutError) as error:
+            raise ServiceUnavailable(
+                f"service at {self.base_url} unreachable: {error}",
+                attempts=1, last_error=str(error)) from error
+        return code == 200 and bool(decoded.get("ready"))
+
     def campaigns(self) -> Dict[str, object]:
         return self._checked("GET", "/campaigns")
 
-    def submit(self, payload: Dict[str, object]) -> str:
-        decoded = self._checked("POST", "/campaigns", payload)
+    def submit(self, payload: Dict[str, object], *,
+               idempotency_key: Optional[str] = None) -> str:
+        """Submit a campaign.  An idempotency key is attached (one is
+        generated if neither the argument nor the payload carries
+        one), so the retry loop can never spawn a duplicate campaign
+        when only the response — not the request — was lost."""
+        body = dict(payload)
+        if idempotency_key is not None:
+            body["idempotency_key"] = idempotency_key
+        elif not body.get("idempotency_key"):
+            body["idempotency_key"] = uuid.uuid4().hex
+        decoded = self._checked("POST", "/campaigns", body)
         return str(decoded["campaign_id"])
 
     def status(self, campaign_id: str) -> Dict[str, object]:
@@ -97,7 +194,13 @@ class ServiceClient:
     def wait(self, campaign_id: str, *,
              timeout: Optional[float] = None,
              poll_interval: float = 0.5) -> Dict[str, object]:
-        """Poll until the campaign reaches a terminal state."""
+        """Poll until the campaign reaches a terminal state.
+
+        Each poll rides the bounded retry loop, so a server that dies
+        mid-wait surfaces as :class:`ServiceUnavailable` after the
+        retry budget instead of an endless silent loop; ``timeout``
+        additionally bounds the total wait on a live-but-slow
+        campaign."""
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
         while True:

@@ -5,10 +5,20 @@
 that drains a **bounded** submission queue.  Endpoints:
 
 * ``GET  /health`` — liveness + queue occupancy;
+* ``GET  /healthz`` — kubernetes-style liveness: always ``200`` while
+  the process serves, with breaker/quarantine state in the body;
+* ``GET  /readyz`` — readiness: ``503`` while the scheduler is
+  quarantining shards (re-homing work after a circuit breaker trip),
+  ``200`` otherwise;
 * ``POST /campaigns`` — submit a job payload; ``202`` with the
   campaign id, or ``429`` (:class:`repro.errors.AdmissionRejected`)
   when the queue is full — the service *rejects* rather than buffering
-  unboundedly;
+  unboundedly — or ``503`` while quarantining (load shedding).
+  Submissions may carry an idempotency key (``"idempotency_key"`` in
+  the payload or an ``Idempotency-Key`` header); the campaign id is
+  then *derived* from the key, so a retried submit — even against a
+  restarted server — returns the existing campaign (``"duplicate":
+  true``) instead of spawning a second one;
 * ``GET  /campaigns`` — list known campaigns;
 * ``GET  /campaigns/<id>`` — live status snapshot (includes shard
   process-group ids while running — the chaos smoke drill targets
@@ -26,6 +36,7 @@ status is answered from disk, never from an ever-growing cache.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 from collections import deque
@@ -37,9 +48,9 @@ from .. import telemetry
 from ..errors import AdmissionRejected, CampaignError, ServiceError
 from ..runner.artifacts import read_json
 from ..runner.jobs import specs_from_payload
-from .scheduler import (CAMPAIGN_QUEUED, TERMINAL_STATES,
-                        CampaignService, ServiceManifest,
-                        create_service_campaign,
+from .scheduler import (CAMPAIGN_QUEUED, SERVICE_MANIFEST_NAME,
+                        TERMINAL_STATES, CampaignService,
+                        ServiceManifest, create_service_campaign,
                         list_service_campaigns,
                         resume_service_campaign)
 
@@ -114,9 +125,38 @@ class ServiceServer:
     # ------------------------------------------------------------------
     # admission control
     # ------------------------------------------------------------------
-    def submit(self, payload: Dict[str, object]) -> str:
-        """Admit a campaign submission, or raise
-        :class:`AdmissionRejected` when the bounded queue is full."""
+    @property
+    def shedding(self) -> bool:
+        """True while the running campaign's scheduler is quarantining
+        shards — the window in which new submissions are shed (503)
+        rather than piled onto a service that is busy re-homing work."""
+        with self._lock:
+            current = self._current
+        return current is not None and current.quarantining
+
+    @staticmethod
+    def idempotent_campaign_id(key: str) -> str:
+        """The campaign id an idempotency key maps to.
+
+        Deriving the id from the key (instead of keeping a lookup
+        table) makes deduplication crash-proof: the persisted campaign
+        directory *is* the index, so a retried submit after a server
+        restart still finds its original campaign.
+        """
+        digest = hashlib.sha256(str(key).encode("utf-8")).hexdigest()
+        return f"idem-{digest[:20]}"
+
+    def submit(self, payload: Dict[str, object]
+               ) -> Tuple[str, bool]:
+        """Admit a campaign submission.
+
+        Returns ``(campaign_id, duplicate)``; raises
+        :class:`AdmissionRejected` when the bounded queue is full.  A
+        payload carrying ``idempotency_key`` (and no explicit
+        ``campaign_id``) deduplicates: the retry of an already-admitted
+        submission returns the existing campaign id with
+        ``duplicate=True`` instead of spawning a second campaign.
+        """
         specs = specs_from_payload(payload)
         seed = payload.get("seed")
         if seed is not None:
@@ -125,7 +165,21 @@ class ServiceServer:
         options = {**self.default_options,
                    **dict(payload.get("options", {}) or {})}
         campaign_id = payload.get("campaign_id")
+        idempotent = False
+        if not campaign_id and payload.get("idempotency_key"):
+            campaign_id = self.idempotent_campaign_id(
+                str(payload["idempotency_key"]))
+            idempotent = True
         with self._lock:
+            if idempotent:
+                cid = str(campaign_id)
+                exists = (cid == self._current_id
+                          or cid in self._queued_ids
+                          or (self.runs_dir / cid /
+                              SERVICE_MANIFEST_NAME).is_file())
+                if exists:
+                    telemetry.count("service.http.deduplicated")
+                    return cid, True
             if len(self._pending) >= self.queue_depth:
                 telemetry.count("service.http.rejected")
                 raise AdmissionRejected(
@@ -133,14 +187,24 @@ class ServiceServer:
                     f"({len(self._pending)}/{self.queue_depth})",
                     queue_depth=self.queue_depth,
                     pending=len(self._pending))
-            manifest = create_service_campaign(
-                specs, self.runs_dir,
-                campaign_id=str(campaign_id) if campaign_id else None,
-                seed=seed, shards=shards, options=options)
+            try:
+                manifest = create_service_campaign(
+                    specs, self.runs_dir,
+                    campaign_id=(str(campaign_id) if campaign_id
+                                 else None),
+                    seed=seed, shards=shards, options=options)
+            except ServiceError:
+                if idempotent:
+                    # Lost the race with an identical retry: the
+                    # campaign already exists on disk, which is
+                    # exactly what idempotency promises.
+                    telemetry.count("service.http.deduplicated")
+                    return str(campaign_id), True
+                raise
             self._pending.append((manifest.campaign_id, False))
             self._queued_ids.add(manifest.campaign_id)
         telemetry.count("service.http.submitted")
-        return manifest.campaign_id
+        return manifest.campaign_id, False
 
     def enqueue_resume(self, campaign_id: str) -> None:
         with self._lock:
@@ -216,6 +280,37 @@ class ServiceServer:
                 "runs_dir": str(self.runs_dir),
             }
 
+    def healthz(self) -> Dict[str, object]:
+        """Liveness + breaker/quarantine state (always HTTP 200: the
+        process is alive as long as it can answer)."""
+        payload = self.health()
+        with self._lock:
+            current = self._current
+        quarantined = 0
+        strikes = 0
+        if current is not None:
+            snapshot = current.status_snapshot()
+            shards = snapshot.get("shards", {})
+            if isinstance(shards, dict):
+                for shard in shards.values():
+                    strikes += int(shard.get("strikes", 0))
+                    if shard.get("status") == "QUARANTINED":
+                        quarantined += 1
+        payload.update({
+            "quarantined_shards": quarantined,
+            "breaker_strikes": strikes,
+            "shedding": self.shedding,
+        })
+        return payload
+
+    def readyz(self) -> Tuple[int, Dict[str, object]]:
+        """Readiness: 503 while the scheduler is quarantining shards
+        (submissions would be shed anyway), 200 otherwise."""
+        if self.shedding:
+            return 503, {"ready": False,
+                         "reason": "scheduler is quarantining shards"}
+        return 200, {"ready": True}
+
     def campaigns(self) -> Dict[str, object]:
         return {"campaigns": list_service_campaigns(self.runs_dir)}
 
@@ -272,6 +367,12 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
         pass                               # keep the service quiet
 
+    def _shed(self) -> None:
+        telemetry.count("service.http.shed")
+        self._reply(503, {"error": "scheduler is quarantining "
+                                   "shards; retry with backoff",
+                          "shedding": True})
+
     def _reply(self, code: int, payload: Dict[str, object]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(code)
@@ -314,6 +415,11 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if parts == ["health"]:
                 self._reply(200, service.health())
+            elif parts == ["healthz"]:
+                self._reply(200, service.healthz())
+            elif parts == ["readyz"]:
+                code, payload = service.readyz()
+                self._reply(code, payload)
             elif parts == ["campaigns"]:
                 self._reply(200, service.campaigns())
             elif len(parts) == 2 and parts[0] == "campaigns":
@@ -338,11 +444,25 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = self._read_body()
                 if payload is None:
                     return
-                campaign_id = service.submit(payload)
-                self._reply(202, {"campaign_id": campaign_id,
-                                  "status": CAMPAIGN_QUEUED})
+                header_key = self.headers.get("Idempotency-Key")
+                if header_key and "idempotency_key" not in payload:
+                    payload["idempotency_key"] = header_key
+                if service.shedding:
+                    self._shed()
+                    return
+                campaign_id, duplicate = service.submit(payload)
+                if duplicate:
+                    self._reply(200, {"campaign_id": campaign_id,
+                                      "duplicate": True})
+                else:
+                    self._reply(202, {"campaign_id": campaign_id,
+                                      "duplicate": False,
+                                      "status": CAMPAIGN_QUEUED})
             elif len(parts) == 3 and parts[0] == "campaigns" and \
                     parts[2] == "resume":
+                if service.shedding:
+                    self._shed()
+                    return
                 service.enqueue_resume(parts[1])
                 self._reply(202, {"campaign_id": parts[1],
                                   "status": CAMPAIGN_QUEUED})

@@ -45,11 +45,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
-from ..errors import ServiceError
+from ..errors import ArtifactCorrupt, CampaignError, ServiceError
 from ..runner import RunManifest, new_campaign_id
-from ..runner.artifacts import atomic_write_json, read_json
 from ..runner.jobs import JobSpec, JobStatus
 from ..runner.manifest import MANIFEST_NAME
+from ..storage import (JOURNAL_SUFFIX, checkpoint, load_checkpoint,
+                       write_envelope)
 from .partition import partition_jobs
 from .shards import (SHARD_COMPLETED, SHARD_PENDING, SHARD_QUARANTINED,
                      SHARD_RUNNING, ShardHandle, load_shard_manifest,
@@ -58,6 +59,9 @@ from .shards import (SHARD_COMPLETED, SHARD_PENDING, SHARD_QUARANTINED,
 SERVICE_MANIFEST_NAME = "campaign.json"
 AGGREGATE_NAME = "aggregate.json"
 SERVICE_SCHEMA_VERSION = 1
+#: envelope schema tags on the service's durable documents
+SERVICE_SCHEMA_TAG = "repro.service.campaign"
+AGGREGATE_SCHEMA_TAG = "repro.service.aggregate"
 
 #: campaign lifecycle states
 CAMPAIGN_QUEUED = "QUEUED"
@@ -182,21 +186,32 @@ class ServiceManifest:
                      for shard_id, jobs in self.lost.items()},
             "reassignments": dict(sorted(self.reassignments.items())),
         }
-        atomic_write_json(self.path, payload)
+        checkpoint(self.path, payload, SERVICE_SCHEMA_TAG)
 
     @classmethod
     def load(cls, runs_dir: Path,
              campaign_id: str) -> "ServiceManifest":
         directory = Path(runs_dir) / campaign_id
         path = directory / SERVICE_MANIFEST_NAME
-        if not path.exists():
+        try:
+            # Journaled load: a checkpoint interrupted between WAL and
+            # target replays; a corrupted target heals from the WAL.
+            payload = load_checkpoint(
+                path, expect_schema=SERVICE_SCHEMA_TAG)
+        except FileNotFoundError:
             raise ServiceError(
                 f"no service manifest for campaign {campaign_id!r} "
-                f"under {runs_dir}")
-        payload = read_json(path)
-        if payload.get("schema") != SERVICE_SCHEMA_VERSION:
+                f"under {runs_dir}") from None
+        except ArtifactCorrupt:
+            # Both copies are damaged (already quarantined to
+            # ``*.corrupt``): reconstruct the supervision state from
+            # the surviving per-shard manifests instead of crashing.
+            return rebuild_service_manifest(runs_dir, campaign_id)
+        schema = payload.get("schema") \
+            if isinstance(payload, dict) else None
+        if schema != SERVICE_SCHEMA_VERSION:
             raise ServiceError(
-                f"service manifest schema {payload.get('schema')!r} "
+                f"service manifest schema {schema!r} "
                 f"!= supported {SERVICE_SCHEMA_VERSION}")
         manifest = cls(
             campaign_id=str(payload["campaign_id"]),
@@ -222,6 +237,76 @@ def list_service_campaigns(runs_dir: Path) -> List[str]:
         return []
     return sorted(entry.name for entry in runs_dir.iterdir()
                   if (entry / SERVICE_MANIFEST_NAME).is_file())
+
+
+def _load_shard_or_none(manifest: "ServiceManifest",
+                        entry: "ShardEntry"
+                        ) -> Optional[RunManifest]:
+    """A shard's manifest, or None when it is unrecoverable (missing
+    or corrupt beyond its journal — the load itself quarantines the
+    damage and bumps ``storage.corruption_detected``)."""
+    try:
+        return load_shard_manifest(manifest.shard_dir(entry))
+    except (CampaignError, ArtifactCorrupt):
+        return None
+
+
+def rebuild_service_manifest(runs_dir,
+                             campaign_id: str) -> "ServiceManifest":
+    """Reconstruct ``campaign.json`` from surviving shard manifests.
+
+    The last resort when both the service checkpoint and its journal
+    are damaged: every per-shard manifest is itself journaled, so the
+    ground truth — which jobs exist and which completed — survives in
+    the shards.  What cannot be reconstructed (loss accounting,
+    reassignment budgets, tuned options) resets to defaults; the
+    campaign is left INTERRUPTED so an explicit resume re-drives it,
+    and :func:`merge_shards` re-derives exact loss accounting from
+    what the shards actually hold.
+    """
+    runs_dir = Path(runs_dir)
+    directory = runs_dir / campaign_id
+    shards_dir = directory / "shards"
+    candidates: List[Path] = []
+    if shards_dir.is_dir():
+        candidates = sorted(path for path in shards_dir.iterdir()
+                            if path.is_dir())
+    if (directory / MANIFEST_NAME).exists() or \
+            (directory / f"{MANIFEST_NAME}{JOURNAL_SUFFIX}").exists():
+        # adopted legacy v1 campaign: the shard is the campaign dir
+        candidates.append(directory)
+    manifest = ServiceManifest(
+        campaign_id=campaign_id, directory=directory,
+        status=CAMPAIGN_INTERRUPTED, options=dict(DEFAULT_OPTIONS))
+    for shard_dir in candidates:
+        adopted = shard_dir == directory
+        shard_id = "s00" if adopted else shard_dir.name
+        relative = "." if adopted else f"shards/{shard_dir.name}"
+        try:
+            shard_manifest = load_shard_manifest(shard_dir)
+        except (CampaignError, ArtifactCorrupt):
+            # This shard's checkpoint is gone too; keep the fault
+            # domain on the books so the merge can account its jobs.
+            manifest.shards[shard_id] = ShardEntry(
+                shard_id=shard_id, directory=relative,
+                status=SHARD_QUARANTINED)
+            continue
+        if manifest.seed is None:
+            manifest.seed = shard_manifest.seed
+        manifest.created = manifest.created or shard_manifest.created
+        status = (SHARD_COMPLETED if shard_manifest.all_completed()
+                  else SHARD_PENDING)
+        manifest.shards[shard_id] = ShardEntry(
+            shard_id=shard_id, directory=relative,
+            jobs=sorted(shard_manifest.jobs), status=status)
+    if not manifest.shards:
+        raise ServiceError(
+            f"campaign {campaign_id!r} is unrecoverable: service "
+            f"manifest corrupt and no shard manifests survive "
+            f"under {directory}")
+    telemetry.count("storage.rebuilds")
+    manifest.save()
+    return manifest
 
 
 # ----------------------------------------------------------------------
@@ -401,8 +486,9 @@ def _reconcile_orphans(manifest: ServiceManifest) -> None:
     for entry in list(manifest.shards.values()):
         if entry.status != SHARD_QUARANTINED:
             continue
-        shard_manifest = load_shard_manifest(
-            manifest.shard_dir(entry))
+        shard_manifest = _load_shard_or_none(manifest, entry)
+        if shard_manifest is None:
+            continue        # merge_shards accounts the loss exactly
         orphans = [spec for spec in unfinished_jobs(shard_manifest)
                    if spec.job_id not in owned]
         if orphans:
@@ -414,19 +500,25 @@ def _restore_lost(manifest: ServiceManifest) -> None:
     """Give LOST jobs a fresh reassignment budget on explicit resume."""
     if not manifest.lost:
         return
+    restored: List[str] = []
     for shard_id, jobs in sorted(manifest.lost.items()):
         entry = manifest.shards.get(shard_id)
-        if entry is None:
-            continue
-        shard_manifest = load_shard_manifest(
-            manifest.shard_dir(entry))
-        specs = [shard_manifest.jobs[job].spec for job in sorted(jobs)
-                 if job in shard_manifest.jobs]
-        if specs:
-            _recovery_entry(manifest, shard_id, specs)
+        if entry is not None:
+            shard_manifest = _load_shard_or_none(manifest, entry)
+            if shard_manifest is None:
+                # Specs unrecoverable — the loss stays on the books
+                # rather than silently vanishing from the accounting.
+                continue
+            specs = [shard_manifest.jobs[job].spec
+                     for job in sorted(jobs)
+                     if job in shard_manifest.jobs]
+            if specs:
+                _recovery_entry(manifest, shard_id, specs)
         for job in jobs:
             manifest.reassignments.pop(job, None)
-    manifest.lost = {}
+        restored.append(shard_id)
+    for shard_id in restored:
+        manifest.lost.pop(shard_id, None)
 
 
 # ----------------------------------------------------------------------
@@ -559,17 +651,27 @@ class CampaignService:
         work to healthy shards (or declare it lost)."""
         entry.status = SHARD_QUARANTINED
         telemetry.count("service.shard.quarantines")
-        shard_manifest = load_shard_manifest(
-            self.manifest.shard_dir(entry))
-        pending = unfinished_jobs(shard_manifest)
         reassignable: List[JobSpec] = []
         lost: List[str] = []
-        for spec in pending:
-            used = self.manifest.reassignments.get(spec.job_id, 0)
-            if used >= self.max_reassignments:
-                lost.append(spec.job_id)
-            else:
-                reassignable.append(spec)
+        shard_manifest = _load_shard_or_none(self.manifest, entry)
+        if shard_manifest is None:
+            # The shard's checkpoint is corrupt beyond its journal:
+            # without specs nothing can be reassigned, so every job
+            # the service cannot prove COMPLETED is declared lost —
+            # exact accounting instead of a silent drop.
+            completed = JobStatus.COMPLETED.value
+            lost = [job for job in sorted(entry.jobs)
+                    if self._job_status.get(job) != completed]
+            self._event(entry.shard_id,
+                        "shard manifest unrecoverable; declaring "
+                        f"{len(lost)} unproven job(s) lost")
+        else:
+            for spec in unfinished_jobs(shard_manifest):
+                used = self.manifest.reassignments.get(spec.job_id, 0)
+                if used >= self.max_reassignments:
+                    lost.append(spec.job_id)
+                else:
+                    reassignable.append(spec)
         if lost:
             bucket = self.manifest.lost.setdefault(entry.shard_id, [])
             bucket.extend(job for job in sorted(lost)
@@ -676,7 +778,8 @@ class CampaignService:
     def _finalize(self) -> None:
         aggregate = merge_shards(self.manifest)
         self.manifest.status = str(aggregate["status"])
-        atomic_write_json(self.manifest.aggregate_path, aggregate)
+        write_envelope(self.manifest.aggregate_path, aggregate,
+                       AGGREGATE_SCHEMA_TAG)
         self.manifest.save()
         telemetry.count(
             f"service.campaign.{self.manifest.status.lower()}")
@@ -735,6 +838,18 @@ class CampaignService:
     # ------------------------------------------------------------------
     # live status (HTTP layer; thread-safe)
     # ------------------------------------------------------------------
+    @property
+    def quarantining(self) -> bool:
+        """True while the breaker has tripped on some shard and the
+        campaign is still in flight — the window in which the HTTP
+        front door sheds new submissions (503) because the scheduler
+        is busy re-homing work."""
+        with self._lock:
+            if self.manifest.status != CAMPAIGN_RUNNING:
+                return False
+            return any(entry.status == SHARD_QUARANTINED
+                       for entry in self.manifest.shards.values())
+
     def status_snapshot(self) -> Dict[str, object]:
         with self._lock:
             shards = {}
@@ -751,10 +866,15 @@ class CampaignService:
             tally: Dict[str, int] = {}
             for status in self._job_status.values():
                 tally[status] = tally.get(status, 0) + 1
+            quarantining = (
+                self.manifest.status == CAMPAIGN_RUNNING
+                and any(entry.status == SHARD_QUARANTINED
+                        for entry in self.manifest.shards.values()))
             return {
                 "campaign_id": self.manifest.campaign_id,
                 "status": self.manifest.status,
                 "seed": self.manifest.seed,
+                "quarantining": quarantining,
                 "shards": shards,
                 "jobs": tally,
                 "total_jobs": len(self.manifest.job_ids()),
@@ -778,10 +898,8 @@ def merge_shards(manifest: ServiceManifest) -> Dict[str, object]:
     records: Dict[str, object] = {}
     for shard_id in sorted(manifest.shards):
         entry = manifest.shards[shard_id]
-        try:
-            shard_manifest = load_shard_manifest(
-                manifest.shard_dir(entry))
-        except Exception:           # noqa: BLE001 - missing shard dir
+        shard_manifest = _load_shard_or_none(manifest, entry)
+        if shard_manifest is None:  # missing or corrupt shard dir
             continue
         for job_id, record in shard_manifest.jobs.items():
             best = records.get(job_id)
@@ -801,8 +919,26 @@ def merge_shards(manifest: ServiceManifest) -> Dict[str, object]:
         if remaining:
             lost[shard_id] = remaining
             lost_jobs.update(remaining)
+    # Jobs no surviving shard manifest holds at all (every checkpoint
+    # that listed them was destroyed beyond journal recovery) are
+    # accounted as LOST against their owning shard — exact accounting,
+    # never a silent drop from the aggregate.
+    for job_id in manifest.job_ids():
+        if job_id in records or job_id in lost_jobs:
+            continue
+        owner = next((shard_id for shard_id in sorted(manifest.shards)
+                      if job_id in manifest.shards[shard_id].jobs),
+                     "unknown")
+        bucket = lost.setdefault(owner, [])
+        if job_id not in bucket:
+            bucket.append(job_id)
+        lost_jobs.add(job_id)
+    lost = {shard_id: sorted(jobs_) for shard_id, jobs_
+            in sorted(lost.items())}
     jobs: Dict[str, Dict[str, object]] = {}
     completed_counters = []
+    for job_id in sorted(lost_jobs - set(records)):
+        jobs[job_id] = {"status": "LOST", "digest": ""}
     for job_id in sorted(records):
         record = records[job_id]
         if job_id in lost_jobs:

@@ -1,20 +1,26 @@
 """The service HTTP layer: submission round-trips over a real
 ephemeral-port server, bounded-queue backpressure (429 + bounded
 memory under an over-capacity submit loop), graceful shutdown that
-checkpoints the running campaign as resumable, and resume-over-HTTP.
+checkpoints the running campaign as resumable, resume-over-HTTP,
+idempotent submission, /healthz + /readyz probes with quarantine
+shedding, and the client's bounded retry loop.
 """
 
 import json
+import pickle
 import time
 import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.errors import AdmissionRejected, ServiceError
+from repro.errors import (AdmissionRejected, ServiceError,
+                          ServiceUnavailable)
 from repro.service import (CAMPAIGN_COMPLETED, CAMPAIGN_INTERRUPTED,
-                           ServiceClient, ServiceManifest,
-                           ServiceServer)
+                           CAMPAIGN_RUNNING, SHARD_QUARANTINED,
+                           CampaignService, ServiceClient,
+                           ServiceManifest, ServiceServer,
+                           create_service_campaign)
 
 
 @pytest.fixture()
@@ -144,6 +150,166 @@ def test_over_capacity_submissions_get_429(server):
         headers={"Content-Type": "application/json"})
     assert code == 429
     assert payload["rejected"] is True
+
+
+# ----------------------------------------------------------------------
+# idempotent submission
+# ----------------------------------------------------------------------
+def test_double_submit_same_idempotency_key_one_campaign(server):
+    """Satellite e2e: double-submitting the same payload (same
+    idempotency key) over HTTP yields ONE campaign id and one set of
+    artifacts — the retry never spawns a duplicate."""
+    client = _client(server)
+    payload = _jobs_payload()
+    first = client.submit(payload, idempotency_key="drill-7")
+    second = client.submit(payload, idempotency_key="drill-7")
+    assert first == second
+    status = client.wait(first, timeout=60.0)
+    assert status["status"] == CAMPAIGN_COMPLETED
+    # one campaign on disk, one aggregate
+    assert client.campaigns()["campaigns"].count(first) == 1
+    runs = server.runs_dir
+    assert (runs / first / "aggregate.json").exists()
+    assert len(list(runs.iterdir())) == 1
+    # a third retry after completion still deduplicates (the
+    # persisted campaign directory is the index)
+    third = client.submit(payload, idempotency_key="drill-7")
+    assert third == first
+
+
+def test_idempotency_key_header_and_duplicate_flag(server):
+    body = json.dumps(_jobs_payload()).encode()
+    headers = {"Content-Type": "application/json",
+               "Idempotency-Key": "hdr-key"}
+    code, first = _raw(server, "POST", "/campaigns", body, headers)
+    assert code == 202 and first["duplicate"] is False
+    code, second = _raw(server, "POST", "/campaigns", body, headers)
+    assert code == 200 and second["duplicate"] is True
+    assert second["campaign_id"] == first["campaign_id"]
+    assert first["campaign_id"].startswith("idem-")
+
+
+def test_distinct_keys_distinct_campaigns(server):
+    client = _client(server)
+    first = client.submit(_jobs_payload(), idempotency_key="a")
+    second = client.submit(_jobs_payload(), idempotency_key="b")
+    assert first != second
+
+
+def test_client_autogenerates_fresh_keys(server):
+    """Two submits WITHOUT explicit keys are distinct campaigns —
+    auto-generated keys protect retries, not separate submissions."""
+    client = _client(server)
+    assert client.submit(_jobs_payload()) != \
+        client.submit(_jobs_payload())
+
+
+# ----------------------------------------------------------------------
+# health probes + quarantine shedding
+# ----------------------------------------------------------------------
+def test_healthz_and_readyz_when_healthy(server):
+    code, payload = _raw(server, "GET", "/healthz")
+    assert code == 200
+    assert payload["quarantined_shards"] == 0
+    assert payload["breaker_strikes"] == 0
+    assert payload["shedding"] is False
+    code, payload = _raw(server, "GET", "/readyz")
+    assert code == 200 and payload["ready"] is True
+    assert _client(server).ready() is True
+
+
+class _QuarantiningCampaign:
+    """Stand-in for a CampaignService mid-quarantine."""
+
+    quarantining = True
+
+    @staticmethod
+    def status_snapshot():
+        return {"shards": {"s00": {"status": SHARD_QUARANTINED,
+                                   "strikes": 2}}}
+
+
+def test_shedding_503_while_quarantining(server):
+    server._current = _QuarantiningCampaign()
+    try:
+        # liveness stays 200 but reports the breaker state
+        code, payload = _raw(server, "GET", "/healthz")
+        assert code == 200
+        assert payload["shedding"] is True
+        assert payload["quarantined_shards"] == 1
+        assert payload["breaker_strikes"] == 2
+        # readiness and submissions shed
+        code, payload = _raw(server, "GET", "/readyz")
+        assert code == 503 and payload["ready"] is False
+        body = json.dumps(_jobs_payload()).encode()
+        code, payload = _raw(server, "POST", "/campaigns", body,
+                             {"Content-Type": "application/json"})
+        assert code == 503 and payload["shedding"] is True
+        assert _client(server).ready() is False
+        # the retrying client exhausts its budget against a 503 wall
+        client = ServiceClient(server.url, timeout=5.0,
+                               max_attempts=2, backoff_base=0.01,
+                               backoff_cap=0.02, retry_seed=0)
+        with pytest.raises(ServiceUnavailable):
+            client.submit(_jobs_payload())
+    finally:
+        server._current = None
+
+
+def test_quarantining_property_reflects_breaker(tmp_path):
+    from repro.runner.jobs import specs_from_payload
+    manifest = create_service_campaign(
+        specs_from_payload(_jobs_payload(count=4)),
+        tmp_path / "runs", campaign_id="q", seed=0, shards=2)
+    service = CampaignService(manifest)
+    assert service.quarantining is False
+    manifest.status = CAMPAIGN_RUNNING
+    next(iter(manifest.shards.values())).status = SHARD_QUARANTINED
+    assert service.quarantining is True
+    manifest.status = CAMPAIGN_COMPLETED
+    assert service.quarantining is False
+
+
+# ----------------------------------------------------------------------
+# client retry: bounded, picklable failure
+# ----------------------------------------------------------------------
+def test_dead_server_raises_service_unavailable_not_forever(server):
+    dead_url = server.url
+    server.stop()
+    client = ServiceClient(dead_url, timeout=1.0, max_attempts=3,
+                           backoff_base=0.01, backoff_cap=0.05,
+                           retry_seed=7)
+    started = time.monotonic()
+    with pytest.raises(ServiceUnavailable) as excinfo:
+        client.wait("ghost", timeout=30.0)
+    assert time.monotonic() - started < 10.0
+    assert excinfo.value.attempts == 3
+    assert excinfo.value.last_error
+    # ServiceUnavailable is still a ServiceError for old handlers
+    assert isinstance(excinfo.value, ServiceError)
+
+
+def test_service_unavailable_pickle_roundtrip():
+    error = ServiceUnavailable("gone", attempts=4,
+                               last_error="connection refused")
+    clone = pickle.loads(pickle.dumps(error))
+    assert type(clone) is ServiceUnavailable
+    assert clone.attempts == 4
+    assert clone.last_error == "connection refused"
+    assert str(clone) == "gone"
+
+
+def test_backoff_is_jittered_exponential_and_seeded():
+    client = ServiceClient("http://127.0.0.1:9", max_attempts=4,
+                           backoff_base=0.2, backoff_cap=2.0,
+                           retry_seed=11)
+    delays = [client._backoff(attempt) for attempt in (1, 2, 3)]
+    for attempt, delay in zip((1, 2, 3), delays):
+        assert 0.0 <= delay <= min(2.0, 0.2 * 2 ** (attempt - 1))
+    twin = ServiceClient("http://127.0.0.1:9", max_attempts=4,
+                         backoff_base=0.2, backoff_cap=2.0,
+                         retry_seed=11)
+    assert [twin._backoff(a) for a in (1, 2, 3)] == delays
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,254 @@
+"""End-to-end durability drills: truncation at every byte offset,
+torn-write chaos with resume convergence, service-manifest rebuild
+from surviving shards, and DEGRADED completion with exact loss
+accounting when a shard checkpoint is destroyed beyond recovery.
+
+The contract under test (ISSUE: durable artifact store): resuming
+from a corrupted checkpoint either converges to the same
+layout-independent aggregate digest as a clean run, or completes
+DEGRADED with exact loss accounting — never an unhandled exception,
+never a silent double-count.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ArtifactCorrupt, CampaignError
+from repro.faults import DiskFaultInjector
+from repro.runner import RunManifest, run_campaign
+from repro.runner.jobs import KIND_SELFTEST, JobSpec
+from repro.service import (CAMPAIGN_COMPLETED, CAMPAIGN_DEGRADED,
+                           ServiceManifest, merge_shards,
+                           rebuild_service_manifest,
+                           run_service_campaign)
+from repro.storage import (clear_disk_faults, install_disk_faults,
+                           journal_path, load_checkpoint,
+                           reset_tick_cache)
+
+
+@pytest.fixture(autouse=True)
+def _clean_storage_state():
+    reset_tick_cache()
+    clear_disk_faults()
+    yield
+    reset_tick_cache()
+    clear_disk_faults()
+
+
+def _selftest(job_id, program="work:2:0.0"):
+    return JobSpec(job_id=job_id, kind=KIND_SELFTEST, name=program,
+                   seed=0, timeout_s=30.0, max_attempts=2)
+
+
+def _specs(count=4):
+    return [_selftest(f"j{index:02d}") for index in range(count)]
+
+
+def _aggregate(runs_dir, campaign_id):
+    path = runs_dir / campaign_id / "aggregate.json"
+    return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------------------
+# property: a journaled checkpoint survives truncation at EVERY offset
+# ----------------------------------------------------------------------
+def test_manifest_survives_truncation_at_every_byte_offset(tmp_path):
+    """Truncate the manifest at every byte offset (journal intact —
+    the torn-write crash case): every single load must recover the
+    full checkpointed state via the journal, with the exact same
+    per-job digests as the untouched manifest."""
+    manifest = run_campaign(_specs(3), tmp_path / "runs",
+                            campaign_id="clean", seed=3)
+    assert manifest.all_completed()
+    clean_digests = manifest.digests()
+    target = manifest.path
+    good = target.read_bytes()
+    journal_bytes = journal_path(target).read_bytes()
+
+    for offset in range(len(good)):
+        reset_tick_cache()
+        work = tmp_path / "prop" / f"o{offset}" / "clean"
+        work.mkdir(parents=True)
+        (work / "manifest.json").write_bytes(good[:offset])
+        journal_path(work / "manifest.json").write_bytes(
+            journal_bytes)
+        recovered = RunManifest.load(work.parent, "clean")
+        assert recovered.digests() == clean_digests, \
+            f"divergence at truncation offset {offset}"
+
+
+def test_journal_truncation_at_every_offset_rolls_back(tmp_path):
+    """Truncate the *journal* at every byte offset (a crash mid-WAL
+    write, target intact): the load must always return the target's
+    state — the torn journal never wins, never crashes the load."""
+    path = tmp_path / "manifest.json"
+    from repro.storage import checkpoint
+    checkpoint(path, {"state": "good"}, "repro.test")
+    good = path.read_bytes()
+    journal_bytes = journal_path(path).read_bytes()
+
+    for offset in range(len(journal_bytes)):
+        reset_tick_cache()
+        work = tmp_path / "jprop" / f"o{offset}"
+        work.mkdir(parents=True)
+        (work / "manifest.json").write_bytes(good)
+        journal_path(work / "manifest.json").write_bytes(
+            journal_bytes[:offset])
+        assert load_checkpoint(work / "manifest.json",
+                               "repro.test") == {"state": "good"}, \
+            f"divergence at journal truncation offset {offset}"
+
+
+# ----------------------------------------------------------------------
+# torn-write chaos drill: interrupted campaign resumes and converges
+# ----------------------------------------------------------------------
+def test_torn_write_chaos_resume_converges_to_clean_digest(tmp_path):
+    clean = run_campaign(_specs(4), tmp_path / "clean",
+                         campaign_id="ref", seed=9)
+    assert clean.all_completed()
+
+    install_disk_faults(DiskFaultInjector(
+        mode="torn-write", seed=9, strike_after=3))
+    from repro.errors import DiskFaultError
+    with pytest.raises(DiskFaultError):
+        run_campaign(_specs(4), tmp_path / "runs",
+                     campaign_id="drill", seed=9)
+    clear_disk_faults()
+    reset_tick_cache()
+
+    with telemetry.session() as sink:
+        resumed = run_campaign([], tmp_path / "runs",
+                               campaign_id="drill", seed=9,
+                               resume=True)
+    assert resumed.all_completed()
+    # identical per-job digests: no lost work, no double-count
+    assert resumed.digests() == clean.digests()
+    # the recovery really went through the corruption machinery
+    assert sink.counters.get("storage.corruption_detected", 0) >= 1
+    corrupt = list((tmp_path / "runs" / "drill").glob("*.corrupt*"))
+    assert corrupt, "torn checkpoint should be quarantined"
+
+
+def test_bit_flip_chaos_resume_never_crashes(tmp_path):
+    install_disk_faults(DiskFaultInjector(
+        mode="bit-flip", seed=4, strike_after=2, strikes=1))
+    first = run_campaign(_specs(3), tmp_path / "runs",
+                         campaign_id="flip", seed=4)
+    clear_disk_faults()
+    reset_tick_cache()
+    # the silent corruption must be *detected* on the next load and
+    # healed from the other copy — never an unhandled exception
+    recovered = RunManifest.load(tmp_path / "runs", "flip")
+    resumed = run_campaign([], tmp_path / "runs", campaign_id="flip",
+                           seed=4, resume=True)
+    assert resumed.all_completed()
+    assert resumed.digests() == first.digests()
+    assert recovered.campaign_id == "flip"
+
+
+# ----------------------------------------------------------------------
+# service layer: campaign.json rebuild + DEGRADED loss accounting
+# ----------------------------------------------------------------------
+def test_service_manifest_rebuilds_from_surviving_shards(tmp_path):
+    runs = tmp_path / "runs"
+    manifest = run_service_campaign(_specs(6), runs,
+                                    campaign_id="svc", seed=2,
+                                    shards=2)
+    assert manifest.status == CAMPAIGN_COMPLETED
+    clean_digest = _aggregate(runs, "svc")["digest"]
+
+    # destroy BOTH copies of the service checkpoint
+    campaign_json = runs / "svc" / "campaign.json"
+    campaign_json.write_text("garbage", encoding="utf-8")
+    journal_path(campaign_json).write_text("also garbage",
+                                           encoding="utf-8")
+    reset_tick_cache()
+
+    with telemetry.session() as sink:
+        rebuilt = ServiceManifest.load(runs, "svc")
+    assert sink.counters["storage.rebuilds"] == 1
+    assert sink.counters["storage.corruption_detected"] >= 1
+    assert sorted(rebuilt.shards) == sorted(manifest.shards)
+    assert rebuilt.job_ids() == manifest.job_ids()
+
+    # the rebuilt campaign resumes (idempotently — everything was
+    # COMPLETED) and converges to the same layout-independent digest
+    reset_tick_cache()
+    resumed = run_service_campaign([], runs, campaign_id="svc",
+                                   resume=True)
+    assert resumed.status == CAMPAIGN_COMPLETED
+    assert _aggregate(runs, "svc")["digest"] == clean_digest
+
+
+def test_destroyed_shard_checkpoint_completes_degraded(tmp_path):
+    """A shard manifest corrupted beyond its journal: the campaign
+    must complete DEGRADED with that shard's unproven jobs accounted
+    as LOST — exactly, not silently dropped."""
+    runs = tmp_path / "runs"
+    manifest = run_service_campaign(_specs(6), runs,
+                                    campaign_id="svc", seed=5,
+                                    shards=2)
+    assert manifest.status == CAMPAIGN_COMPLETED
+    victim = sorted(manifest.shards)[0]
+    victim_jobs = sorted(manifest.shards[victim].jobs)
+    shard_dir = runs / "svc" / "shards" / victim
+    (shard_dir / "manifest.json").write_text("xx", encoding="utf-8")
+    journal_path(shard_dir / "manifest.json").write_text(
+        "yy", encoding="utf-8")
+    reset_tick_cache()
+
+    merged = merge_shards(ServiceManifest.load(runs, "svc"))
+    assert merged["status"] == CAMPAIGN_DEGRADED
+    accounted = sorted(job for jobs in merged["lost"].values()
+                       for job in jobs)
+    assert accounted == victim_jobs
+    for job_id in victim_jobs:
+        assert merged["jobs"][job_id]["status"] == "LOST"
+    surviving = [job for job in manifest.job_ids()
+                 if job not in victim_jobs]
+    for job_id in surviving:
+        assert merged["jobs"][job_id]["status"] == "COMPLETED"
+
+
+def test_rebuild_with_no_surviving_state_raises_service_error(
+        tmp_path):
+    from repro.errors import ServiceError
+    (tmp_path / "runs" / "ghost").mkdir(parents=True)
+    with pytest.raises(ServiceError):
+        rebuild_service_manifest(tmp_path / "runs", "ghost")
+
+
+def test_corrupt_manifest_without_journal_raises_artifact_corrupt(
+        tmp_path):
+    """A pre-durability manifest (no journal) damaged on disk is a
+    typed, quarantining error — not a JSONDecodeError crash."""
+    directory = tmp_path / "runs" / "old"
+    directory.mkdir(parents=True)
+    (directory / "manifest.json").write_text("{ torn",
+                                             encoding="utf-8")
+    with pytest.raises(ArtifactCorrupt):
+        RunManifest.load(tmp_path / "runs", "old")
+    assert (directory / "manifest.json.corrupt").exists()
+
+
+def test_legacy_unjournaled_manifest_still_loads(tmp_path):
+    """Manifests written before the storage layer (no envelope, no
+    journal) load unchanged."""
+    manifest = run_campaign(_specs(2), tmp_path / "runs",
+                            campaign_id="legacy", seed=1)
+    target = manifest.path
+    payload = json.loads(target.read_text())
+    payload.pop("envelope", None)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                      + "\n", encoding="utf-8")
+    journal_path(target).unlink()
+    reset_tick_cache()
+    loaded = RunManifest.load(tmp_path / "runs", "legacy")
+    assert loaded.digests() == manifest.digests()
+
+
+def test_missing_manifest_still_raises_campaign_error(tmp_path):
+    with pytest.raises(CampaignError, match="no manifest"):
+        RunManifest.load(tmp_path / "runs", "nope")

@@ -244,6 +244,10 @@ def _cmd_campaign(args) -> int:
             print(str(error), file=sys.stderr)
             return 2
     if use_service:
+        if args.vectorize > 1:
+            print("--vectorize applies to the single-host runner only "
+                  "(not --shards / service mode)", file=sys.stderr)
+            return 2
         return _cmd_campaign_service(args, specs)
     chaos = None
     if args.chaos is not None:
@@ -260,7 +264,8 @@ def _cmd_campaign(args) -> int:
             campaign_id=args.resume or args.campaign_id,
             seed=args.seed, resume=args.resume is not None,
             max_workers=args.jobs, stall_timeout=args.stall_timeout,
-            chaos=chaos, on_event=on_event if args.verbose else None)
+            chaos=chaos, vectorize=args.vectorize,
+            on_event=on_event if args.verbose else None)
     except DiskFaultError as error:
         print(f"storage fault: {error}", file=sys.stderr)
         print("campaign INTERRUPTED by storage fault; the journal "
@@ -501,6 +506,13 @@ def main(argv=None) -> int:
                           help="comma-separated experiment subset")
     campaign.add_argument("--jobs", "-j", type=int, default=2,
                           help="parallel workers (default 2)")
+    campaign.add_argument("--vectorize", type=int, default=1,
+                          metavar="N",
+                          help="batch N jobs per worker process, "
+                               "amortizing fork + warm-up cost "
+                               "(default 1 = one process per job; "
+                               "single-host runner only, incompatible "
+                               "with --chaos)")
     campaign.add_argument("--timeout", type=float, default=300.0,
                           metavar="S",
                           help="per-job wall-clock budget, seconds")

@@ -12,6 +12,9 @@ from .config import (
 from .core import Core, RunResult, StopReason
 from .decoded import (
     DecodedWindow,
+    Superblock,
+    SuperblockLink,
+    build_superblock,
     build_window,
     fast_path_enabled,
     get_window,
@@ -22,6 +25,7 @@ from .interp import InterpResult, InterpStop, interpret, run_function
 from .lbr import LBR, LbrRecord
 from .semantics import Outcome, execute
 from .state import MachineState
+from .vector import VectorGroup, VectorLane, run_many_seeds
 
 __all__ = [
     "BTB",
@@ -32,6 +36,11 @@ __all__ = [
     "DEFAULT_GENERATION",
     "DecodedWindow",
     "GENERATIONS",
+    "Superblock",
+    "SuperblockLink",
+    "VectorGroup",
+    "VectorLane",
+    "build_superblock",
     "build_window",
     "fast_path_enabled",
     "get_window",
@@ -49,4 +58,5 @@ __all__ = [
     "generation",
     "interpret",
     "run_function",
+    "run_many_seeds",
 ]

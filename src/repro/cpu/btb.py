@@ -143,7 +143,26 @@ class BTB:
         self._clock = 0
         #: Security domain of the code currently executing (only
         #: consulted when ``config.btb_partitioning`` is set).
-        self.current_domain = 0
+        self._current_domain = 0
+        #: Lookup-visibility generation.  Bumped by every mutation that
+        #: can change a *lookup result* — allocate (including the
+        #: eviction it may imply), target update, deallocation, spurious
+        #: eviction, flushes, and domain switches under partitioning.
+        #: ``touch`` does NOT bump it: LRU refreshes change future
+        #: eviction choices but never the outcome of a lookup, and any
+        #: LRU-driven eviction itself happens inside ``allocate`` (which
+        #: bumps).  Superblocks (:mod:`repro.cpu.decoded`) are stamped
+        #: with this counter, so one integer compare validates every
+        #: predicted edge in a chain at once.
+        self.generation = 0
+        #: Per-set refinement of :attr:`generation`.  A lookup's result
+        #: depends only on its set's contents, and one 32-byte fetch
+        #: block maps to exactly one set — so a superblock whose global
+        #: stamp went stale can re-validate against just the sets its
+        #: blocks index into, surviving unrelated BTB churn (e.g. a
+        #: shared subroutine's ``ret`` entry being retargeted every
+        #: call would otherwise invalidate every cached chain).
+        self.set_gens: List[int] = [0] * sets
         self.stats = BTBStats()
         #: Telemetry sink captured at construction (None → disabled;
         #: the hot paths then pay one ``is None`` check per rare
@@ -169,6 +188,27 @@ class BTB:
         return {f"cpu.btb.{name}": getattr(self.stats, name)
                 for name in BTBStats.__dataclass_fields__}
 
+    @property
+    def current_domain(self) -> int:
+        return self._current_domain
+
+    @current_domain.setter
+    def current_domain(self, domain: int) -> None:
+        if domain != self._current_domain:
+            self._current_domain = domain
+            # Under partitioning a domain switch changes which entries a
+            # lookup can see; without it lookups are domain-blind, but
+            # newly allocated entries are stamped with the new domain,
+            # so bumping unconditionally keeps the invariant simple.
+            self._bump_all_sets()
+
+    def _bump_all_sets(self) -> None:
+        """Whole-BTB visibility change: advance every set generation."""
+        self.generation += 1
+        gens = self.set_gens
+        for i in range(len(gens)):
+            gens[i] += 1
+
     # ------------------------------------------------------------------
     # field extraction
     # ------------------------------------------------------------------
@@ -193,18 +233,32 @@ class BTB:
         ``None`` on a miss.  Does not modify any entry.
         """
         self.stats.lookups += 1
+        best = self.peek(fetch_pc)
+        if best is not None:
+            self.stats.hits += 1
+        return best
+
+    def peek(self, fetch_pc: int) -> Optional[BTBEntry]:
+        """:meth:`lookup` without the stats counting.
+
+        Used by the superblock builder, which probes predictions while
+        *constructing* a chain: those probes have no slow-path
+        equivalent, so counting them would make ``cpu.btb.lookups``
+        diverge between the fast and reference paths.  The executor
+        instead bulk-counts one lookup+hit per chained edge when a
+        superblock actually runs (see ``Core.run``).
+        """
         tag, set_index, offset = self.fields(fetch_pc)
         best: Optional[BTBEntry] = None
         partitioned = self.config.btb_partitioning
+        domain = self._current_domain
         for entry in self._sets[set_index]:
-            if not entry.matches(tag, self.current_domain, partitioned):
+            if not entry.matches(tag, domain, partitioned):
                 continue
             if entry.offset < offset:
                 continue
             if best is None or entry.offset < best.offset:
                 best = entry
-        if best is not None:
-            self.stats.hits += 1
         return best
 
     def predicted_end_byte(self, fetch_pc: int, entry: BTBEntry) -> int:
@@ -256,7 +310,9 @@ class BTB:
         victim.offset = offset
         victim.target = target
         victim.kind = kind
-        victim.domain = self.current_domain
+        victim.domain = self._current_domain
+        self.generation += 1
+        self.set_gens[set_index] += 1
         self._touch(victim)
         return victim
 
@@ -266,6 +322,8 @@ class BTB:
         entry.target = target
         if kind is not None:
             entry.kind = kind
+        self.generation += 1
+        self.set_gens[entry.set_index] += 1
         self.stats.target_updates += 1
         if self._tel is not None:
             self._tel.emit("cpu.btb.update", {
@@ -278,6 +336,8 @@ class BTB:
         """Invalidate an entry after a false hit (Takeaway 1)."""
         if entry.valid:
             entry.valid = False
+            self.generation += 1
+            self.set_gens[entry.set_index] += 1
             self.stats.deallocations += 1
 
     def evict_spurious(self, rng) -> Optional[BTBEntry]:
@@ -290,6 +350,8 @@ class BTB:
             return None
         victim = rng.choice(candidates)
         victim.valid = False
+        self.generation += 1
+        self.set_gens[victim.set_index] += 1
         self.stats.spurious_evictions += 1
         return victim
 
@@ -309,6 +371,7 @@ class BTB:
         for ways in self._sets:
             for entry in ways:
                 entry.valid = False
+        self._bump_all_sets()
         self.stats.full_flushes += 1
 
     def flush_indirect(self) -> None:
@@ -319,6 +382,7 @@ class BTB:
             for entry in ways:
                 if entry.valid and entry.kind in INDIRECT_KINDS:
                     entry.valid = False
+        self._bump_all_sets()
         self.stats.indirect_flushes += 1
 
     # ------------------------------------------------------------------

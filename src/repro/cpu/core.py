@@ -49,8 +49,9 @@ from ..isa.instructions import Instruction, Kind
 from ..memory.address import block_end
 from .btb import BTB, BTBEntry
 from .config import CpuGeneration, DEFAULT_GENERATION
-from .decoded import (EXTRA_ISSUE_COST, build_window, decode_at,
-                      fast_path_enabled)
+from .costs import EXTRA_ISSUE_COST
+from .decoded import (Superblock, build_superblock, build_window,
+                      decode_at, fast_path_enabled)
 from .fusion import can_fuse
 from .interp import (_DEADLINE_STRIDE, _check_deadline_now,
                      _effective_deadline)
@@ -225,6 +226,10 @@ class Core:
         fp_windows = 0
         fp_instructions = 0
         fp_bailouts = 0
+        sb_builds = 0
+        sb_hits = 0
+        sb_bailouts = 0
+        sb_invalidations = 0
 
         def result(reason: StopReason,
                    fault: Optional[PageFault] = None) -> RunResult:
@@ -257,6 +262,15 @@ class Core:
                               fp_instructions)
                 if fp_bailouts:
                     tel.count("cpu.core.fastpath.bailouts", fp_bailouts)
+                if sb_builds:
+                    tel.count("cpu.superblock.builds", sb_builds)
+                if sb_hits:
+                    tel.count("cpu.superblock.hits", sb_hits)
+                if sb_bailouts:
+                    tel.count("cpu.superblock.bailouts", sb_bailouts)
+                if sb_invalidations:
+                    tel.count("cpu.superblock.invalidations",
+                              sb_invalidations)
             return RunResult(
                 reason=reason, retired=retired, instructions=instructions,
                 cycles=self.cycles - start_cycles, fault=fault,
@@ -266,6 +280,7 @@ class Core:
         deadline = _effective_deadline(None)
         memory = state.memory
         window_cache = getattr(memory, "window_cache", None)
+        superblock_cache = getattr(memory, "superblock_cache", None)
         fast = fast_path_enabled() and window_cache is not None
         issue_cost = self._issue_cost
         fusion_enabled = self.config.fusion_enabled
@@ -280,6 +295,96 @@ class Core:
                 _check_deadline_now(instructions, deadline)
             pc = state.rip
             if pw is None:
+                # ----- superblock dispatch ----------------------------
+                # At a fresh bundle boundary, a cached chain of windows
+                # linked across predicted-taken edges can run whole hot
+                # loops without re-opening prediction windows.  Validity
+                # is two integer compares (code generation + BTB
+                # generation) plus a BTB identity check; the executor
+                # commits cycles/retires/trace/LBR bit-identically to
+                # the slow path and bails mid-chain on misprediction or
+                # self-modification.  One pass per dispatch: loop
+                # superblocks re-enter through this check each
+                # iteration, which keeps the guard and deadline strides
+                # of the outer loop authoritative.
+                if (fast and superblock_cache is not None
+                        and memory.access_filter is None):
+                    sb = superblock_cache.get(pc)
+                    if sb is not None:
+                        if isinstance(sb, Superblock):
+                            if (sb.code_generation
+                                    != memory.code_generation
+                                    or not sb.btb_valid(self.btb)):
+                                sb_invalidations += 1
+                                sb = None       # stale: rebuild below
+                        elif (sb[0] != memory.code_generation
+                                or (sb[1] is not None
+                                    and (sb[1] is not self.btb
+                                         or self.btb.set_gens[sb[2]]
+                                         != sb[3]))):
+                            sb = None           # stale negative: retry
+                        else:
+                            sb = False          # known-unchainable pc
+                    if sb is None:
+                        sb = build_superblock(memory, self.btb, pc,
+                                              fusion_enabled)
+                        superblock_cache[pc] = sb
+                        if isinstance(sb, Superblock):
+                            sb_builds += 1
+                        else:
+                            sb = False          # negative marker cached
+                    if sb is not False and (
+                            instructions + sb.insts_per_pass <= guard
+                            and (max_retired is None
+                                 or retired + sb.units_per_pass
+                                 <= max_retired)):
+                        # Budget gate is for the *whole* pass: a pass
+                        # that would clip mid-chain falls back to the
+                        # window path, which clips bit-identically.
+                        sb_hits += 1
+                        passes = 1
+                        if sb.loop_taken:
+                            # Taken-edge loop: amortize the dispatch
+                            # over as many passes as the instruction /
+                            # retire budgets and the deadline-check
+                            # stride allow.
+                            room = ((guard - instructions)
+                                    // sb.insts_per_pass)
+                            if max_retired is not None:
+                                r = ((max_retired - retired)
+                                     // sb.units_per_pass)
+                                if r < room:
+                                    room = r
+                            d = ((next_deadline_check - instructions)
+                                 // sb.insts_per_pass) + 1
+                            if d < room:
+                                room = d
+                            if room > 1:
+                                passes = room
+                        (sb_insts, sb_units, fault, error,
+                         live_pw, bailed) = self._run_superblock(
+                            sb, state, memory, trace, unit_starts,
+                            passes)
+                        instructions += sb_insts
+                        retired += sb_units
+                        if bailed:
+                            sb_bailouts += 1
+                        # ``live_pw`` is whatever prediction window the
+                        # slow path would have open right now: one is
+                        # handed back both on mid-chain bails and when
+                        # a pass *ends* on a fall-through edge (the
+                        # not-taken conditional leaves the window open,
+                        # so re-opening one here would double-charge
+                        # fetch and lookups).
+                        pw = live_pw
+                        if fault is not None:
+                            return result(StopReason.PAGE_FAULT, fault)
+                        if error is not None:
+                            raise error
+                        if (max_retired is not None
+                                and retired >= max_retired):
+                            return result(StopReason.RETIRE_LIMIT)
+                        continue
                 self.cycles += self.config.fetch_cycles
                 pw = self._open_window(pc)
 
@@ -453,6 +558,243 @@ class Core:
                 pw = None
             if max_retired is not None and retired >= max_retired:
                 return result(StopReason.RETIRE_LIMIT)
+
+    # ------------------------------------------------------------------
+    # superblock executor
+    # ------------------------------------------------------------------
+    def _run_superblock(self, sb: Superblock, state: MachineState,
+                        memory, trace: Optional[List[int]],
+                        unit_starts: Optional[List[int]],
+                        passes: int = 1):
+        """Execute up to ``passes`` passes over a validated superblock.
+
+        Returns ``(instructions, units, fault, error, live_pw, bailed)``.
+        Cycle, retire, trace, BTB and LBR effects are committed exactly
+        as the generic loop + window fast path would have produced them
+        — the float accumulation order per item is identical, the LBR
+        timestamp is the pre-penalty retire time, and every link that
+        opens a prediction window counts one BTB lookup (plus a hit
+        when the edge is predicted), mirroring the per-window
+        ``_open_window`` the dispatch replaced; fall-through links that
+        continue inside an open window charge nothing, exactly like
+        the slow path.  On a mispredicted edge the committed partial
+        state is handed to :meth:`_resolve_control`, which performs
+        the squash / target-update / allocation bookkeeping (bumping
+        the affected BTB set's generation and thereby invalidating
+        this superblock).  ``live_pw`` is the prediction window the
+        slow path would have open on return: set on mid-prefix
+        self-modification bails and whenever execution stops inside a
+        fall-through window (including a completed pass whose last
+        edge fell through), ``None`` after taken edges.
+        """
+        issue_cost = self._issue_cost
+        fetch_cycles = self.config.fetch_cycles
+        stats = self.btb.stats
+        lbr = self.lbr
+        touch = self.btb.touch
+        page_check = memory.page_table.check
+        code_gen = sb.code_generation
+        cycles_now = self.cycles
+        insts = 0
+        units = 0
+        chain = sb.links if passes == 1 else sb.links * passes
+        first_link = True
+        for link in chain:
+            window = link.window
+            pc = window.entry_pc
+            if first_link:
+                first_link = False
+            else:
+                if memory.code_generation != code_gen:
+                    # A previous link's terminator wrote code pages
+                    # (e.g. a call pushing onto a code-holding page):
+                    # later cached links may be stale, so hand back to
+                    # the generic machinery, which re-decodes.
+                    self.cycles = cycles_now
+                    self.total_retired += units
+                    state.rip = pc
+                    live = None
+                    if not link.opens_pw:
+                        # Mid-block fall-through: the window is open.
+                        live = _PredictionWindow(entry=None,
+                                                 pred_end=None,
+                                                 limit=window.limit)
+                    return insts, units, None, None, live, True
+            if link.opens_pw:
+                # Same fetch charge and lookup count as
+                # ``_open_window``; a hit only when the edge is
+                # predicted (fall-through openers looked up and
+                # missed).
+                cycles_now += fetch_cycles
+                stats.lookups += 1
+                if link.entry is not None and not link.mid_fetch:
+                    # (A mid-fetch link's ``entry`` belongs to the
+                    # successor block's window; this opener missed.)
+                    stats.hits += 1
+            try:
+                # One execute check covers the link: a 32-byte block
+                # never crosses a page (see the window fast path).
+                page_check(pc, "execute")
+            except PageFault as fault:
+                self.cycles = cycles_now
+                self.total_retired += units
+                state.rip = pc
+                return insts, units, fault, None, None, True
+            k = window.count
+            pcs = window.pcs
+            thunks = window.thunks
+            extras = window.extras
+            fault = None
+            error = None
+            i = 0
+            try:
+                if window.has_store:
+                    while i < k:
+                        thunks[i](state)
+                        cycles_now += issue_cost + extras[i]
+                        i += 1
+                        if memory.code_generation != code_gen:
+                            break       # self-modifying code
+                else:
+                    while i < k:
+                        thunks[i](state)
+                        cycles_now += issue_cost + extras[i]
+                        i += 1
+            except PageFault as page_fault:
+                fault = page_fault
+            except BaseException as exc:
+                error = exc
+            insts += i
+            units += i
+            if trace is not None:
+                trace.extend(pcs[:i])
+                unit_starts.extend(pcs[:i])
+            if fault is not None or error is not None:
+                # Same observable state as the window path: the
+                # faulting item is not counted, charged or traced, and
+                # RIP points at it.
+                self.cycles = cycles_now
+                self.total_retired += units
+                state.rip = pcs[i]
+                return insts, units, fault, error, None, True
+            if memory.code_generation != code_gen:
+                # A store in this prefix hit code pages; the cached
+                # terminator may be stale.  Resume with the prediction
+                # window still open, exactly like the window path.
+                self.cycles = cycles_now
+                self.total_retired += units
+                state.rip = pcs[i] if i < k else window.resume_pc
+                # The window open over the prefix: predictionless for
+                # mid-fetch links (their ``entry`` describes the
+                # successor block's window, not this one).
+                if link.mid_fetch:
+                    live = _PredictionWindow(entry=None, pred_end=None,
+                                             limit=window.limit)
+                else:
+                    live = _PredictionWindow(entry=link.entry,
+                                             pred_end=link.pred_end,
+                                             limit=window.limit)
+                return insts, units, None, None, live, True
+            # ----- the link's terminating control transfer -----------
+            term = link.term
+            if term is None:
+                # Boundary link: straight-line to the 32-byte limit.
+                # The slow path closes the exhausted window for free;
+                # the next link re-opens one (fetch charge + lookup).
+                state.rip = window.resume_pc
+                continue
+            term_pc = link.term_pc
+            fused = link.fused
+            if link.mid_fetch:
+                # Boundary-fused link: the Jcc leads the next 32-byte
+                # block.  The slow path's lookahead decode checks its
+                # page (fusion silently fails on a fault — the ALU
+                # retires standalone and the window closes at the
+                # limit), then charges the fetch and opens the
+                # successor's prediction window mid-retire-unit.
+                try:
+                    page_check(term_pc, "execute")
+                except PageFault:
+                    self.cycles = cycles_now
+                    self.total_retired += units
+                    state.rip = term_pc
+                    return insts, units, None, None, None, True
+                cycles_now += fetch_cycles
+                stats.lookups += 1
+                if link.entry is not None:
+                    stats.hits += 1
+            try:
+                outcome = execute(state, term, term_pc)
+            except PageFault as page_fault:
+                self.cycles = cycles_now
+                if fused:
+                    # Mirrors the slow path's fused-Jcc fault handling
+                    # (dead in practice: a conditional jump cannot
+                    # fault): the pair's unit retires, but is not added
+                    # to ``total_retired`` there either.
+                    self.total_retired += units - 1
+                    state.rip = term_pc
+                    return insts, units, page_fault, None, None, True
+                self.total_retired += units
+                state.rip = term_pc
+                return insts, units, page_fault, None, None, True
+            except BaseException as exc:
+                self.cycles = cycles_now
+                if fused:
+                    units -= 1  # the fused ALU's unit never retired
+                self.total_retired += units
+                state.rip = term_pc
+                return insts, units, None, exc, None, True
+            insts += 1
+            if fused:
+                cycles_now += issue_cost
+            else:
+                cycles_now += issue_cost + link.term_extra
+                units += 1
+            if trace is not None:
+                trace.append(term_pc)
+                if not fused:
+                    unit_starts.append(term_pc)
+            state.rip = outcome.next_pc
+            if link.entry is not None:
+                if outcome.taken and outcome.next_pc == link.target:
+                    # Correctly predicted edge: LRU refresh + LBR
+                    # record at the pre-penalty retire time (same
+                    # order as ``_resolve_control``'s happy path).
+                    touch(link.entry)
+                    lbr.record(term_pc, outcome.next_pc, cycles_now,
+                               False)
+                    continue
+            elif not outcome.taken:
+                # Fall-through edge held: the slow path's not-taken
+                # unpredicted conditional is a pure non-event (no LBR,
+                # no touch, window stays open).
+                continue
+            # Mispredicted (wrong target, not taken, or an unpredicted
+            # edge taken): commit, then let the reference machinery
+            # squash/update/allocate.  That bookkeeping bumps the
+            # affected BTB set's generation, so the superblock is
+            # rebuilt on the next dispatch.  (A fused pair's unit was
+            # already counted with its ALU in the prefix loop.)
+            self.cycles = cycles_now
+            self.total_retired += units
+            live = _PredictionWindow(entry=link.entry,
+                                     pred_end=link.pred_end,
+                                     limit=link.term_limit)
+            self._resolve_control(live, term_pc, link.term_len, term,
+                                  outcome, link.entry is not None)
+            return insts, units, None, None, None, True
+        self.cycles = cycles_now
+        self.total_retired += units
+        last = sb.links[-1]
+        live = None
+        if last.entry is None:
+            # The pass ended on a fall-through edge: the slow path's
+            # prediction window is still open (the outer loop closes
+            # it for free if the successor crossed the block boundary).
+            live = _PredictionWindow(entry=None, pred_end=None,
+                                     limit=last.term_limit)
+        return insts, units, None, None, live, False
 
     # ------------------------------------------------------------------
     # prediction machinery

@@ -1,0 +1,32 @@
+"""Shared issue-cost and fusion-holdback tables.
+
+Single source of truth for the per-mnemonic cycle charges and the
+"which instructions can write memory" set.  Both the generic loop in
+:class:`repro.cpu.core.Core` and the decoded-window builder in
+:mod:`repro.cpu.decoded` consult these tables; keeping one copy is what
+makes the cached per-item costs provably identical to what the slow
+path would charge (``tests/test_costs.py`` asserts it per mnemonic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: extra issue cost for slow instructions, in cycles, added on top of
+#: the generation's base issue cost (1 / issue_width).  Mnemonics not
+#: listed here cost the base issue cost only.
+EXTRA_ISSUE_COST: Dict[str, float] = {
+    "mul": 2.0, "imul": 2.0, "div": 20.0,
+    "load": 1.0, "loadw": 1.0, "store": 1.0, "storew": 1.0,
+    "syscall": 50.0, "lfence": 10.0,
+}
+
+#: mnemonics that can modify memory — windows containing one re-check
+#: the code generation after every item so self-modifying code bails
+#: out mid-window instead of running stale decodes.
+MEM_WRITERS = frozenset({"store", "storew", "push"})
+
+
+def extra_cost(mnemonic: str) -> float:
+    """The extra issue cycles charged for ``mnemonic`` (0.0 for most)."""
+    return EXTRA_ISSUE_COST.get(mnemonic, 0.0)

@@ -44,21 +44,14 @@ from ..errors import DecodeError, InvalidInstruction, PageFault
 from ..isa.encoding import decode as decode_bytes
 from ..isa.instructions import Instruction, Kind, SPECS_BY_OPCODE
 from ..memory.address import block_end
+from .btb import reconstruct_end_byte
+from .costs import EXTRA_ISSUE_COST, MEM_WRITERS
+from .fusion import can_fuse
 from .semantics import compile_straightline
 
-#: extra issue cost for slow instructions, in cycles — shared by
-#: :class:`repro.cpu.core.Core` and the window builder so cached
-#: per-item costs always match what the generic loop would charge.
-EXTRA_ISSUE_COST: Dict[str, float] = {
-    "mul": 2.0, "imul": 2.0, "div": 20.0,
-    "load": 1.0, "loadw": 1.0, "store": 1.0, "storew": 1.0,
-    "syscall": 50.0, "lfence": 10.0,
-}
-
-#: mnemonics that can modify memory — windows containing one re-check
-#: the code generation after every item so self-modifying code bails
-#: out mid-window instead of running stale decodes.
-_MEM_WRITERS = frozenset({"store", "storew", "push"})
+#: kept as module attributes for backwards compatibility — the tables
+#: themselves live in :mod:`repro.cpu.costs` (single source of truth).
+_MEM_WRITERS = MEM_WRITERS
 
 _ENABLED = os.environ.get("NV_FAST_PATH", "1").strip().lower() not in (
     "0", "false", "off", "no")
@@ -210,3 +203,312 @@ def get_window(memory, pc: int) -> Optional[DecodedWindow]:
     if window is not None and window.generation == memory.code_generation:
         return window
     return build_window(memory, pc)
+
+
+# ----------------------------------------------------------------------
+# superblocks: chains of windows linked across predicted edges
+# ----------------------------------------------------------------------
+
+#: maximum chained edges in one superblock.  Real front ends bound the
+#: fetch-ahead distance similarly; eight edges covers every hot loop in
+#: the victim corpus (gcd's loop body spans two, the pointer-chase
+#: traversal four).
+SUPERBLOCK_MAX_LINKS = 8
+
+
+class SuperblockLink:
+    """One window of a superblock plus its chained exit edge.
+
+    Three edge flavours exist:
+
+    * **predicted-taken** (``entry is not None``): the BTB predicts the
+      terminator's *exact* last byte and the chain continues at
+      ``entry.target``.  The link pins the BTB entry object; that
+      reference stays truthful for as long as the entry's set
+      generation is unchanged — the superblock's validity condition —
+      so the executor compares ``entry.target`` against the
+      architectural outcome without a fresh lookup.
+    * **fall-through** (``entry is None``, ``term`` set): no BTB entry
+      is in range for this window's block, the terminator is a
+      conditional jump, and the chain continues at the not-taken
+      successor.  The slow path treats this edge as a pure non-event
+      (no LBR record, no BTB touch, prediction window stays open),
+      which is why it can chain.
+    * **boundary** (``term is None``): straight-line code running to
+      the 32-byte block limit with no BTB entry in range; the chain
+      continues at the next block (``window.resume_pc``), where the
+      slow path closes the exhausted window for free and opens a new
+      one — so the successor link always ``opens_pw``.
+    * **boundary-fused** (``mid_fetch``): the window's held-back ALU
+      macro-fuses with a conditional jump that *leads the next block*.
+      The slow path executes the ALU in the generic loop, charges the
+      fetch and opens the successor's prediction window mid-retire-unit
+      (``Core.run``'s fused-Jcc block), then executes the Jcc as the
+      same unit.  The link models that: ``term`` is the next block's
+      Jcc, ``entry``/``pred_end`` describe *its* window (the prefix
+      ran under the previous, predictionless one), and ``term_limit``
+      is the next block's 32-byte limit.
+
+    ``opens_pw`` records whether the slow path would open a fresh
+    prediction window at this link's entry (charging fetch cycles and
+    counting one BTB lookup): true after every taken edge and whenever
+    a fall-through crosses into a new 32-byte block, false when a
+    fall-through continues inside the block — range semantics guarantee
+    the opening lookup's miss covers every later offset in the block.
+    """
+
+    __slots__ = ("window", "entry", "pred_end", "term", "term_pc",
+                 "term_len", "term_extra", "target", "fused", "count",
+                 "units", "insts", "opens_pw", "mid_fetch", "term_limit")
+
+    def __init__(self, window: DecodedWindow, entry,
+                 pred_end: Optional[int], term: Optional[Instruction],
+                 term_pc: int, target: int, fused: bool, opens_pw: bool,
+                 mid_fetch: bool = False,
+                 term_limit: Optional[int] = None):
+        self.window = window
+        self.entry = entry
+        self.pred_end = pred_end
+        self.term = term
+        self.term_pc = term_pc
+        self.target = target
+        self.fused = fused
+        self.opens_pw = opens_pw
+        self.mid_fetch = mid_fetch
+        #: block limit of the window the *terminator* executes under —
+        #: ``window.limit`` except for mid-fetch links, whose Jcc lives
+        #: in the successor block.
+        self.term_limit = window.limit if term_limit is None else term_limit
+        self.count = window.count
+        if term is not None:
+            self.term_len = term.length
+            self.term_extra = EXTRA_ISSUE_COST.get(term.mnemonic, 0.0)
+            #: architectural instructions per link (prefix + terminator)
+            self.insts = window.count + 1
+            #: retire units per link (a fused pair retires as one)
+            self.units = window.count + (0 if fused else 1)
+        else:
+            # Boundary link: prefix only, nothing to terminate.
+            self.term_len = 0
+            self.term_extra = 0.0
+            self.insts = window.count
+            self.units = window.count
+
+
+class Superblock:
+    """A cached chain of decoded windows across predicted edges.
+
+    Keyed by entry PC in ``memory.superblock_cache`` and stamped with
+    ``memory.code_generation`` plus a BTB signature.  The signature has
+    two tiers: the cheap check compares the owning BTB's global
+    ``generation`` counter, and when that went stale the chain
+    re-validates against just the per-set generations of the sets its
+    blocks index into (one 32-byte fetch block maps to exactly one BTB
+    set, so those counters cover every lookup result the chain
+    depends on).  Unrelated BTB churn — a shared subroutine's ``ret``
+    being retargeted every call, victim warm-up allocations in other
+    sets — therefore no longer invalidates hot chains; on success the
+    global stamp is refreshed so the next dispatch takes the cheap
+    path again.  ``loop`` marks chains whose last edge targets the
+    entry PC: the dispatcher re-enters them once per iteration.
+    """
+
+    __slots__ = ("entry_pc", "code_generation", "btb", "btb_generation",
+                 "set_indices", "set_sig", "links", "loop", "loop_taken",
+                 "insts_per_pass", "units_per_pass", "has_store")
+
+    def __init__(self, entry_pc: int, code_generation: int, btb,
+                 links: List[SuperblockLink], loop: bool,
+                 set_indices: Tuple[int, ...]):
+        self.entry_pc = entry_pc
+        self.code_generation = code_generation
+        self.btb = btb
+        self.btb_generation = btb.generation
+        self.set_indices = set_indices
+        self.set_sig = tuple(btb.set_gens[i] for i in set_indices)
+        self.links = links
+        self.loop = loop
+        #: loop closed by a predicted-taken edge: each pass ends with
+        #: the prediction window closed, so the dispatcher may run
+        #: several passes back-to-back (a fall-through-closing loop
+        #: leaves the window open and must return to the outer loop).
+        self.loop_taken = loop and links[-1].entry is not None
+        self.insts_per_pass = sum(link.insts for link in links)
+        self.units_per_pass = sum(link.units for link in links)
+        self.has_store = any(link.window.has_store for link in links)
+
+    def btb_valid(self, btb) -> bool:
+        """Is every prediction this chain was built on still current?"""
+        if btb is not self.btb:
+            return False
+        if btb.generation == self.btb_generation:
+            return True
+        gens = btb.set_gens
+        sig = self.set_sig
+        for j, set_index in enumerate(self.set_indices):
+            if gens[set_index] != sig[j]:
+                return False
+        # Only untouched sets: the chain survived the churn.  Refresh
+        # the global stamp so the next dispatch is one compare again.
+        self.btb_generation = btb.generation
+        return True
+
+    def __repr__(self) -> str:                     # pragma: no cover
+        return (f"Superblock({self.entry_pc:#x}, links={len(self.links)}, "
+                f"loop={self.loop})")
+
+
+def build_superblock(memory, btb, entry_pc: int, fusion_enabled: bool):
+    """Chain windows from ``entry_pc`` across predicted edges.
+
+    A window extends the chain iff it ends in a control transfer and
+    either
+
+    * the BTB predicts the terminator's *exact* last byte
+      (``reconstruct_end_byte`` of the entry's offset equals the
+      terminator's last byte): the prediction cannot interact with the
+      prefix (no false-hit walk, no mid-prefix settle) and the
+      predicted target gives the next window; or
+    * no entry is in range at all and the terminator is a conditional
+      jump: the not-taken successor gives the next window (see
+      :class:`SuperblockLink` for why this edge is chainable).
+
+    Probing uses :meth:`BTB.peek` so build-time probes never perturb
+    the lookup stats the differential suite compares.
+
+    Returns the :class:`Superblock`, or — when not even the first edge
+    qualifies — a negative marker tuple ``(code_generation, btb,
+    set_index, set_gen)`` the caller caches to suppress rebuild
+    attempts: ``set_index`` is the entry block's BTB set when the
+    verdict depends on BTB contents, or ``-1`` when it is a pure
+    code-shape verdict (straight-line window, syscall/hlt terminator,
+    decode error) that only a code-generation change can revisit.
+    """
+    links: List[SuperblockLink] = []
+    pc = entry_pc
+    seen = {entry_pc}
+    loop = False
+    opens = True
+    set_indices: List[int] = []
+
+    def negative(btb_dependent: bool):
+        if btb_dependent:
+            set_index = btb.fields(entry_pc)[1]
+            return (memory.code_generation, btb, set_index,
+                    btb.set_gens[set_index])
+        return (memory.code_generation, None, -1, 0)
+
+    btb_dependent = False
+    while len(links) < SUPERBLOCK_MAX_LINKS:
+        window = get_window(memory, pc)
+        if window is None or window.decode_error:
+            break
+        term = window.terminator
+        if term is not None and not term.spec.is_control:
+            break                           # syscall / hlt terminator
+        if opens:
+            entry = btb.peek(pc)
+            set_index = btb.fields(pc)[1]
+            if set_index not in set_indices:
+                set_indices.append(set_index)
+        else:
+            # Continuation inside the block: the opening lookup missed,
+            # and range semantics make every higher offset miss too.
+            entry = None
+        term_pc = window.resume_pc
+        if term is None:
+            # Straight-line to the block limit (boundary edge).
+            if entry is not None:
+                # A prediction points into straight-line code: the
+                # false-hit machinery will burn it down — not
+                # chainable until then.
+                btb_dependent = True
+                break
+            if fusion_enabled and window.fuse_holdback:
+                nw = get_window(memory, window.resume_pc)
+                if (nw is not None and not nw.count
+                        and nw.terminator is not None
+                        and nw.terminator.spec.kind is Kind.COND_JUMP
+                        and can_fuse(window.instructions[-1],
+                                     nw.terminator)):
+                    # The held-back ALU fuses with the next block's
+                    # leading Jcc: a boundary-fused (mid-fetch) link.
+                    # The Jcc runs under the *successor's* prediction
+                    # window, so its edge must qualify the same way a
+                    # taken or fall-through edge would.
+                    jcc = nw.terminator
+                    jcc_pc = window.resume_pc
+                    entry2 = btb.peek(jcc_pc)
+                    jcc_last = jcc_pc + jcc.length - 1
+                    if entry2 is not None and reconstruct_end_byte(
+                            jcc_pc, entry2.offset) != jcc_last:
+                        # Prediction interacts with the Jcc (false-hit
+                        # walk / mid-unit settle): not chainable until
+                        # that entry dies.
+                        btb_dependent = True
+                        break
+                    si2 = btb.fields(jcc_pc)[1]
+                    if si2 not in set_indices:
+                        set_indices.append(si2)
+                    if entry2 is not None:
+                        pe2: Optional[int] = jcc_last
+                        target = entry2.target
+                        next_opens = True
+                    else:
+                        pe2 = None
+                        target = jcc_pc + jcc.length
+                        next_opens = target >= nw.limit
+                    links.append(SuperblockLink(
+                        window, entry2, pe2, jcc, jcc_pc, target, True,
+                        opens, mid_fetch=True, term_limit=nw.limit))
+                    pc = target
+                    if pc == entry_pc:
+                        loop = True
+                        break
+                    if pc in seen:
+                        break
+                    seen.add(pc)
+                    opens = next_opens
+                    continue
+            pred_end: Optional[int] = None
+            target = window.resume_pc
+            next_opens = True
+            fused = False
+        elif entry is not None:
+            term_last = term_pc + term.length - 1
+            if reconstruct_end_byte(pc, entry.offset) != term_last:
+                btb_dependent = True
+                break
+            pred_end = term_last
+            target = entry.target
+            next_opens = True
+            fused = bool(fusion_enabled and window.count
+                         and can_fuse(window.instructions[-1], term))
+        else:
+            if term.spec.kind is not Kind.COND_JUMP:
+                # An unpredicted jmp/call/ret mispredicts every pass
+                # until an entry exists; chainable once it does.
+                btb_dependent = True
+                break
+            pred_end = None
+            target = term_pc + term.length
+            next_opens = target >= window.limit
+            fused = bool(fusion_enabled and window.count
+                         and can_fuse(window.instructions[-1], term))
+        links.append(SuperblockLink(window, entry, pred_end, term,
+                                    term_pc, target, fused, opens))
+        pc = target
+        if pc == entry_pc:
+            loop = True
+            break
+        if pc in seen:
+            break
+        seen.add(pc)
+        opens = next_opens
+    if not links:
+        # First edge failed.  "Shape" failures (decode error,
+        # syscall/hlt terminator) cannot be cured by BTB changes; the
+        # rest hinge on what the entry block's set predicts.
+        return negative(btb_dependent)
+    return Superblock(entry_pc, memory.code_generation, btb, links, loop,
+                      tuple(set_indices))

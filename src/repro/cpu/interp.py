@@ -155,12 +155,12 @@ def interpret(state: MachineState, *,
                         or window.generation != memory.code_generation):
                     window = build_window(memory, pc)
                 k = window.count
+                i = 0
                 if k:
                     if count + k > max_instructions:
                         k = max_instructions - count
                     pcs = window.pcs
                     thunks = window.thunks
-                    i = 0
                     try:
                         if window.has_store:
                             generation = window.generation
@@ -185,8 +185,38 @@ def interpret(state: MachineState, *,
                     count += i
                     if collect_trace:
                         trace.extend(pcs[:i])
-                    state.rip = (pcs[i] if i < window.count
-                                 else window.resume_pc)
+                    if i < window.count:
+                        state.rip = pcs[i]
+                        continue
+                    state.rip = window.resume_pc
+                # Chain straight into the window's terminator: the
+                # cached decode replaces the ``_fetch`` the generic
+                # loop would do at ``resume_pc`` (both skip permission
+                # checks — the bytes were icached at build).
+                term = window.terminator
+                if (term is not None and i == window.count
+                        and count < max_instructions
+                        and memory.code_generation == window.generation):
+                    pc = window.resume_pc
+                    outcome = execute(state, term, pc)
+                    count += 1
+                    if collect_trace:
+                        trace.append(pc)
+                    if (outcome.taken is not None
+                            and term.spec.cond is not None):
+                        branch_events.append((pc, outcome.taken))
+                    state.rip = outcome.next_pc
+                    if outcome.halt:
+                        return InterpResult(InterpStop.HALT, count,
+                                            trace, branch_events)
+                    if outcome.syscall:
+                        if (syscall_handler is None
+                                or not syscall_handler(state)):
+                            return InterpResult(InterpStop.SYSCALL,
+                                                count, trace,
+                                                branch_events)
+                    continue
+                if k:
                     continue
             instruction, _ = _fetch(state, pc)
             outcome = execute(state, instruction, pc)
@@ -259,12 +289,12 @@ def run_function(state: MachineState, entry: int, *,
                         or window.generation != memory.code_generation):
                     window = build_window(memory, pc)
                 k = window.count
+                i = 0
                 if k:
                     if count + k > max_instructions:
                         k = max_instructions - count
                     pcs = window.pcs
                     thunks = window.thunks
-                    i = 0
                     try:
                         if window.has_store:
                             generation = window.generation
@@ -286,8 +316,36 @@ def run_function(state: MachineState, entry: int, *,
                     count += i
                     if collect_trace:
                         trace.extend(pcs[:i])
-                    state.rip = (pcs[i] if i < window.count
-                                 else window.resume_pc)
+                    if i < window.count:
+                        state.rip = pcs[i]
+                        continue
+                    state.rip = window.resume_pc
+                # Chain straight into the window's terminator (see
+                # :func:`interpret`).
+                term = window.terminator
+                if (term is not None and i == window.count
+                        and count < max_instructions
+                        and memory.code_generation == window.generation):
+                    pc = window.resume_pc
+                    outcome = execute(state, term, pc)
+                    count += 1
+                    if collect_trace:
+                        trace.append(pc)
+                    if (outcome.taken is not None
+                            and term.spec.cond is not None):
+                        branch_events.append((pc, outcome.taken))
+                    state.rip = outcome.next_pc
+                    if outcome.halt:
+                        return InterpResult(InterpStop.HALT, count,
+                                            trace, branch_events)
+                    if outcome.syscall:
+                        if (syscall_handler is None
+                                or not syscall_handler(state)):
+                            return InterpResult(InterpStop.SYSCALL,
+                                                count, trace,
+                                                branch_events)
+                    continue
+                if k:
                     continue
             instruction, _ = _fetch(state, pc)
             outcome = execute(state, instruction, pc)

@@ -123,6 +123,12 @@ class InvalidInstruction(CpuError):
     """The core fetched bytes that do not decode (usually a wild jump)."""
 
 
+class VectorizationError(CpuError):
+    """A lockstep many-seeds group lost the invariant that makes
+    sharing decode state sound (diverging code generations, mismatched
+    lane setup).  See :mod:`repro.cpu.vector`."""
+
+
 class SystemError_(ReproError):
     """Base class for kernel/scheduler errors."""
 

@@ -22,6 +22,10 @@ from .paging import PageEntry, PageTable
 #: access_filter(address, size, access, context) -> None or raises.
 AccessFilter = Callable[[int, int, str, Optional[object]], None]
 
+#: pre-compiled u64 codec for the typed-access fast paths.
+_U64 = struct.Struct("<Q")
+_U64_MASK = (1 << 64) - 1
+
 
 class DecodeCache(dict):
     """The icache dict, plus a registry of pages holding cached decodes.
@@ -66,6 +70,11 @@ class VirtualMemory:
         #: decoded-window cache: entry PC -> DecodedWindow (see
         #: :mod:`repro.cpu.decoded`); invalidated by generation compare.
         self.window_cache: Dict[int, object] = {}
+        #: superblock cache: entry PC -> Superblock or a negative
+        #: marker (see ``Core.run``); entries self-validate against
+        #: ``code_generation`` and the owning BTB's generation, so no
+        #: eager invalidation happens here.
+        self.superblock_cache: Dict[int, object] = {}
         #: bumped whenever a write lands on a page holding cached
         #: decodes (one half of :attr:`code_generation`).
         self._write_epoch = 0
@@ -176,14 +185,46 @@ class VirtualMemory:
     # typed access
     # ------------------------------------------------------------------
     def read_u64(self, address: int, *, check: bool = True) -> int:
+        # Single-page fast path: the bulk of simulated data traffic is
+        # aligned 8-byte limb loads/stores, for which the generic
+        # byte-copy loop is pure overhead.  Observable behaviour is
+        # identical: the same page-aligned permission check (faults
+        # carry the same address), zeros for unmaterialized pages.
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 8 and self.access_filter is None:
+            vpn = address >> PAGE_SHIFT
+            if check:
+                self.page_table.check(vpn << PAGE_SHIFT, "read")
+            page = self.pages.get(vpn)
+            if page is None:
+                return 0
+            return _U64.unpack_from(page, offset)[0]
         return struct.unpack(
             "<Q", self.read_bytes(address, 8, check=check)
         )[0]
 
     def write_u64(self, address: int, value: int, *,
                   check: bool = True) -> None:
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 8 and self.access_filter is None:
+            vpn = address >> PAGE_SHIFT
+            code_pages = self.icache.code_pages
+            # Same possible-code-write test as ``write_bytes`` (the
+            # 8-byte store spans at most vpn-1..vpn given the
+            # single-page offset): anything near cached code takes the
+            # generic path with its invalidation sweep.
+            if (vpn not in code_pages
+                    and (address - 9) >> PAGE_SHIFT not in code_pages):
+                if check:
+                    self.page_table.check(vpn << PAGE_SHIFT, "write")
+                page = self.pages.get(vpn)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    self.pages[vpn] = page
+                _U64.pack_into(page, offset, value & _U64_MASK)
+                return
         self.write_bytes(
-            address, struct.pack("<Q", value & (1 << 64) - 1), check=check
+            address, struct.pack("<Q", value & _U64_MASK), check=check
         )
 
     def read_u8(self, address: int, *, check: bool = True) -> int:

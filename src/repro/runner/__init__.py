@@ -40,10 +40,11 @@ from .artifacts import (atomic_write_bytes, atomic_write_json,
 from .jobs import (JobRecord, JobSpec, JobStatus, KIND_EXPERIMENT,
                    KIND_SELFTEST, experiment_jobs, specs_from_payload)
 from .manifest import MANIFEST_NAME, RunManifest, list_campaigns
-from .watchdog import Watchdog, WorkerHandle
-from .worker import execute_job, is_transient, worker_main
+from .watchdog import BatchHandle, Watchdog, WorkerHandle
+from .worker import batch_main, execute_job, is_transient, worker_main
 
 __all__ = [
+    "BatchHandle",
     "CampaignRunner",
     "ChaosMonkey",
     "JobRecord",
@@ -58,6 +59,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
+    "batch_main",
     "digest_text",
     "execute_job",
     "experiment_jobs",
@@ -142,13 +144,23 @@ class CampaignRunner:
                  backoff_cap: float = 4.0,
                  poll_interval: float = 0.02,
                  chaos: Optional[ChaosMonkey] = None,
+                 vectorize: int = 1,
                  on_event: Optional[Callable[[str, str], None]] = None,
                  on_transition: Optional[Callable[[JobRecord],
                                                   None]] = None):
         if max_workers < 1:
             raise CampaignError("max_workers must be >= 1")
+        if vectorize < 1:
+            raise CampaignError("vectorize must be >= 1")
+        if vectorize > 1 and chaos is not None:
+            # Chaos drills model one box dying mid-job; a batch dying
+            # is N boxes.  Keep the failure-injection semantics simple:
+            # chaos campaigns run solo workers.
+            raise CampaignError(
+                "vectorize > 1 is incompatible with chaos mode")
         self.manifest = manifest
         self.max_workers = max_workers
+        self.vectorize = vectorize
         self.watchdog = Watchdog(stall_timeout=stall_timeout)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -166,6 +178,8 @@ class CampaignRunner:
         except ValueError:              # pragma: no cover - non-POSIX
             self._ctx = multiprocessing.get_context("spawn")
         self._inflight: Dict[str, WorkerHandle] = {}
+        self._batches: Dict[str, BatchHandle] = {}
+        self._batch_sequence = itertools.count()
 
     # ------------------------------------------------------------------
     def _event(self, job_id: str, message: str) -> None:
@@ -309,6 +323,112 @@ class CampaignRunner:
                             f"watchdog: {reason}", transient=True)
 
     # ------------------------------------------------------------------
+    # batch workers (--vectorize)
+    # ------------------------------------------------------------------
+    def _launch_batch(self, records: List[JobRecord]) -> None:
+        attempts = {record.job_id: record.attempts + 1
+                    for record in records}
+        heartbeat = self._ctx.Value("d", 0.0, lock=False)
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        batch_id = f"batch-{next(self._batch_sequence)}"
+        process = self._ctx.Process(
+            target=batch_main,
+            args=([record.spec.to_dict() for record in records],
+                  [attempts[record.job_id] for record in records],
+                  send_conn, heartbeat),
+            name=f"repro-{batch_id}",
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()
+        for record in records:
+            record.status = JobStatus.RUNNING
+        self.manifest.save()
+        self._batches[batch_id] = BatchHandle(
+            specs=[record.spec for record in records],
+            attempts=attempts, process=process, conn=recv_conn,
+            heartbeat=heartbeat)
+        telemetry.count("runner.batch.launches")
+        telemetry.count("runner.job.launches", len(records))
+        self._event(batch_id,
+                    f"batch of {len(records)} started (pid "
+                    f"{process.pid}): "
+                    f"{', '.join(r.job_id for r in records)}")
+
+    def _settle_batch_message(self, handle: BatchHandle,
+                              message) -> None:
+        job_id = message[0]
+        if job_id not in handle.pending:
+            return                          # duplicate/unknown: ignore
+        handle.pending.discard(job_id)
+        record = self.manifest.jobs[job_id]
+        if message[1] == "ok":
+            _, _, output, duration, counters = message
+            self._complete(record, output, duration, counters)
+            return
+        _, _, error, text, transient, _duration = message
+        timed_out = isinstance(error, SimulationTimeout) and \
+            getattr(error, "deadline", False)
+        status = JobStatus.TIMED_OUT if timed_out else JobStatus.FAILED
+        self._retry_or_fail(record, status, text, transient=transient)
+
+    def _drain_batch(self, handle: BatchHandle) -> bool:
+        """Settle every message currently in the batch pipe.  Returns
+        False when the pipe is gone (no more messages can arrive)."""
+        try:
+            while handle.conn.poll(0):
+                self._settle_batch_message(handle, handle.conn.recv())
+        except (EOFError, OSError):
+            return False
+        return True
+
+    def _retire_batch(self, batch_id: str, handle: BatchHandle,
+                      reason: Optional[str]) -> None:
+        """Reap a finished/dead/overdue batch worker; everything still
+        pending retries (all-unfinished-retry)."""
+        handle.kill()
+        del self._batches[batch_id]
+        if not handle.pending:
+            return
+        telemetry.count("runner.batch.interrupted")
+        for job_id in sorted(handle.pending):
+            record = self.manifest.jobs[job_id]
+            if reason is not None:
+                telemetry.count("runner.watchdog.kills")
+                self._retry_or_fail(record, JobStatus.TIMED_OUT,
+                                    f"watchdog: {reason}",
+                                    transient=True)
+            else:
+                exitcode = handle.process.exitcode
+                crash = WorkerCrashed(
+                    f"batch worker for {job_id!r} died without a "
+                    f"result (exit code {exitcode})", exitcode=exitcode)
+                self._retry_or_fail(record, JobStatus.CRASHED,
+                                    str(crash), transient=True)
+
+    def _settle_batches(self, now: float) -> None:
+        for batch_id, handle in list(self._batches.items()):
+            pipe_open = self._drain_batch(handle)
+            if not handle.pending:
+                self._retire_batch(batch_id, handle, None)
+                continue
+            if not pipe_open or not handle.alive():
+                # Give a just-exited worker's final messages one more
+                # drain before declaring the rest crashed.
+                self._drain_batch(handle)
+                self._retire_batch(batch_id, handle, None)
+                continue
+            reason = self.watchdog.overdue_batch(handle, now)
+            if reason is not None:
+                self._retire_batch(batch_id, handle, reason)
+
+    def _batched_job_ids(self) -> set:
+        busy = set()
+        for handle in self._batches.values():
+            busy.update(spec.job_id for spec in handle.specs)
+        return busy
+
+    # ------------------------------------------------------------------
     # chaos interruption
     # ------------------------------------------------------------------
     def _interrupt(self, chaos_victim: WorkerHandle) -> None:
@@ -339,6 +459,9 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def _launch_pass(self, now: float) -> None:
         """Launch runnable jobs up to the worker limit."""
+        if self.vectorize > 1:
+            self._launch_batch_pass(now)
+            return
         for record in self.manifest.records():
             if len(self._inflight) >= self.max_workers:
                 break
@@ -347,8 +470,27 @@ class CampaignRunner:
             if record.runnable(now):
                 self._launch(record)
 
+    def _launch_batch_pass(self, now: float) -> None:
+        """Launch runnable jobs in batches of up to ``vectorize``; a
+        batch occupies one worker slot."""
+        busy = self._batched_job_ids()
+        while len(self._batches) < self.max_workers:
+            batch: List[JobRecord] = []
+            for record in self.manifest.records():
+                if len(batch) >= self.vectorize:
+                    break
+                if record.job_id in busy:
+                    continue
+                if record.runnable(now):
+                    batch.append(record)
+            if not batch:
+                return
+            self._launch_batch(batch)
+            busy.update(record.job_id for record in batch)
+
     def _settle_pass(self, now: float) -> None:
         """Settle finished, pipe-less, and overdue workers."""
+        self._settle_batches(now)
         for handle in list(self._inflight.values()):
             try:
                 has_message = handle.conn.poll(0)
@@ -390,7 +532,7 @@ class CampaignRunner:
                     # next settle pass reaps them as CRASHED and the
                     # retry policy takes over.
                 # ----- done? -------------------------------------------
-                if not self._inflight:
+                if not self._inflight and not self._batches:
                     waiting = [r for r in manifest.records()
                                if r.status is JobStatus.PENDING]
                     if not waiting:
@@ -405,6 +547,9 @@ class CampaignRunner:
             for handle in list(self._inflight.values()):
                 handle.kill()
             self._inflight.clear()
+            for batch in list(self._batches.values()):
+                batch.kill()
+            self._batches.clear()
             manifest.save()
         return manifest
 
@@ -419,6 +564,7 @@ def run_campaign(specs: List[JobSpec], runs_dir, *,
                  max_workers: int = 2,
                  stall_timeout: float = 10.0,
                  chaos: Optional[ChaosMonkey] = None,
+                 vectorize: int = 1,
                  backoff_base: float = 0.25,
                  backoff_cap: float = 4.0,
                  on_event: Optional[Callable[[str, str], None]] = None
@@ -428,6 +574,9 @@ def run_campaign(specs: List[JobSpec], runs_dir, *,
     On ``resume=True`` the manifest is loaded from
     ``runs_dir/campaign_id`` and ``specs`` is ignored — the campaign
     re-runs exactly what it recorded, skipping COMPLETED jobs.
+    ``vectorize > 1`` batches that many jobs per worker process
+    (amortizing fork/import/warm-up); results, artifacts and digests
+    are byte-identical to solo workers.
     """
     runs_dir = Path(runs_dir)
     if resume:
@@ -447,5 +596,5 @@ def run_campaign(specs: List[JobSpec], runs_dir, *,
     runner = CampaignRunner(
         manifest, max_workers=max_workers, stall_timeout=stall_timeout,
         backoff_base=backoff_base, backoff_cap=backoff_cap,
-        chaos=chaos, on_event=on_event)
+        chaos=chaos, vectorize=vectorize, on_event=on_event)
     return runner.run()

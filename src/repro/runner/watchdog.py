@@ -19,7 +19,7 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Set
 
 from .jobs import JobSpec
 
@@ -57,6 +57,50 @@ class WorkerHandle:
 
 
 @dataclass
+class BatchHandle:
+    """Parent-side view of one in-flight batch attempt (``--vectorize``).
+
+    One subprocess runs several jobs back-to-back; ``pending`` shrinks
+    as per-job messages arrive, and whatever is left in it when the
+    process dies or blows its budget is what the runner retries.  The
+    wall-clock budget is the *sum* of the batched jobs' budgets — the
+    jobs run sequentially, so that is exactly the solo guarantee.
+    """
+
+    specs: List[JobSpec]
+    attempts: dict                        # job_id -> attempt number
+    process: object
+    conn: object
+    heartbeat: object
+    pending: Set[str] = field(default_factory=set)
+    started: float = field(default_factory=time.monotonic)
+
+    def __post_init__(self) -> None:
+        if not self.pending:
+            self.pending = {spec.job_id for spec in self.specs}
+
+    @property
+    def budget_s(self) -> float:
+        return sum(spec.timeout_s for spec in self.specs)
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the batch worker and reap it (idempotent)."""
+        if self.process.is_alive():
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+@dataclass
 class Watchdog:
     """Stateless policy object deciding when a worker must die."""
 
@@ -67,10 +111,19 @@ class Watchdog:
                 now: Optional[float] = None) -> Optional[str]:
         """A human-readable kill reason, or None if the worker is
         healthy."""
+        return self._overdue(handle, handle.spec.timeout_s, now)
+
+    def overdue_batch(self, handle: BatchHandle,
+                      now: Optional[float] = None) -> Optional[str]:
+        """Same policy for a batch worker, against the batch budget."""
+        return self._overdue(handle, handle.budget_s, now)
+
+    def _overdue(self, handle, budget_s: float,
+                 now: Optional[float]) -> Optional[str]:
         now = time.monotonic() if now is None else now
         elapsed = now - handle.started
-        if elapsed > handle.spec.timeout_s:
-            return (f"exceeded {handle.spec.timeout_s:.1f}s wall-clock "
+        if elapsed > budget_s:
+            return (f"exceeded {budget_s:.1f}s wall-clock "
                     f"budget (ran {elapsed:.1f}s)")
         last_beat = handle.heartbeat.value
         if last_beat > 0 and now - last_beat > self.stall_timeout:

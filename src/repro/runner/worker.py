@@ -184,3 +184,61 @@ def worker_main(spec_dict: dict, attempt: int, conn, heartbeat) -> None:
         set_ambient_deadline(None)
         stop.set()
         conn.close()
+
+
+def _send_batch_error(conn, job_id: str, error: BaseException,
+                      duration: float) -> None:
+    """Per-job error send for batch workers, with the same pickle
+    degradation ladder as :func:`_send_error`."""
+    try:
+        conn.send((job_id, "error", error, str(error) or repr(error),
+                   is_transient(error), duration))
+        return
+    except Exception:
+        pass
+    try:
+        conn.send((job_id, "error", None,
+                   f"{type(error).__name__}: {error}",
+                   is_transient(error), duration))
+    except Exception:
+        os._exit(SEND_FAILED_EXIT)
+
+
+def batch_main(spec_dicts: list, attempts: list, conn,
+               heartbeat) -> None:
+    """Entry point of a **batch** worker (``--vectorize N``).
+
+    Runs N jobs back-to-back in one subprocess, amortizing the fork +
+    import + simulator warm-up cost that dominates short campaign
+    jobs.  One message is sent *per job as it settles* — prefixed with
+    its job id — so a mid-batch crash loses only the unfinished jobs:
+    the parent retries exactly the jobs it never heard about.  Each
+    job still gets its own ambient deadline and its own counters-only
+    telemetry session, so per-job records are indistinguishable from
+    solo-worker runs.
+    """
+    stop = threading.Event()
+    thread = threading.Thread(target=_beat, args=(heartbeat, stop),
+                              daemon=True)
+    thread.start()
+    from ..cpu.interp import set_ambient_deadline
+    try:
+        for spec_dict, attempt in zip(spec_dicts, attempts):
+            spec = JobSpec.from_dict(spec_dict)
+            started = time.monotonic()
+            set_ambient_deadline(
+                started + spec.timeout_s * _DEADLINE_FRACTION)
+            try:
+                with telemetry.session() as sink:
+                    output = execute_job(spec, attempt)
+            except BaseException as error:  # noqa: BLE001
+                _send_batch_error(conn, spec.job_id, error,
+                                  time.monotonic() - started)
+            else:
+                conn.send((spec.job_id, "ok", output,
+                           time.monotonic() - started, sink.snapshot()))
+            finally:
+                set_ambient_deadline(None)
+    finally:
+        stop.set()
+        conn.close()

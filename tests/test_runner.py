@@ -732,3 +732,96 @@ def test_add_specs_is_idempotent(tmp_path):
     assert added == ["b"]
     assert manifest.add_specs([_selftest("b", "work:1")]) == []
     assert sorted(manifest.jobs) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# vectorized batch workers (--vectorize N)
+# ----------------------------------------------------------------------
+def test_vectorize_validation(tmp_path):
+    with pytest.raises(CampaignError, match="vectorize"):
+        run_campaign([_selftest("a", "work:10")], tmp_path,
+                     campaign_id="v0", seed=0, vectorize=0)
+
+
+def test_vectorize_incompatible_with_chaos(tmp_path):
+    with pytest.raises(CampaignError, match="chaos"):
+        run_campaign([_selftest("a", "work:10")], tmp_path,
+                     campaign_id="vc", seed=0, vectorize=2,
+                     chaos=ChaosMonkey(mode="kill-worker", kills=1,
+                                       delay_s=0.0, seed=0))
+
+
+def test_vectorized_campaign_matches_solo_digests(tmp_path):
+    specs = [_selftest(f"w{i}", f"work:{100 + 10 * i}")
+             for i in range(5)]
+    batched = run_campaign(specs, tmp_path, campaign_id="vec",
+                           seed=0, max_workers=2, vectorize=3)
+    solo = run_campaign(
+        [_selftest(f"w{i}", f"work:{100 + 10 * i}") for i in range(5)],
+        tmp_path, campaign_id="solo", seed=0, max_workers=2)
+    assert batched.all_completed() and solo.all_completed()
+    assert batched.digests() == solo.digests()
+    for record in batched.records():
+        assert record.attempts == 1
+        # per-job artifacts and counters ride exactly like solo runs
+        artifact = batched.directory / record.artifact
+        assert digest_text(artifact.read_text()) == record.digest
+        assert record.counters.get("selftest.jobs") == 1
+
+
+def test_vectorized_batch_retries_only_the_failed_job(tmp_path):
+    specs = [_selftest("a", "work:50"),
+             _selftest("b", "fail:1", max_attempts=3),
+             _selftest("c", "work:50")]
+    manifest = run_campaign(specs, tmp_path, campaign_id="vf", seed=0,
+                            vectorize=3, backoff_base=0.01,
+                            backoff_cap=0.05)
+    assert manifest.all_completed()
+    assert manifest.jobs["a"].attempts == 1
+    assert manifest.jobs["b"].attempts == 2
+    assert manifest.jobs["c"].attempts == 1
+
+
+def test_vectorized_batch_crash_loses_only_unfinished_jobs(tmp_path):
+    specs = [_selftest("a", "work:50"),
+             _selftest("b", "crash:1", max_attempts=3),
+             _selftest("c", "work:50", max_attempts=3)]
+    manifest = run_campaign(specs, tmp_path, campaign_id="vx", seed=0,
+                            vectorize=3, backoff_base=0.01,
+                            backoff_cap=0.05)
+    assert manifest.all_completed()
+    # "a" settled before the crash; "b" crashed; "c" never started in
+    # the first batch — the parent retried exactly the unheard-from
+    assert manifest.jobs["a"].attempts == 1
+    assert manifest.jobs["b"].attempts == 2
+    assert manifest.jobs["c"].attempts == 2
+
+
+def test_watchdog_kills_hung_batch(tmp_path):
+    specs = [_selftest("hog", "hang", timeout_s=1.0, max_attempts=1),
+             _selftest("tail", "work:50", timeout_s=1.0,
+                       max_attempts=3)]
+    started = time.monotonic()
+    manifest = run_campaign(specs, tmp_path, campaign_id="vh", seed=0,
+                            max_workers=1, vectorize=2,
+                            stall_timeout=30.0, backoff_base=0.01,
+                            backoff_cap=0.05)
+    elapsed = time.monotonic() - started
+    assert manifest.jobs["hog"].status is JobStatus.TIMED_OUT
+    assert "watchdog" in manifest.jobs["hog"].error
+    # the job the hog starved was retried in a fresh batch
+    assert manifest.jobs["tail"].status is JobStatus.COMPLETED
+    assert manifest.jobs["tail"].attempts == 2
+    assert elapsed < 15.0
+
+
+def test_vectorized_resume_skips_completed(tmp_path):
+    specs = [_selftest(f"r{i}", "work:40") for i in range(4)]
+    first = run_campaign(specs, tmp_path, campaign_id="vr", seed=0,
+                         vectorize=2)
+    assert first.all_completed()
+    resumed = run_campaign([], tmp_path, campaign_id="vr",
+                           resume=True, vectorize=2)
+    assert resumed.all_completed()
+    for record in resumed.records():
+        assert record.attempts == 1       # nothing re-ran

@@ -330,3 +330,60 @@ def recover_module_cfg(compiled, *,
         raise ValueError("module was compiled without a start stub")
     return recover_cfg(image, entry, extra_entries=extra_entries,
                        function_names=names)
+
+
+# ----------------------------------------------------------------------
+# block-graph dataflow utilities (control-dependence building blocks)
+# ----------------------------------------------------------------------
+def reachable_from(successors: Dict[int, Set[int]],
+                   starts: Iterable[int]) -> Set[int]:
+    """Transitive closure over a block successor graph, including the
+    start nodes themselves."""
+    seen: Set[int] = set()
+    stack = list(starts)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(successors.get(node, ()))
+    return seen
+
+
+def postdominator_sets(successors: Dict[int, Set[int]]
+                       ) -> Dict[int, Set[int]]:
+    """``node -> set of its postdominators`` (including itself) by the
+    standard iterative dataflow: a node with no successors
+    postdominates only itself; otherwise
+    ``pdom(n) = {n} ∪ ⋂ pdom(succ)``.  Nodes that cannot reach an
+    exit keep the full set (vacuous intersection over an infinite
+    path), which is the conservative answer."""
+    nodes = sorted(successors)
+    everything = set(nodes)
+    pdom: Dict[int, Set[int]] = {}
+    for node in nodes:
+        pdom[node] = ({node} if not successors[node]
+                      else set(everything))
+    changed = True
+    while changed:
+        changed = False
+        for node in reversed(nodes):
+            succ = successors[node]
+            if not succ:
+                continue
+            merged: Optional[Set[int]] = None
+            for s in succ:
+                merged = (set(pdom[s]) if merged is None
+                          else merged & pdom[s])
+            merged = (merged or set()) | {node}
+            if merged != pdom[node]:
+                pdom[node] = merged
+                changed = True
+    return pdom
+
+
+def nodes_on_cycles(successors: Dict[int, Set[int]]) -> Set[int]:
+    """Nodes that can reach themselves along at least one edge."""
+    return {node for node in successors
+            if node in reachable_from(successors,
+                                      successors.get(node, ()))}

@@ -1,0 +1,40 @@
+"""Symbolic leakage certification over the fixed-width ISA.
+
+The taint lattice (:mod:`repro.analysis.taint`) answers *whether* a
+secret can reach a BTB-visible event; this package answers *under
+which concrete inputs it provably does*.  A symbolic executor
+(:mod:`.executor`) walks the compiled victim with bit-vector
+expressions (:mod:`.bitvec`) for registers and memory, accumulating a
+path predicate over the declared symbolic bits of
+``VictimProgram.secret_inputs``.  A built-in bit-blasting SAT solver
+(:mod:`.solver` — Tseitin CNF + a compact DPLL core, no external SMT
+dependency) prunes infeasible paths and synthesizes concrete witness
+models.  :mod:`.certify` classifies every BTB-visible event as
+``PROVEN_LEAKY`` (two witnesses with divergent replayed BTB event
+streams), ``PROVEN_SAFE`` (exhaustive exploration, no divergence) or
+``UNDECIDED`` (budget exhaustion — sound degradation), and closes the
+loop through the constant-time rewriter
+(:mod:`repro.lang.ctrewrite`) with re-certification and dynamic
+witness replay (:mod:`.witness`).
+"""
+
+from .bitvec import BitCtx, GateBudgetExceeded, MASK64
+from .solver import SatResult, solve_bit
+from .executor import (ExploreBudget, Exploration, SymbolicExecError,
+                       explore_victim)
+from .witness import replay_btb_stream, replay_result_arrays
+from .certify import (CertifyBudget, CertifyReport, FunctionVerdict,
+                      PROVEN_LEAKY, PROVEN_SAFE, UNDECIDED,
+                      certify_corpus, certify_victim, render_certify_report,
+                      run_certify)
+
+__all__ = [
+    "BitCtx", "GateBudgetExceeded", "MASK64",
+    "SatResult", "solve_bit",
+    "ExploreBudget", "Exploration", "SymbolicExecError", "explore_victim",
+    "replay_btb_stream", "replay_result_arrays",
+    "CertifyBudget", "CertifyReport", "FunctionVerdict",
+    "PROVEN_LEAKY", "PROVEN_SAFE", "UNDECIDED",
+    "certify_corpus", "certify_victim", "render_certify_report",
+    "run_certify",
+]

@@ -1,0 +1,312 @@
+"""Bit-blasting SAT solver: Tseitin CNF + a compact DPLL core.
+
+No external SMT dependency: the certifier's queries are Boolean DAGs
+over a handful of declared secret bits, so a watched-literal DPLL
+with unit propagation and chronological backtracking decides them in
+microseconds.  Determinism is structural — variables are decided in
+ascending index order with the ``False`` phase first — so witness
+models (and therefore the certify report) are byte-stable.
+
+``solve_bit`` returns :class:`SatResult` with status ``"sat"``
+(plus a total model over the DAG's input variables), ``"unsat"``, or
+``"unknown"`` when the decision budget runs out (the executor
+degrades soundly to ``UNDECIDED``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .bitvec import Bit, Node
+
+__all__ = ["SatResult", "solve_bit", "SolverStats"]
+
+
+@dataclass
+class SolverStats:
+    """Deterministic counters surfaced in the certify report."""
+
+    calls: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    decisions: int = 0
+
+
+@dataclass
+class SatResult:
+    status: str                              # "sat" | "unsat" | "unknown"
+    model: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+
+def _tseitin(root: Node) -> Tuple[int, List[List[int]], Dict[str, int]]:
+    """Encode the DAG under ``root`` as CNF.
+
+    Returns (variable count, clauses, input-variable map).  CNF
+    variables are 1-based; clause literals are ±var.  The root is
+    asserted true with a unit clause.
+    """
+    var_of: Dict[int, int] = {}
+    inputs: Dict[str, int] = {}
+    clauses: List[List[int]] = []
+    counter = 0
+
+    stack: List[Node] = [root]
+    while stack:
+        node = stack[-1]
+        if node.uid in var_of:
+            stack.pop()
+            continue
+        if node.op == "var":
+            counter += 1
+            var_of[node.uid] = counter
+            inputs[node.a] = counter
+            stack.pop()
+            continue
+        deps = [node.a] if node.op == "not" else [node.a, node.b]
+        missing = [d for d in deps if d.uid not in var_of]
+        if missing:
+            stack.extend(missing)
+            continue
+        stack.pop()
+        counter += 1
+        v = var_of[node.uid] = counter
+        if node.op == "not":
+            a = var_of[node.a.uid]
+            clauses.append([v, a])
+            clauses.append([-v, -a])
+        elif node.op == "and":
+            a, b = var_of[node.a.uid], var_of[node.b.uid]
+            clauses.append([-v, a])
+            clauses.append([-v, b])
+            clauses.append([v, -a, -b])
+        elif node.op == "or":
+            a, b = var_of[node.a.uid], var_of[node.b.uid]
+            clauses.append([v, -a])
+            clauses.append([v, -b])
+            clauses.append([-v, a, b])
+        else:  # xor
+            a, b = var_of[node.a.uid], var_of[node.b.uid]
+            clauses.append([-v, a, b])
+            clauses.append([-v, -a, -b])
+            clauses.append([v, -a, b])
+            clauses.append([v, a, -b])
+
+    clauses.append([var_of[root.uid]])
+    return counter, clauses, inputs
+
+
+def _dpll(num_vars: int, clauses: List[List[int]],
+          max_decisions: int, stats: Optional[SolverStats]
+          ) -> Tuple[str, List[int]]:
+    """Watched-literal DPLL.  Returns (status, assignment) where
+    ``assignment[v]`` is -1 (unassigned), 0 or 1."""
+    assign = [-1] * (num_vars + 1)
+    # two watched literals per clause (unit clauses watch one twice)
+    watch: Dict[int, List[int]] = {}
+    watching: List[List[int]] = []
+    for idx, clause in enumerate(clauses):
+        w = [clause[0], clause[-1] if len(clause) > 1 else clause[0]]
+        watching.append(w)
+        for lit in set(w):
+            watch.setdefault(lit, []).append(idx)
+
+    trail: List[int] = []                 # assigned literals, in order
+    # (trail length at decision, decided literal, flipped?)
+    decisions: List[Tuple[int, int, bool]] = []
+
+    def value(lit: int) -> int:
+        v = assign[abs(lit)]
+        if v < 0:
+            return -1
+        return v if lit > 0 else v ^ 1
+
+    def enqueue(lit: int) -> bool:
+        v = value(lit)
+        if v == 0:
+            return False
+        if v == 1:
+            return True
+        assign[abs(lit)] = 1 if lit > 0 else 0
+        trail.append(lit)
+        return True
+
+    def propagate(start: int) -> bool:
+        head = start
+        while head < len(trail):
+            lit = trail[head]
+            head += 1
+            falsified = -lit
+            for idx in list(watch.get(falsified, ())):
+                w = watching[idx]
+                if falsified not in w:
+                    continue
+                other = w[0] if w[1] == falsified else w[1]
+                if value(other) == 1:
+                    continue
+                # find a replacement watch
+                moved = False
+                for cand in clauses[idx]:
+                    if cand == other or cand == falsified:
+                        continue
+                    if value(cand) != 0:
+                        pos = 0 if w[0] == falsified else 1
+                        w[pos] = cand
+                        watch[falsified].remove(idx)
+                        watch.setdefault(cand, []).append(idx)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if not enqueue(other):       # unit or conflict
+                    return False
+        return True
+
+    # top-level propagation of unit clauses
+    for idx, clause in enumerate(clauses):
+        if len(clause) == 1 and not enqueue(clause[0]):
+            return "unsat", assign
+    if not propagate(0):
+        return "unsat", assign
+
+    budget = max_decisions
+    while True:
+        decide = 0
+        for v in range(1, num_vars + 1):
+            if assign[v] < 0:
+                decide = v
+                break
+        if not decide:
+            return "sat", assign
+        budget -= 1
+        if stats is not None:
+            stats.decisions += 1
+        if budget < 0:
+            return "unknown", assign
+        decisions.append((len(trail), -decide, False))   # phase: False
+        enqueue(-decide)
+        while not propagate(len(trail) - 1):
+            # chronological backtrack to the last unflipped decision
+            while decisions and decisions[-1][2]:
+                mark, lit, _ = decisions.pop()
+                while len(trail) > mark:
+                    assign[abs(trail.pop())] = -1
+            if not decisions:
+                return "unsat", assign
+            mark, lit, _ = decisions.pop()
+            while len(trail) > mark:
+                assign[abs(trail.pop())] = -1
+            decisions.append((mark, -lit, True))
+            enqueue(-lit)
+
+
+#: ceiling on declared variables for the bit-parallel truth-table
+#: decision procedure (masks are 2**k bits wide)
+_TT_MAX_VARS = 10
+
+
+def _tt_var_masks(ctx) -> Dict[str, int]:
+    """Mask per variable over all ``2**k`` assignments: bit ``i`` of
+    variable ``j``'s mask is ``(i >> j) & 1`` with variables in
+    ``ctx.var_names()`` order.  Cached on the ctx and rebuilt if the
+    variable registry grew since."""
+    names = ctx.var_names()
+    if getattr(ctx, "_tt_names", None) != names:
+        width = 1 << len(names)
+        masks: Dict[str, int] = {}
+        for j, name in enumerate(names):
+            period = 1 << (j + 1)
+            block = ((1 << (1 << j)) - 1) << (1 << j)
+            mask = 0
+            for start in range(0, width, period):
+                mask |= block << start
+            masks[name] = mask
+        ctx._tt_names = names
+        ctx._tt_masks = masks
+        ctx._tt_cache = {}
+    return ctx._tt_masks
+
+
+def _truth_table(ctx, bit: Node) -> int:
+    """Exhaustive truth table of ``bit`` as a ``2**k``-wide mask, one
+    DAG walk with bit-parallel integer ops.  Node tables are cached on
+    the ctx, so across a whole exploration each gate is evaluated
+    once — every later query costs only its new gates."""
+    masks = _tt_var_masks(ctx)
+    cache: Dict[int, int] = ctx._tt_cache
+    full = (1 << (1 << len(ctx._tt_names))) - 1
+    stack: List[Tuple[Node, bool]] = [(bit, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node.uid in cache:
+            continue
+        if node.op == "var":
+            cache[node.uid] = masks[node.a]
+            continue
+        deps = (node.a,) if node.op == "not" else (node.a, node.b)
+        if not ready:
+            stack.append((node, True))
+            for dep in deps:
+                if isinstance(dep, Node) and dep.uid not in cache:
+                    stack.append((dep, False))
+            continue
+        vals = [(full if dep else 0) if isinstance(dep, int)
+                else cache[dep.uid] for dep in deps]
+        if node.op == "not":
+            cache[node.uid] = full ^ vals[0]
+        elif node.op == "and":
+            cache[node.uid] = vals[0] & vals[1]
+        elif node.op == "or":
+            cache[node.uid] = vals[0] | vals[1]
+        else:
+            cache[node.uid] = vals[0] ^ vals[1]
+    return cache[bit.uid]
+
+
+def solve_bit(bit: Bit, *, ctx=None, max_decisions: int = 100_000,
+              stats: Optional[SolverStats] = None) -> SatResult:
+    """Decide satisfiability of a single Boolean DAG bit.
+
+    With ``ctx`` supplied and at most :data:`_TT_MAX_VARS` declared
+    variables, the exhaustive bit-parallel truth table decides the
+    query exactly (and amortizes to one visit per gate across the
+    run); otherwise the query is Tseitin-encoded and handed to DPLL.
+    """
+    if stats is not None:
+        stats.calls += 1
+    if isinstance(bit, int):
+        status = "sat" if bit else "unsat"
+        if stats is not None:
+            setattr(stats, status, getattr(stats, status) + 1)
+        return SatResult(status)
+    if ctx is not None and len(ctx.var_names()) <= _TT_MAX_VARS:
+        try:
+            table = _truth_table(ctx, bit)
+        except KeyError:       # bit built by a different ctx
+            table = None
+        if table is not None:
+            if table == 0:
+                if stats is not None:
+                    stats.unsat += 1
+                return SatResult("unsat")
+            names = ctx._tt_names
+            index = (table & -table).bit_length() - 1
+            model = {name: bool((index >> j) & 1)
+                     for j, name in enumerate(names)}
+            if stats is not None:
+                stats.sat += 1
+            return SatResult("sat", model)
+    num_vars, clauses, inputs = _tseitin(bit)
+    status, assign = _dpll(num_vars, clauses, max_decisions, stats)
+    if stats is not None:
+        setattr(stats, status, getattr(stats, status) + 1)
+    if status != "sat":
+        return SatResult(status)
+    model = {name: assign[cnf_var] == 1
+             for name, cnf_var in inputs.items()}
+    return SatResult("sat", model)

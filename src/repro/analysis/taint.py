@@ -34,7 +34,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..isa.instructions import Kind
 from ..isa.registers import MASK64, register_number
-from .cfg import CFG
+from .cfg import (CFG, nodes_on_cycles, postdominator_sets,
+                  reachable_from)
 
 _RSP = register_number("rsp")
 _RAX = register_number("rax")
@@ -176,11 +177,14 @@ class _FnSummary:
     args: Tuple[AbsVal, ...] = tuple([TOP] * 6)
     ret: AbsVal = TOP
     seeded: bool = False
-    #: does the function branch on secret data?  If so its return
-    #: value is secret-dependent even when each arm returns a constant
-    #: (function-granularity implicit flow: exactly the ``bn_cmp``
-    #: return-code idiom the GCD secret branch consumes)
-    branch_taint: bool = False
+    #: block starts whose terminator branches on secret-derived flags.
+    #: A return *control-dependent* on one of these (post-dominator
+    #: join, see ``_control_dependent``) carries implicit taint even
+    #: when each arm returns a constant — the ``bn_cmp`` return-code
+    #: idiom the GCD secret branch consumes.  Returns the secret
+    #: branch cannot steer stay untainted, unlike the old
+    #: whole-function rule.
+    secret_branch_blocks: Set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -215,6 +219,12 @@ class _Analyzer:
         self.warnings: List[str] = []
         self.summaries: Dict[int, _FnSummary] = {}
         self._changed = False
+        self._graphs: Dict[int, Dict[int, Set[int]]] = {}
+        self._reach: Dict[Tuple[int, int], Set[int]] = {}
+        self._pdom: Dict[int, Dict[int, Set[int]]] = {}
+        self._cyclic: Dict[int, Set[int]] = {}
+        self._rax_defs: Dict[int, Set[int]] = {}
+        self._clean_reach: Dict[Tuple[int, int], Set[int]] = {}
 
     # -- region helpers -------------------------------------------------
     def _region_at(self, address: int) -> Optional[Region]:
@@ -277,6 +287,165 @@ class _Analyzer:
             start for start, block in self.cfg.blocks.items()
             if self.cfg.function_entry_of.get(start) == fn_entry)
 
+    def _block_graph(self, fn_entry: int) -> Dict[int, Set[int]]:
+        """Intra-function block successor graph (calls fall through to
+        their return site, rets exit, unresolved indirects
+        conservatively reach every block of the function)."""
+        graph = self._graphs.get(fn_entry)
+        if graph is not None:
+            return graph
+        members = set(self._function_blocks(fn_entry))
+        graph = {}
+        for start in sorted(members):
+            block = self.cfg.blocks[start]
+            successors: Set[int] = {block.end}
+            for pc in block.instructions:
+                instruction = self.cfg.instrs[pc]
+                kind = instruction.kind
+                if kind is Kind.SEQUENTIAL or kind is Kind.SYSCALL:
+                    continue
+                if kind is Kind.CALL or kind is Kind.INDIRECT_CALL:
+                    successors = {pc + instruction.length}
+                elif kind is Kind.RET:
+                    successors = set()
+                else:
+                    raw = self.cfg.successors(pc)
+                    successors = (set(raw) if raw is not None
+                                  else set(members))
+                break
+            graph[start] = successors & members
+        self._graphs[fn_entry] = graph
+        return graph
+
+    def _control_dependent(self, fn_entry: int, ret_block: int,
+                           summary: _FnSummary) -> bool:
+        """Is the return at ``ret_block`` control-dependent on one of
+        the function's secret branches (post-dominator join)?
+
+        A secret branch ``B`` steers this return when the return is
+        reachable from ``B`` and either ``B`` sits on a cycle (the
+        branch decides *how many times* the path loops before
+        returning — the ``bn_is_zero`` idiom) or the return does not
+        post-dominate ``B`` (some direction of ``B`` bypasses it —
+        the ``bn_cmp`` per-arm-return idiom).  Because the DSL
+        compiler funnels every ``return`` through one shared epilogue
+        (each arm is a guarded ``movi rax`` plus a jump), a third
+        disjunct catches the arm-return idiom the epilogue hides: a
+        block in the branch's *influence region* (reachable from the
+        branch but not post-dominating it) defines ``rax`` and that
+        definition reaches this return along a path with no
+        intervening redefinition.  A return that post-dominates an
+        acyclic secret branch and receives no such definition executes
+        either way with a direction-independent value, so it stays
+        untainted — unlike under the old rule, which tainted every
+        return of any function containing a secret branch.  Residual
+        blind spot: a constant staged through a *memory slot* under
+        secret control (``r = 1`` in an arm, ``return r`` after the
+        join) is still missed at this layer; the symbolic certifier
+        (DESIGN.md §15) closes it exactly."""
+        if not summary.secret_branch_blocks:
+            return False
+        graph, pdom, cyclic = self._dominance(fn_entry)
+        for branch_block in sorted(summary.secret_branch_blocks):
+            reach = self._branch_reach(fn_entry, branch_block)
+            if ret_block not in reach:
+                continue
+            if branch_block in cyclic:
+                return True
+            branch_pdom = pdom.get(branch_block, set())
+            if ret_block not in branch_pdom:
+                return True
+            influence = reach - branch_pdom
+            if influence:
+                defs = self._rax_def_blocks(fn_entry)
+                clean = self._clean_rax_reach(fn_entry, ret_block)
+                if influence & defs & clean:
+                    return True
+        return False
+
+    def _dominance(self, fn_entry: int):
+        graph = self._block_graph(fn_entry)
+        pdom = self._pdom.get(fn_entry)
+        cyclic = self._cyclic.get(fn_entry)
+        if pdom is None or cyclic is None:
+            pdom = postdominator_sets(graph)
+            cyclic = nodes_on_cycles(graph)
+            self._pdom[fn_entry] = pdom
+            self._cyclic[fn_entry] = cyclic
+        return graph, pdom, cyclic
+
+    def _branch_reach(self, fn_entry: int, branch_block: int) -> Set[int]:
+        key = (fn_entry, branch_block)
+        reach = self._reach.get(key)
+        if reach is None:
+            graph = self._block_graph(fn_entry)
+            reach = reachable_from(graph, graph.get(branch_block, ()))
+            self._reach[key] = reach
+        return reach
+
+    def _rax_def_blocks(self, fn_entry: int) -> Set[int]:
+        """Blocks containing an instruction that (re)defines rax —
+        call return values included, flag/memory writers excluded."""
+        defs = self._rax_defs.get(fn_entry)
+        if defs is not None:
+            return defs
+        defs = set()
+        for start in self._function_blocks(fn_entry):
+            block = self.cfg.blocks[start]
+            for pc in block.instructions:
+                if self._instr_defines_rax(self.cfg.instrs[pc]):
+                    defs.add(start)
+                    break
+        self._rax_defs[fn_entry] = defs
+        return defs
+
+    @staticmethod
+    def _instr_defines_rax(instruction) -> bool:
+        if instruction.kind in (Kind.CALL, Kind.INDIRECT_CALL):
+            return True
+        if instruction.kind not in (Kind.SEQUENTIAL, Kind.SYSCALL):
+            return False
+        m = instruction.mnemonic
+        if m in ("syscall", "mul", "div"):
+            return True                  # implicit rax destination
+        if m in ("nop", "lfence", "push", "store", "storew", "cmp",
+                 "test", "cmpi", "cmpi8", "testi", "cmc"):
+            return False                 # flags/memory only
+        ops = instruction.operands
+        if m == "xchg":
+            return _RAX in ops[:2]
+        # everything else (mov/movi/load/pop/alu/shift/set*/cmov*
+        # and the conservative unknown-mnemonic fallback) writes ops[0]
+        return bool(ops) and ops[0] == _RAX
+
+    def _clean_rax_reach(self, fn_entry: int, ret_block: int) -> Set[int]:
+        """Blocks with a path to ``ret_block`` whose *intermediate*
+        blocks never redefine rax: an rax definition made in such a
+        block survives to the return (the block's own later
+        redefinition — e.g. the shared epilogue's — does not apply,
+        since the definition we track is the block's last)."""
+        key = (fn_entry, ret_block)
+        clean = self._clean_reach.get(key)
+        if clean is not None:
+            return clean
+        graph = self._block_graph(fn_entry)
+        defs = self._rax_def_blocks(fn_entry)
+        preds: Dict[int, Set[int]] = {start: set() for start in graph}
+        for start, succs in graph.items():
+            for succ in succs:
+                preds.setdefault(succ, set()).add(start)
+        clean = set(preds.get(ret_block, ()))
+        worklist = [n for n in clean if n not in defs]
+        while worklist:
+            node = worklist.pop()
+            for pred in preds.get(node, ()):
+                if pred not in clean:
+                    clean.add(pred)
+                    if pred not in defs:
+                        worklist.append(pred)
+        self._clean_reach[key] = clean
+        return clean
+
     def _analyze_function(self, fn_entry: int) -> None:
         summary = self.summaries[fn_entry]
         in_states: Dict[int, _State] = {
@@ -325,8 +494,8 @@ class _Analyzer:
                                  instruction.mnemonic,
                                  "flags derived from secret data")
                     summary = self.summaries[fn_entry]
-                    if not summary.branch_taint:
-                        summary.branch_taint = True
+                    if block.start not in summary.secret_branch_blocks:
+                        summary.secret_branch_blocks.add(block.start)
                         self._changed = True
             elif kind is Kind.CALL:
                 target = pc + instruction.length + instruction.operands[0]
@@ -339,7 +508,8 @@ class _Analyzer:
             elif kind is Kind.RET:
                 summary = self.summaries[fn_entry]
                 ret_av = state.regs[_RAX]
-                if summary.branch_taint:
+                if self._control_dependent(fn_entry, block.start,
+                                           summary):
                     ret_av = ret_av.with_taint(True)
                 joined = join_vals(summary.ret, ret_av)
                 if joined != summary.ret:

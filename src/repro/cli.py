@@ -50,6 +50,15 @@ Commands
     collision/false-hit map.  Exits non-zero on findings outside a
     victim's ``leak_allowlist`` (or on golden-report drift with
     ``--golden``).
+``certify``
+    Symbolic leakage certification
+    (:mod:`repro.analysis.symbolic`): path-sensitive bit-vector
+    exploration proves every BTB-visible branch site
+    ``PROVEN_LEAKY`` (with two synthesized witnesses whose replayed
+    BTB event streams diverge) or ``PROVEN_SAFE``, then re-certifies
+    and dynamically validates the constant-time auto-rewrite.  Exit 2
+    on new leaks or failed validation, 3 on golden drift (including
+    a missing or quarantined-corrupt golden).
 
 ``--seed`` is the single reproducibility knob: it reaches every
 stochastic layer — RSA key generation, LBR timing noise, corpus
@@ -432,6 +441,81 @@ def _cmd_trace(name: str, fast: bool, seed: Optional[int] = None,
     return 0
 
 
+#: envelope schema tag for the ``repro certify`` golden artifact
+CERTIFY_GOLDEN_SCHEMA = "certify-report@1"
+
+
+def _load_golden(tool: str, golden: str,
+                 schema: Optional[str] = None) -> Optional[str]:
+    """Load a committed golden report, or None when it cannot serve.
+
+    A golden that is missing or corrupt is a *drift* condition — the
+    caller exits 3 ("regenerate and commit"), never a stack trace and
+    never exit 2 (which is reserved for real findings).  Corrupt
+    goldens are quarantined aside (``<name>.corrupt``) so forensics
+    survive and the next ``--out`` starts clean.  With ``schema`` the
+    file must be an enveloped JSON document
+    (:func:`repro.storage.parse_document`) whose payload carries the
+    report text; without it the file is legacy plain text.
+    """
+    import os
+
+    from .errors import ArtifactCorrupt
+    from .storage import quarantine_file
+
+    if not os.path.exists(golden):
+        print(f"{tool}: golden report missing at {golden} "
+              f"(re-generate with `repro {tool} --out {golden}` "
+              f"and commit)", file=sys.stderr)
+        return None
+    if schema is None:
+        try:
+            with open(golden, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError as error:
+            print(f"{tool}: cannot read golden report: {error}",
+                  file=sys.stderr)
+            return None
+    from .storage import parse_document, read_json
+    try:
+        document = read_json(golden)
+        payload, found_schema, _ = parse_document(document)
+        if found_schema != schema:
+            raise ArtifactCorrupt(
+                f"golden schema {found_schema!r}, expected {schema!r}")
+        report = payload.get("report") if isinstance(payload, dict) \
+            else None
+        if not isinstance(report, str):
+            raise ArtifactCorrupt("golden payload lacks a report body")
+        return report
+    except (OSError, ValueError, ArtifactCorrupt) as error:
+        destination = quarantine_file(golden)
+        where = (f"; quarantined to {destination}"
+                 if destination is not None else "")
+        print(f"{tool}: golden report corrupt: {error}{where} "
+              f"(re-generate with `repro {tool} --out {golden}` "
+              f"and commit)", file=sys.stderr)
+        return None
+
+
+def _diff_golden(tool: str, rendered: str, golden: str,
+                 expected: str) -> int:
+    """Diff the fresh report against the golden text: 0 or 3."""
+    if rendered == expected:
+        print(f"golden report match: {golden}")
+        return 0
+    import difflib
+    diff = difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        rendered.splitlines(keepends=True),
+        fromfile=golden, tofile="current")
+    sys.stderr.writelines(diff)
+    print(f"{tool}: report drifted from the golden copy "
+          f"(re-generate with `repro {tool} --out` and commit "
+          f"if the change is intended)", file=sys.stderr)
+    return 3
+
+
 def _cmd_lint(out: Optional[str] = None,
               golden: Optional[str] = None) -> int:
     from .analysis.lint import run_lint
@@ -449,26 +533,39 @@ def _cmd_lint(out: Optional[str] = None,
               f"finding(s)", file=sys.stderr)
         status = 2
     if golden is not None:
-        try:
-            with open(golden, "r", encoding="utf-8") as handle:
-                expected = handle.read()
-        except OSError as error:
-            print(f"lint: cannot read golden report: {error}",
-                  file=sys.stderr)
-            return 2
-        if rendered != expected:
-            import difflib
-            diff = difflib.unified_diff(
-                expected.splitlines(keepends=True),
-                rendered.splitlines(keepends=True),
-                fromfile=golden, tofile="current")
-            sys.stderr.writelines(diff)
-            print("lint: report drifted from the golden copy "
-                  "(re-generate with `repro lint --out` and commit "
-                  "if the change is intended)", file=sys.stderr)
-            status = status or 3
-        else:
-            print(f"golden report match: {golden}")
+        expected = _load_golden("lint", golden)
+        if expected is None:
+            return status or 3
+        status = status or _diff_golden("lint", rendered, golden,
+                                        expected)
+    return status
+
+
+def _cmd_certify(out: Optional[str] = None,
+                 golden: Optional[str] = None,
+                 no_rewrite: bool = False) -> int:
+    from .analysis.symbolic import run_certify
+
+    report = run_certify(rewrite=not no_rewrite)
+    rendered = report.render()
+    print(rendered, end="")
+    if out is not None:
+        from .storage import write_envelope
+        path = write_envelope(out, {"report": rendered},
+                              CERTIFY_GOLDEN_SCHEMA)
+        print(f"report written atomically to {path}")
+    status = 0
+    if not report.ok:
+        print(f"certify: {len(report.failures)} problem(s)",
+              file=sys.stderr)
+        status = 2
+    if golden is not None:
+        expected = _load_golden("certify", golden,
+                                schema=CERTIFY_GOLDEN_SCHEMA)
+        if expected is None:
+            return status or 3
+        status = status or _diff_golden("certify", rendered, golden,
+                                        expected)
     return status
 
 
@@ -706,6 +803,22 @@ def main(argv=None) -> int:
                       help="compare against a committed golden report; "
                            "non-zero exit on drift")
 
+    certify = sub.add_parser(
+        "certify",
+        help="symbolic leakage certification: prove every victim "
+             "PROVEN_LEAKY (with replayable witnesses) or "
+             "PROVEN_SAFE, then validate the constant-time rewrite; "
+             "exit 2 on new leaks, 3 on golden drift")
+    certify.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the certification report "
+                              "to PATH as an enveloped artifact")
+    certify.add_argument("--golden", default=None, metavar="PATH",
+                         help="compare against a committed golden "
+                              "report; non-zero exit on drift")
+    certify.add_argument("--no-rewrite", action="store_true",
+                         help="skip the constant-time auto-rewrite "
+                              "validation pass")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -743,6 +856,8 @@ def main(argv=None) -> int:
                           args.out)
     if args.command == "lint":
         return _cmd_lint(args.out, args.golden)
+    if args.command == "certify":
+        return _cmd_certify(args.out, args.golden, args.no_rewrite)
     return 2                                      # pragma: no cover
 
 

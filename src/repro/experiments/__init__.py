@@ -4,6 +4,7 @@ is reproducible (and testable) as library code."""
 
 from .common import CallHarness, FigureResult, Series
 from .exp_btb_dealloc import run_figure2
+from .exp_certify import certify_cases, run_certification
 from .exp_cfl import (LeakResult, run_bncmp_leak, run_defense_grid,
                       run_gcd_leak)
 from .exp_chained import ChainedResult, run_figure7
@@ -39,7 +40,9 @@ __all__ = [
     "SimilarityMatrix",
     "TraversalResult",
     "extract_victim_function",
+    "certify_cases",
     "run_bncmp_leak",
+    "run_certification",
     "run_defense_grid",
     "run_figure10",
     "run_figure12",

@@ -31,6 +31,47 @@ ENCLAVE_DATA_BASE = 0x0000_7000_0000_0000
 
 
 @dataclass(frozen=True)
+class SymbolicDomain:
+    """The symbolic slice of one secret input array.
+
+    Bits ``shift .. shift+bits-1`` of limb 0 are free Boolean
+    variables; every other bit is pinned by ``forced_or`` (e.g.
+    ``forced_or=1`` with ``shift=1`` certifies over *odd* values,
+    which is the domain mbedTLS guarantees its binary-GCD loop —
+    RSA keygen never passes even/zero operands)."""
+
+    array: str
+    bits: int
+    shift: int = 0
+    forced_or: int = 0
+
+
+@dataclass(frozen=True)
+class CertifySpec:
+    """Per-victim parameters for ``repro certify``.
+
+    ``expected`` maps function name -> verdict string
+    (``PROVEN_LEAKY`` / ``PROVEN_SAFE`` / ``UNDECIDED``); the ``"*"``
+    key is the wildcard for every function not named.  A certified
+    verdict that contradicts this table fails the run — the
+    annotations are the victims' machine-checked leakage contract."""
+
+    domains: Tuple[SymbolicDomain, ...]
+    template: Tuple[Tuple[str, int], ...] = ()
+    #: fixed iteration count for secret loops in the CT rewrite; must
+    #: dominate the true trip count over the certified domain
+    ct_loop_bound: int = 6
+    expected: Tuple[Tuple[str, str], ...] = ()
+
+    def template_inputs(self) -> Dict[str, int]:
+        return dict(self.template)
+
+    def expected_verdict(self, function: str) -> Optional[str]:
+        table = dict(self.expected)
+        return table.get(function, table.get("*"))
+
+
+@dataclass(frozen=True)
 class ArraySpec:
     """One named u64-array in the victim's data region."""
 
@@ -79,7 +120,10 @@ class VictimProgram:
                  then_arm_is_truth: bool = True,
                  main: str = "main",
                  secret_inputs: Sequence[str] = (),
-                 leak_allowlist: Sequence[str] = ()):
+                 leak_allowlist: Sequence[str] = (),
+                 source: Optional[str] = None,
+                 options: Optional[CompileOptions] = None,
+                 certify: Optional[CertifySpec] = None):
         self.compiled = compiled
         self.layout = layout
         self.nlimbs = nlimbs
@@ -104,6 +148,13 @@ class VictimProgram:
         #: control flow or accesses; the lint reports findings outside
         #: this set as NEW (and fails)
         self.leak_allowlist: Tuple[str, ...] = tuple(leak_allowlist)
+        #: DSL source + compile options the victim was built from —
+        #: what the constant-time rewriter re-parses and re-compiles
+        self.source = source
+        self.options = options
+        #: symbolic input domains and expected verdicts for
+        #: ``repro certify`` (None: the victim is not certifiable)
+        self.certify = certify
 
     # ------------------------------------------------------------------
     # instantiation
@@ -261,13 +312,24 @@ func main() {{
 """
     compiled = Compiler(options).compile(parse_module(source),
                                          start="main")
+    allowlist = _GCD_LEAK_ALLOWLIST[_gcd_group(version)]
+    # certify over odd 3-bit operands (shift 1, forced low bit):
+    # mbedTLS guards zero/even upstream of the binary loop, and odd
+    # operands keep the even-reduction trip counts small and bounded
+    certify = CertifySpec(
+        domains=(SymbolicDomain("ta", bits=2, shift=1, forced_or=1),
+                 SymbolicDomain("tb", bits=2, shift=1, forced_or=1)),
+        ct_loop_bound=6,
+        expected=tuple((name, "PROVEN_LEAKY") for name in allowlist)
+        + (("*", "PROVEN_SAFE"),))
     return VictimProgram(
         compiled, layout, nlimbs,
         secret_function=secret_branch_function(version),
         fingerprint_function="mpi_gcd",
         then_arm_is_truth=then_arm_means_ta_ge_tb(version),
         secret_inputs=("ta", "tb"),
-        leak_allowlist=_GCD_LEAK_ALLOWLIST[_gcd_group(version)])
+        leak_allowlist=allowlist,
+        source=source, options=options, certify=certify)
 
 
 def build_bn_cmp_victim(*, options: Optional[CompileOptions] = None,
@@ -295,10 +357,19 @@ func main() {{
 """
     compiled = Compiler(options).compile(parse_module(source),
                                          start="main")
+    # secret a in 0..7 against the public threshold b = 5: the
+    # worked README example — sign of (a - 5) leaks via one branch
+    certify = CertifySpec(
+        domains=(SymbolicDomain("a", bits=3),),
+        template=(("b", 5),),
+        expected=(("ipp_bn_cmp", "PROVEN_LEAKY"),
+                  ("*", "PROVEN_SAFE")))
     return VictimProgram(compiled, layout, nlimbs,
                          secret_function="ipp_bn_cmp",
                          secret_inputs=("a",),
-                         leak_allowlist=("ipp_bn_cmp",))
+                         leak_allowlist=("ipp_bn_cmp",),
+                         source=source, options=options,
+                         certify=certify)
 
 
 def build_bignum_victim(*, options: Optional[CompileOptions] = None,
@@ -328,7 +399,15 @@ func main() {{
 """
     compiled = Compiler(options).compile(parse_module(source),
                                          start="main")
+    # negative control: the secret flows through bn_sub/shift data
+    # paths only — every reached branch must certify PROVEN_SAFE
+    certify = CertifySpec(
+        domains=(SymbolicDomain("s", bits=3),),
+        template=(("t", 1),),
+        expected=(("*", "PROVEN_SAFE"),))
     return VictimProgram(compiled, layout, nlimbs,
                          secret_function="bn_sub",
                          secret_inputs=("s",),
-                         leak_allowlist=())
+                         leak_allowlist=(),
+                         source=source, options=options,
+                         certify=certify)

@@ -135,6 +135,50 @@ func main() {{
     assert report.results[0].known_findings
 
 
+def test_return_before_secret_branch_stays_untainted():
+    """Branch-taint precision: the early return on the *public* path
+    is not control-dependent on the later secret branch (it is not in
+    the branch's remaining block set), so ``classify``'s return value
+    reaching ``main`` must not flag ``main``'s branch.  The old
+    whole-function implicit-flow rule tainted every return and
+    produced a spurious ``main`` finding here."""
+    victim = _custom_victim("""
+func classify(t, s) {{
+  if (t[0] == 0) {{ return 7; }}
+  if (s[0] != 0) {{ t[1] = 1; }} else {{ t[2] = 1; }}
+  return 7;
+}}
+func main() {{
+  r = classify({t}, {s});
+  if (r == 7) {{ return 1; }}
+  return 0;
+}}
+""", secret=("s",))
+    report = _taint_report(victim)
+    flagged = report.flagged_functions()
+    assert "classify" in flagged        # the secret branch itself
+    assert "main" not in flagged        # no implicit ret taint leak-through
+
+
+def test_return_reachable_from_secret_branch_tainted():
+    """The conservative side of the same rule: a return the secret
+    branch *can* steer (the bn_cmp return-code idiom) still carries
+    implicit taint, so the caller's branch on it is flagged."""
+    victim = _custom_victim("""
+func classify(t, s) {{
+  if (s[0] != 0) {{ return 1; }}
+  return 0;
+}}
+func main() {{
+  r = classify({t}, {s});
+  if (r == 1) {{ return 1; }}
+  return 0;
+}}
+""", secret=("s",))
+    flagged = _taint_report(victim).flagged_functions()
+    assert {"classify", "main"} <= flagged
+
+
 def test_secret_inputs_validated():
     with pytest.raises(ValueError):
         _custom_victim("""

@@ -1,0 +1,158 @@
+"""Symbolic certification acceptance: proven leaks match the
+allowlists with dynamically diverging witnesses, the constant-time
+negative control is proven safe, budget exhaustion degrades soundly,
+and the rewrite loop closes (re-certified safe, bit-identical streams,
+results preserved over the certified domain)."""
+
+import pytest
+
+from repro.analysis.symbolic import (CertifyBudget, PROVEN_LEAKY,
+                                     PROVEN_SAFE, UNDECIDED,
+                                     certify_victim, render_certify_report,
+                                     run_certify)
+from repro.analysis.symbolic.certify import rewrite_victim
+from repro.analysis.symbolic.witness import replay_btb_stream
+from repro.victims.library import (build_bignum_victim,
+                                   build_bn_cmp_victim,
+                                   build_gcd_victim)
+
+
+def _leaky_functions(cert):
+    return {v.function for v in cert.leaky}
+
+
+# ----------------------------------------------------------------------
+# proven leaks == the dynamic lint's allowlist, with live witnesses
+# ----------------------------------------------------------------------
+def test_bn_cmp_proven_leaky_with_diverging_witnesses():
+    victim = build_bn_cmp_victim()
+    cert = certify_victim("bn_cmp", victim)
+    assert cert.exploration.complete
+    assert _leaky_functions(cert) == set(victim.leak_allowlist)
+    assert cert.new_leaks == []
+    assert cert.mismatches == []
+    assert cert.undecided == []
+    for verdict in cert.leaky:
+        assert verdict.witness_a is not None
+        assert verdict.witness_b is not None
+        assert verdict.witness_a != verdict.witness_b
+        stream_a = replay_btb_stream(victim, verdict.witness_a)
+        stream_b = replay_btb_stream(victim, verdict.witness_b)
+        assert stream_a != stream_b     # the proof is live, not formal
+
+
+def test_gcd_certification_matches_allowlist():
+    victim = build_gcd_victim("2.5")
+    cert = certify_victim("gcd-2.5", victim)
+    assert cert.exploration.complete
+    assert _leaky_functions(cert) == {"mpi_gcd", "bn_cmp", "bn_is_zero"}
+    assert cert.new_leaks == []
+    assert cert.mismatches == []
+    assert cert.undecided == []
+
+
+def test_gcd_helpers_inherit_not_leak():
+    """bn_shr1/bn_sub run a secret-dependent *number of times* but
+    never branch on the secret themselves: their traces diverge only
+    by extension, which must classify as inherited, not leaky."""
+    cert = certify_victim("gcd-2.5", build_gcd_victim("2.5"))
+    by_name = {v.function: v for v in cert.verdicts}
+    for helper in ("bn_shr1", "bn_sub"):
+        verdict = by_name[helper]
+        assert verdict.verdict == PROVEN_SAFE
+        assert verdict.inherited_sites > 0
+
+
+def test_bignum_negative_control_proven_safe():
+    cert = certify_victim("bignum", build_bignum_victim())
+    assert cert.exploration.complete
+    assert cert.leaky == []
+    assert cert.undecided == []
+    assert all(v.verdict == PROVEN_SAFE for v in cert.verdicts)
+
+
+# ----------------------------------------------------------------------
+# sound degradation under budget exhaustion
+# ----------------------------------------------------------------------
+def test_tiny_budget_degrades_to_undecided_not_safe():
+    budget = CertifyBudget(max_steps=200, max_paths=1)
+    cert = certify_victim("bn_cmp", build_bn_cmp_victim(),
+                          budget=budget)
+    assert not cert.exploration.complete
+    assert all(v.verdict in (PROVEN_LEAKY, UNDECIDED)
+               for v in cert.verdicts)
+    assert not any(v.verdict == PROVEN_SAFE for v in cert.verdicts)
+
+
+# ----------------------------------------------------------------------
+# the repair loop
+# ----------------------------------------------------------------------
+def test_rewrite_loop_closes_for_bn_cmp_and_gcd():
+    report = run_certify([("bn_cmp", build_bn_cmp_victim()),
+                          ("gcd-2.5", build_gcd_victim("2.5"))])
+    assert report.ok, report.failures
+    assert {r.name for r in report.rewrites} == {"bn_cmp", "gcd-2.5"}
+    for validation in report.rewrites:
+        assert validation.verdict == PROVEN_SAFE
+        assert validation.streams_identical
+        assert validation.functional_ok
+        assert validation.domain_size > 0
+    for cert in report.certifications:
+        for verdict in cert.leaky:
+            assert verdict.streams_diverged is True
+
+
+def test_rewritten_victim_replays_identically():
+    victim = build_bn_cmp_victim()
+    cert = certify_victim("bn_cmp", victim)
+    rewritten = rewrite_victim(victim)
+    for verdict in cert.leaky:
+        before_a = replay_btb_stream(victim, verdict.witness_a)
+        before_b = replay_btb_stream(victim, verdict.witness_b)
+        assert before_a != before_b
+        after_a = replay_btb_stream(rewritten, verdict.witness_a)
+        after_b = replay_btb_stream(rewritten, verdict.witness_b)
+        assert after_a == after_b       # bit-identical event streams
+
+
+def test_rewrite_requires_source():
+    victim = build_bn_cmp_victim()
+    stripped = type(victim)(
+        victim.compiled, victim.layout, victim.nlimbs,
+        secret_function=victim.secret_function,
+        secret_inputs=victim.secret_inputs)
+    with pytest.raises(ValueError):
+        rewrite_victim(stripped)
+
+
+# ----------------------------------------------------------------------
+# report plumbing
+# ----------------------------------------------------------------------
+def test_report_renders_byte_stable():
+    report = run_certify([("bignum", build_bignum_victim())],
+                         rewrite=False)
+    first = render_certify_report(report)
+    second = render_certify_report(run_certify(
+        [("bignum", build_bignum_victim())], rewrite=False))
+    assert first == second
+    assert first.endswith("\n")
+    assert "verdict: OK" in first
+
+
+def test_new_leak_fails_report():
+    """An unexpected proven leak (empty allowlist) must fail the
+    report — the NEW-leak path the CI smoke job exits 2 on."""
+    victim = build_bn_cmp_victim()
+    unannotated = type(victim)(
+        victim.compiled, victim.layout, victim.nlimbs,
+        secret_function=victim.secret_function,
+        main=victim.main,
+        secret_inputs=victim.secret_inputs,
+        leak_allowlist=(),
+        certify=victim.certify)
+    report = run_certify([("bn_cmp", unannotated)], rewrite=False,
+                         replay=False)
+    assert not report.ok
+    assert any("NEW" in failure or "expected" in failure
+               for failure in report.failures)
+    assert "FAIL" in render_certify_report(report)

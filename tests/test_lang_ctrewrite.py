@@ -1,0 +1,188 @@
+"""Constant-time rewriter: structural properties of the transformed
+AST plus concrete functional equivalence of the compiled output.
+End-to-end leakage claims (stream identity, re-certification) live in
+``tests/test_certify.py``; this file covers the pass itself."""
+
+import pytest
+
+from repro.cpu import MachineState, run_function
+from repro.lang import CompileOptions, Compiler, parse_module
+from repro.lang import ast as A
+from repro.lang.ctrewrite import (DEFAULT_BOUND, rewrite_function_names,
+                                  rewrite_module)
+from repro.memory import VirtualMemory
+
+_DATA = 0x900000
+
+
+def _run(module, function, args, *, data=()):
+    compiled = Compiler(CompileOptions()).compile(module)
+    memory = VirtualMemory()
+    compiled.program.load_into(memory)
+    memory.map_range(_DATA, 4096, "rw")
+    for offset, value in enumerate(data):
+        memory.write_u64(_DATA + 8 * offset, value)
+    state = MachineState(memory)
+    state.setup_stack(0x7FFF00000000)
+    run_function(state, compiled.info(function).entry, args=list(args),
+                 syscall_handler=lambda s: True)
+    return state.regs["rax"], memory
+
+
+def _functions(module):
+    return {fn.name: fn for fn in module.functions}
+
+
+# ----------------------------------------------------------------------
+# structural properties
+# ----------------------------------------------------------------------
+_EARLY_RETURN = """
+func classify(s) {
+  if (s[0] != 0) { return 1; }
+  return 0;
+}
+"""
+
+
+def test_early_returns_become_live_flag():
+    module = rewrite_module(parse_module(_EARLY_RETURN))
+    fn = _functions(module)["classify"]
+    # no If statements survive; exactly one Return, of __ret, last
+    assert not any(isinstance(s, A.If) for s in fn.body)
+    returns = [s for s in fn.body if isinstance(s, A.Return)]
+    assert len(returns) == 1
+    assert isinstance(fn.body[-1], A.Return)
+    assert isinstance(fn.body[-1].value, A.Var)
+    assert fn.body[-1].value.name == "__ret"
+
+
+def test_secret_loop_gets_fixed_bound():
+    source = """
+func countdown(s) {
+  v = s[0];
+  while (v != 0) { v = v - 1; }
+  return v;
+}
+"""
+    module = rewrite_module(parse_module(source), bound=9)
+    fn = _functions(module)["countdown"]
+    loops = [s for s in fn.body if isinstance(s, A.While)]
+    assert len(loops) == 1
+    cond = loops[0].cond
+    assert isinstance(cond, A.Cmp) and cond.op == "<"
+    assert isinstance(cond.right, A.Const) and cond.right.value == 9
+
+
+def test_public_loop_is_preserved():
+    source = """
+func fill(t, n) {
+  i = 0;
+  while (i < n) { t[i] = i; i = i + 1; }
+  return i;
+}
+"""
+    module = rewrite_module(parse_module(source))
+    fn = _functions(module)["fill"]
+    loops = [s for s in fn.body if isinstance(s, A.While)]
+    assert len(loops) == 1
+    cond = loops[0].cond
+    # the public `i < n` trip count survives, not a synthetic bound
+    assert isinstance(cond, A.Cmp) and cond.op == "<"
+    assert isinstance(cond.right, A.Var) and cond.right.name == "n"
+
+
+def test_impure_callees_get_predicated_clone():
+    source = """
+func poke(t) {
+  t[0] = 1;
+  return 0;
+}
+func outer(t, s) {
+  if (s[0] != 0) { poke(t); }
+  return 0;
+}
+"""
+    module = parse_module(source)
+    names = rewrite_function_names(module)
+    assert names["poke"] == ("poke", "poke__ct")
+    assert names["outer"] == ("outer", "outer__ct")   # transitive store
+    rewritten = _functions(rewrite_module(module))
+    assert set(rewritten) == {"poke", "poke__ct",
+                              "outer", "outer__ct"}
+    assert rewritten["poke__ct"].params[-1] == "__pred"
+
+
+def test_pure_callees_stay_unpredicated():
+    source = """
+func double(x) {
+  return x + x;
+}
+func outer(s) {
+  if (s[0] != 0) { r = double(3); } else { r = 0; }
+  return r;
+}
+"""
+    module = parse_module(source)
+    assert rewrite_function_names(module)["double"] == ("double",)
+
+
+def test_bound_validation():
+    module = parse_module(_EARLY_RETURN)
+    with pytest.raises(ValueError):
+        rewrite_module(module, bound=0)
+    assert DEFAULT_BOUND >= 1
+
+
+def test_rewrite_is_deterministic():
+    module_a = rewrite_module(parse_module(_EARLY_RETURN))
+    module_b = rewrite_module(parse_module(_EARLY_RETURN))
+    assert module_a == module_b
+
+
+# ----------------------------------------------------------------------
+# functional equivalence of the compiled rewrite
+# ----------------------------------------------------------------------
+_SELECT = """
+func pick(t, s) {{
+  if (s[0] != 0) {{ t[0] = t[1]; return 1; }}
+  return 0;
+}}
+func main() {{
+  r = pick({data}, {data} + 16);
+  return r;
+}}
+"""
+
+
+@pytest.mark.parametrize("secret", [0, 1, 5])
+def test_compiled_rewrite_preserves_results(secret):
+    source = _SELECT.format(data=_DATA)
+    data = (11, 22, secret, 0)           # t[0], t[1], s[0], s[1]
+    original = parse_module(source)
+    rewritten = rewrite_module(original)
+    ret_a, mem_a = _run(original, "main", (), data=data)
+    ret_b, mem_b = _run(rewritten, "main", (), data=data)
+    assert ret_a == ret_b == (1 if secret else 0)
+    for offset in range(4):
+        assert (mem_a.read_u64(_DATA + 8 * offset)
+                == mem_b.read_u64(_DATA + 8 * offset))
+
+
+@pytest.mark.parametrize("v", [0, 1, 3, 6])
+def test_compiled_bounded_loop_preserves_results(v):
+    source = """
+func countdown(s) {{
+  v = s[{idx}];
+  acc = 0;
+  while (v != 0) {{ acc = acc + v; v = v - 1; }}
+  return acc;
+}}
+func main() {{
+  return countdown({data});
+}}
+""".format(data=_DATA, idx=0)
+    original = parse_module(source)
+    rewritten = rewrite_module(original, bound=6)
+    ret_a, _ = _run(original, "main", (), data=(v,))
+    ret_b, _ = _run(rewritten, "main", (), data=(v,))
+    assert ret_a == ret_b == sum(range(v + 1))

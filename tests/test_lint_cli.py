@@ -1,9 +1,12 @@
-"""``repro lint`` CLI: exit codes, golden compare, report artifact."""
+"""``repro lint`` / ``repro certify`` CLI: exit codes, golden compare
+(plain-text and enveloped), quarantine of corrupt goldens, artifacts."""
+
+import json
 
 import pytest
 
 from repro.analysis.lint import run_lint
-from repro.cli import main
+from repro.cli import CERTIFY_GOLDEN_SCHEMA, main
 
 
 @pytest.fixture(scope="module")
@@ -53,9 +56,117 @@ def test_lint_golden_drift_exits_3(tmp_path, capsys, rendered):
     assert "stale line" in err          # the diff itself is printed
 
 
-def test_lint_golden_missing_exits_2(tmp_path, capsys):
-    assert main(["lint", "--golden", str(tmp_path / "nope.txt")]) == 2
-    assert "cannot read golden" in capsys.readouterr().err
+def test_lint_golden_missing_exits_3(tmp_path, capsys):
+    """A missing golden is drift (the committed copy is part of the
+    contract), reported with the regeneration command — not a crash,
+    not the NEW-leak exit code."""
+    golden = tmp_path / "nope.txt"
+    assert main(["lint", "--golden", str(golden)]) == 3
+    err = capsys.readouterr().err
+    assert "golden report missing" in err
+    assert f"repro lint --out {golden}" in err
+
+
+# ----------------------------------------------------------------------
+# repro certify (small corpus via monkeypatched corpus builder)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_corpus(monkeypatch):
+    """bignum-only corpus: proven safe, no rewrites, sub-second."""
+    import repro.analysis.symbolic.certify as certify_mod
+    from repro.victims.library import build_bignum_victim
+
+    monkeypatch.setattr(
+        certify_mod, "certify_corpus",
+        lambda: [("bignum", build_bignum_victim())])
+
+
+def test_certify_ok(small_corpus, capsys):
+    assert main(["certify", "--no-rewrite"]) == 0
+    out = capsys.readouterr().out
+    assert "repro certify" in out
+    assert "verdict: OK" in out
+
+
+def test_certify_out_golden_roundtrip(small_corpus, tmp_path, capsys):
+    golden = tmp_path / "certify_golden.txt"
+    assert main(["certify", "--no-rewrite", "--out", str(golden)]) == 0
+    # the artifact is an envelope, not plain text
+    document = json.loads(golden.read_text(encoding="utf-8"))
+    assert document["envelope"]["schema"] == CERTIFY_GOLDEN_SCHEMA
+    capsys.readouterr()
+    assert main(["certify", "--no-rewrite",
+                 "--golden", str(golden)]) == 0
+    assert "golden report match" in capsys.readouterr().out
+
+
+def test_certify_golden_missing_exits_3(small_corpus, tmp_path, capsys):
+    golden = tmp_path / "nope.txt"
+    assert main(["certify", "--no-rewrite",
+                 "--golden", str(golden)]) == 3
+    err = capsys.readouterr().err
+    assert "golden report missing" in err
+    assert f"repro certify --out {golden}" in err
+
+
+def test_certify_golden_corrupt_quarantined_exits_3(
+        small_corpus, tmp_path, capsys):
+    """A mangled golden must not stack-trace: it is quarantined aside
+    and reported as drift with the regeneration command."""
+    golden = tmp_path / "certify_golden.txt"
+    golden.write_text("{not json", encoding="utf-8")
+    assert main(["certify", "--no-rewrite",
+                 "--golden", str(golden)]) == 3
+    err = capsys.readouterr().err
+    assert "golden report corrupt" in err
+    assert "quarantined" in err
+    assert not golden.exists()
+    assert (tmp_path / "certify_golden.txt.corrupt").exists()
+
+
+def test_certify_golden_wrong_schema_exits_3(
+        small_corpus, tmp_path, capsys):
+    from repro.storage import write_envelope
+
+    golden = tmp_path / "certify_golden.txt"
+    write_envelope(golden, {"report": "x"}, "not-a-certify-report@9")
+    assert main(["certify", "--no-rewrite",
+                 "--golden", str(golden)]) == 3
+    assert "golden report corrupt" in capsys.readouterr().err
+
+
+def test_certify_golden_drift_exits_3(small_corpus, tmp_path, capsys):
+    from repro.storage import write_envelope
+
+    golden = tmp_path / "certify_golden.txt"
+    write_envelope(golden, {"report": "stale certify text\n"},
+                   CERTIFY_GOLDEN_SCHEMA)
+    assert main(["certify", "--no-rewrite",
+                 "--golden", str(golden)]) == 3
+    err = capsys.readouterr().err
+    assert "drifted" in err
+    assert "stale certify text" in err
+
+
+def test_certify_new_leak_exits_2(monkeypatch, capsys):
+    """An unannotated proven leak is exit 2 — distinct from drift."""
+    import repro.analysis.symbolic.certify as certify_mod
+    from repro.victims.library import build_bn_cmp_victim
+
+    victim = build_bn_cmp_victim()
+    unannotated = type(victim)(
+        victim.compiled, victim.layout, victim.nlimbs,
+        secret_function=victim.secret_function,
+        main=victim.main,
+        secret_inputs=victim.secret_inputs,
+        leak_allowlist=(),
+        certify=victim.certify)
+    monkeypatch.setattr(certify_mod, "certify_corpus",
+                        lambda: [("bn_cmp", unannotated)])
+    assert main(["certify", "--no-rewrite"]) == 2
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "problem(s)" in captured.err
 
 
 def test_lint_unannotated_finding_exits_2(monkeypatch, capsys):

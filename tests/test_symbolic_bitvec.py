@@ -1,0 +1,164 @@
+"""Bit-blasted word operations agree with the concrete fast path on
+random 64-bit vectors (the concrete path itself mirrors
+``repro.cpu.semantics``), plus folding/hash-consing/budget units."""
+
+import random
+
+import pytest
+
+from repro.analysis.symbolic.bitvec import (BitCtx, GateBudgetExceeded,
+                                            MASK64, Node)
+
+_WIDTH = 64
+
+
+def _sym_word(ctx, prefix):
+    return tuple(ctx.var(f"{prefix}{i}") for i in range(_WIDTH))
+
+
+def _model_for(prefix, value):
+    return {f"{prefix}{i}": bool((value >> i) & 1)
+            for i in range(_WIDTH)}
+
+
+def _vectors(count=12, seed=0x5eed):
+    rng = random.Random(seed)
+    pairs = [(0, 0), (MASK64, MASK64), (MASK64, 1), (1, MASK64),
+             (0x8000000000000000, 0x8000000000000000)]
+    while len(pairs) < count:
+        pairs.append((rng.getrandbits(64), rng.getrandbits(64)))
+    return pairs
+
+
+@pytest.mark.parametrize("a,b", _vectors())
+def test_add_sub_match_concrete(a, b):
+    ctx = BitCtx()
+    sa, sb = _sym_word(ctx, "a"), _sym_word(ctx, "b")
+    model = {**_model_for("a", a), **_model_for("b", b)}
+    for op, carry in (("add", 0), ("add", 1), ("sub", 0), ("sub", 1)):
+        sym_res, sym_cf, sym_of = getattr(ctx, op)(sa, sb, carry)
+        con_res, con_cf, con_of = getattr(ctx, op)(a, b, carry)
+        assert ctx.eval_word(sym_res, model) == con_res
+        assert ctx.eval_bit(sym_cf, model) == con_cf
+        assert ctx.eval_bit(sym_of, model) == con_of
+
+
+@pytest.mark.parametrize("a,b", _vectors(count=8, seed=7))
+def test_bitwise_match_concrete(a, b):
+    ctx = BitCtx()
+    sa, sb = _sym_word(ctx, "a"), _sym_word(ctx, "b")
+    model = {**_model_for("a", a), **_model_for("b", b)}
+    for op in ("band", "bor", "bxor"):
+        assert (ctx.eval_word(getattr(ctx, op)(sa, sb), model)
+                == getattr(ctx, op)(a, b))
+    assert ctx.eval_word(ctx.bnot(sa), model) == ctx.bnot(a)
+
+
+@pytest.mark.parametrize("count", [1, 3, 31, 63])
+def test_shifts_match_concrete(count):
+    rng = random.Random(count)
+    ctx = BitCtx()
+    sa = _sym_word(ctx, "a")
+    for _ in range(4):
+        a = rng.getrandbits(64)
+        model = _model_for("a", a)
+        for op in ("shl", "shr", "sar"):
+            sym_res, sym_cf = getattr(ctx, op)(sa, count)
+            con_res, con_cf = getattr(ctx, op)(a, count)
+            assert ctx.eval_word(sym_res, model) == con_res
+            assert ctx.eval_bit(sym_cf, model) == con_cf
+
+
+def test_multiply_matches_concrete():
+    # narrow symbolic operands keep the shift-add DAG small
+    rng = random.Random(99)
+    ctx = BitCtx()
+    low = tuple(ctx.var(f"a{i}") for i in range(8)) + (0,) * 56
+    for _ in range(6):
+        a = rng.getrandbits(8)
+        b = rng.getrandbits(64)
+        model = _model_for("a", a)
+        sym_lo, sym_over = ctx.imul(low, b)
+        con_lo, con_over = ctx.imul(a, b)
+        assert ctx.eval_word(sym_lo, model) == con_lo
+        assert ctx.eval_bit(sym_over, model) == con_over
+        sym_lo, sym_hi = ctx.mul(low, b)
+        con_lo, con_hi = ctx.mul(a, b)
+        assert ctx.eval_word(sym_lo, model) == con_lo
+        assert ctx.eval_word(sym_hi, model) == con_hi
+
+
+@pytest.mark.parametrize("a", [0, 1, 42, MASK64, 0x8000000000000000])
+def test_predicates_match_concrete(a):
+    ctx = BitCtx()
+    sa = _sym_word(ctx, "a")
+    model = _model_for("a", a)
+    assert ctx.eval_bit(ctx.is_zero(sa), model) == ctx.is_zero(a)
+    assert ctx.eval_bit(ctx.sign(sa), model) == ctx.sign(a)
+    for probe in (0, a, 42):
+        assert (ctx.eval_bit(ctx.eq_const(sa, probe), model)
+                == ctx.eq_const(a, probe))
+
+
+def test_mux_word_selects():
+    ctx = BitCtx()
+    cond = ctx.var("c")
+    sa = _sym_word(ctx, "a")
+    word = ctx.mux_word(cond, sa, 7)
+    model = {**_model_for("a", 123), "c": True}
+    assert ctx.eval_word(word, model) == 123
+    model["c"] = False
+    assert ctx.eval_word(word, model) == 7
+
+
+# ----------------------------------------------------------------------
+# structural units: folding, consing, budget
+# ----------------------------------------------------------------------
+def test_xor_zeroing_folds_to_constant():
+    """``xor rax, rax`` must fold even on a fully symbolic word —
+    the executor relies on this to keep cleared registers concrete."""
+    ctx = BitCtx()
+    sa = _sym_word(ctx, "a")
+    assert ctx.bxor(sa, sa) == 0
+
+
+def test_boolean_folding():
+    ctx = BitCtx()
+    a = ctx.var("a")
+    assert ctx.and_(a, ctx.not_(a)) == 0
+    assert ctx.or_(a, ctx.not_(a)) == 1
+    assert ctx.xor_(a, a) == 0
+    assert ctx.not_(ctx.not_(a)) is a
+    assert ctx.and_(a, 1) is a
+    assert ctx.or_(a, 0) is a
+
+
+def test_hash_consing_reuses_nodes():
+    ctx = BitCtx()
+    a, b = ctx.var("a"), ctx.var("b")
+    assert ctx.and_(a, b) is ctx.and_(b, a)   # commuted operands too
+    assert isinstance(ctx.xor_(a, b), Node)
+    assert ctx.xor_(a, b) is ctx.xor_(a, b)
+
+
+def test_gate_budget_exceeded():
+    ctx = BitCtx()
+    sa, sb = _sym_word(ctx, "a"), _sym_word(ctx, "b")
+    ctx.gate_budget = ctx.gates + 16        # vars count too; leave room
+    with pytest.raises(GateBudgetExceeded):
+        ctx.add(sa, sb)
+
+
+def test_eval_shared_cache_is_consistent():
+    """One cache across all 64 bits must give the same answer as
+    independent evaluations (the fast path the executor uses)."""
+    rng = random.Random(3)
+    ctx = BitCtx()
+    sa, sb = _sym_word(ctx, "a"), _sym_word(ctx, "b")
+    word, _, _ = ctx.add(sa, sb)
+    a, b = rng.getrandbits(64), rng.getrandbits(64)
+    model = {**_model_for("a", a), **_model_for("b", b)}
+    independent = 0
+    for i, bit in enumerate(ctx.bits_of(word)):
+        independent |= ctx.eval_bit(bit, model) << i
+    assert ctx.eval_word(word, model) == independent == (a + b) & MASK64

@@ -1,0 +1,143 @@
+"""Solver core: sat/unsat golden cases, truth-table fast path vs the
+Tseitin+DPLL path, model soundness, budget degradation to unknown."""
+
+import random
+
+import pytest
+
+from repro.analysis.symbolic.bitvec import BitCtx
+from repro.analysis.symbolic.solver import (SolverStats, _TT_MAX_VARS,
+                                            solve_bit)
+
+
+def _contradiction(ctx):
+    """(a | b) & !a & !b — unsat, but not folded at construction."""
+    a, b = ctx.var("a"), ctx.var("b")
+    return ctx.and_(ctx.and_(ctx.or_(a, b), ctx.not_(a)), ctx.not_(b))
+
+
+# ----------------------------------------------------------------------
+# golden cases
+# ----------------------------------------------------------------------
+def test_concrete_bits_short_circuit():
+    assert solve_bit(1).status == "sat"
+    assert solve_bit(0).status == "unsat"
+
+
+def test_xor_zeroing_is_unsat():
+    """``(x ^ x) != 0`` — the xor-zeroing idiom folds to a concrete 0
+    before the solver ever runs, the cheapest unsat there is."""
+    ctx = BitCtx()
+    word = tuple(ctx.var(f"x{i}") for i in range(64))
+    nonzero = ctx.not_(ctx.is_zero(ctx.bxor(word, word)))
+    assert nonzero == 0
+    assert solve_bit(nonzero, ctx=ctx).status == "unsat"
+
+
+@pytest.mark.parametrize("use_ctx", [True, False])
+def test_contradiction_is_unsat(use_ctx):
+    ctx = BitCtx()
+    bit = _contradiction(ctx)
+    result = solve_bit(bit, ctx=ctx if use_ctx else None)
+    assert result.status == "unsat"
+    assert not result.is_sat
+
+
+@pytest.mark.parametrize("use_ctx", [True, False])
+def test_sat_model_satisfies_formula(use_ctx):
+    ctx = BitCtx()
+    a, b, c = ctx.var("a"), ctx.var("b"), ctx.var("c")
+    # a & (b ^ c) & !b  →  forces a=1, b=0, c=1
+    bit = ctx.and_(ctx.and_(a, ctx.xor_(b, c)), ctx.not_(b))
+    result = solve_bit(bit, ctx=ctx if use_ctx else None)
+    assert result.is_sat
+    model = {name: result.model.get(name, False) for name in "abc"}
+    assert model == {"a": True, "b": False, "c": True}
+    assert ctx.eval_bit(bit, result.model) == 1
+
+
+def test_equality_predicate_sat_model():
+    ctx = BitCtx()
+    word = tuple(ctx.var(f"x{i}") for i in range(4)) + (0,) * 60
+    result = solve_bit(ctx.eq_const(word, 0b1010), ctx=ctx)
+    assert result.is_sat
+    assert ctx.eval_word(word, result.model) == 0b1010
+
+
+# ----------------------------------------------------------------------
+# fast path vs DPLL agreement on random DAGs
+# ----------------------------------------------------------------------
+def _random_dag(ctx, rng, names, depth=24):
+    pool = [ctx.var(name) for name in names]
+    for _ in range(depth):
+        op = rng.choice(("and", "or", "xor", "not"))
+        if op == "not":
+            pool.append(ctx.not_(rng.choice(pool)))
+        else:
+            pool.append(getattr(ctx, op + "_")(
+                rng.choice(pool), rng.choice(pool)))
+    return pool[-1]
+
+
+def test_truth_table_and_dpll_agree():
+    rng = random.Random(1234)
+    for trial in range(30):
+        ctx = BitCtx()
+        bit = _random_dag(ctx, rng, [f"v{i}" for i in range(4)])
+        fast = solve_bit(bit, ctx=ctx)      # ≤ _TT_MAX_VARS: table
+        slow = solve_bit(bit)               # no ctx: Tseitin + DPLL
+        assert fast.status == slow.status, f"trial {trial}"
+        for result in (fast, slow):
+            if isinstance(bit, int):
+                continue
+            if result.is_sat:
+                assert ctx.eval_bit(bit, result.model) == 1
+
+
+def test_wide_contexts_fall_back_to_dpll():
+    ctx = BitCtx()
+    for i in range(_TT_MAX_VARS + 1):       # one var past the ceiling
+        ctx.var(f"v{i}")
+    bit = ctx.and_(ctx.var("v0"), ctx.not_(ctx.var("v1")))
+    result = solve_bit(bit, ctx=ctx)
+    assert result.is_sat
+    # the table machinery never engaged: no per-ctx mask cache built
+    assert not hasattr(ctx, "_tt_names")
+    assert ctx.eval_bit(bit, result.model) == 1
+
+
+def test_foreign_ctx_bit_falls_back():
+    """A bit interned by another ctx must not poison the table cache."""
+    owner, other = BitCtx(), BitCtx()
+    bit = owner.and_(owner.var("a"), owner.var("b"))
+    other.var("a")
+    result = solve_bit(bit, ctx=other)
+    assert result.is_sat
+
+
+# ----------------------------------------------------------------------
+# stats and budget
+# ----------------------------------------------------------------------
+def test_stats_counters():
+    ctx = BitCtx()
+    stats = SolverStats()
+    solve_bit(_contradiction(ctx), ctx=ctx, stats=stats)
+    solve_bit(ctx.var("a"), ctx=ctx, stats=stats)
+    solve_bit(1, stats=stats)
+    assert stats.calls == 3
+    assert stats.sat == 2
+    assert stats.unsat == 1
+    assert stats.unknown == 0
+
+
+def test_decision_budget_degrades_to_unknown():
+    ctx = BitCtx()
+    bit = _random_dag(ctx, random.Random(7),
+                      [f"v{i}" for i in range(12)], depth=60)
+    stats = SolverStats()
+    result = solve_bit(bit, max_decisions=0, stats=stats)
+    assert result.status in ("unknown", "sat", "unsat")
+    if result.status == "unknown":
+        assert stats.unknown == 1
+    # and the same query without the gag resolves
+    assert solve_bit(bit).status in ("sat", "unsat")

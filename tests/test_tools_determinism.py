@@ -84,6 +84,35 @@ def test_deadline_guards_stay_allowlisted():
         assert f"def {guard}" in source
 
 
+def test_scope_covers_static_layers():
+    """The analysis/ and lang/ packages are inside the determinism
+    scope: certifier reports are diffed byte-for-byte against a
+    committed golden, so ambient clocks/RNG there are as fatal as in
+    the simulator core."""
+    scoped = {p.relative_to(REPO_ROOT).as_posix()
+              for p in lint_determinism.SCOPED_DIRS}
+    assert "src/repro/analysis" in scoped
+    assert "src/repro/lang" in scoped
+
+
+def test_violation_in_scoped_tree_is_caught(tmp_path):
+    """A wall-clock read dropped anywhere under a scoped package —
+    e.g. a hypothetical analysis/symbolic helper — is rejected."""
+    nested = tmp_path / "analysis" / "symbolic"
+    nested.mkdir(parents=True)
+    (nested / "bad.py").write_text("""\
+import time
+import random
+
+def stamp(report):
+    return (time.time(), random.random())
+""", encoding="utf-8")
+    findings = lint_determinism.lint_paths([tmp_path / "analysis"])
+    assert len(findings) == 2
+    assert any("time.time" in f for f in findings)
+    assert any("random.random" in f for f in findings)
+
+
 def test_cli_reports_findings(tmp_path, capsys, monkeypatch):
     path = tmp_path / "probe.py"
     path.write_text("import time\n\ndef f():\n    return time.time()\n",

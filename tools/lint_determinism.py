@@ -8,6 +8,12 @@ seed have to retire the same instructions, allocate the same BTB
 entries, and record the same LBR stream.  Wall-clock reads and ambient
 (module-level, unseeded) randomness silently break that.
 
+The static layers are held to the same bar: ``repro.analysis``
+(including the symbolic certifier, whose reports are diffed against a
+committed golden byte-for-byte) and ``repro.lang`` (the compiler and
+the constant-time rewriter, whose output the certifier re-proves)
+must produce identical artifacts on identical inputs.
+
 This lint walks the AST of every module under those packages and
 rejects:
 
@@ -46,6 +52,8 @@ SCOPED_DIRS = (
     REPO_ROOT / "src" / "repro" / "cpu",
     REPO_ROOT / "src" / "repro" / "isa",
     REPO_ROOT / "src" / "repro" / "memory",
+    REPO_ROOT / "src" / "repro" / "analysis",
+    REPO_ROOT / "src" / "repro" / "lang",
 )
 
 #: (relative path, enclosing function) pairs allowed to read the clock

@@ -4,17 +4,21 @@ Computes, without running the simulator, the map an attacker uses for
 probe placement (§2.1/§2.4 of the paper):
 
 * every control-transfer instruction's BTB coordinates — set index,
-  truncated tag, and 5-bit prediction-window offset of its **last
-  byte** (the index the front end allocates under);
+  truncated tag, and 5-bit prediction-window offset of its **anchor
+  byte** (the index the front end allocates under: the branch's last
+  byte on Intel-family designs, its first byte on instruction-indexed
+  backends);
 * *collisions*: distinct branch PCs whose coordinates coincide after
   tag truncation (8/16 GiB aliasing — the NV-Core signal);
 * *false hits*: fetch blocks that share (tag, set) with an entry whose
-  offset does not land on the last byte of a control transfer in that
-  block — fetching there makes the front end predict from the entry
-  and deallocate it at decode (Takeaway 1, the NV-S signal).
+  offset does not land on the anchor byte of a control transfer in
+  that block — fetching there makes the front end predict from the
+  entry and deallocate it at decode (Takeaway 1, the NV-S signal).
 
-All address math delegates to the pure functions in
-:mod:`repro.cpu.btb` so analyzer and simulator cannot drift apart.
+All address math delegates to the backend strategies in
+:mod:`repro.cpu.btb_backends` (selected by
+``generation.btb_backend``) so analyzer and simulator cannot drift
+apart.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Set, Tuple
 
-from ..cpu.btb import btb_fields
+from ..cpu.btb_backends import make_backend
 from ..cpu.config import CpuGeneration, DEFAULT_GENERATION
 from ..isa.instructions import Instruction
 from ..memory.address import BLOCK_SHIFT
@@ -38,9 +42,13 @@ class BranchSite:
     """One control transfer and its BTB coordinates."""
 
     pc: int                              # first byte
-    end_pc: int                          # last byte (the BTB index)
+    end_pc: int                          # last byte (Intel's BTB index)
     mnemonic: str
     coord: Coord
+
+    def anchor(self, last_byte_index: bool) -> int:
+        """The byte the configured backend indexes this branch by."""
+        return self.end_pc if last_byte_index else self.pc
 
 
 @dataclass
@@ -68,16 +76,18 @@ class AliasMap:
 
 def branch_sites(instrs: Dict[int, Instruction],
                  generation: CpuGeneration) -> List[BranchSite]:
-    """BTB coordinates of every control transfer in ``instrs``."""
+    """BTB coordinates of every control transfer in ``instrs`` under
+    ``generation``'s backend (coordinates are taken at the design's
+    anchor byte)."""
+    backend = make_backend(generation)
     sites: List[BranchSite] = []
     for pc in sorted(instrs):
         instruction = instrs[pc]
         if not instruction.is_control:
             continue
         end_pc = pc + instruction.length - 1
-        coord = btb_fields(end_pc,
-                           tag_keep_bits=generation.tag_keep_bits,
-                           btb_sets=generation.btb_sets)
+        anchor = end_pc if backend.last_byte_index else pc
+        coord = backend.split(anchor)
         sites.append(BranchSite(pc, end_pc, instruction.mnemonic, coord))
     return sites
 
@@ -105,25 +115,25 @@ def build_alias_map(instrs: Dict[int, Instruction],
     # ------------------------------------------------------------------
     # false-hit map: group the binary's fetch blocks by (tag, set);
     # any entry at (tag, set, off) false-hits in every such block whose
-    # byte `base | off` is not a control transfer's last byte.  This is
-    # exactly the front end's position-only check (the predicted target
-    # is never consulted when settling — Takeaway 1).
+    # byte `base | off` is not a control transfer's anchor byte.  This
+    # is exactly the front end's position-only check (the predicted
+    # target is never consulted when settling — Takeaway 1).
     # ------------------------------------------------------------------
-    control_end_bytes = {site.end_pc for site in sites}
+    backend = make_backend(generation)
+    control_anchor_bytes = {site.anchor(backend.last_byte_index)
+                            for site in sites}
     blocks_by_ts: Dict[Tuple[int, int], Set[int]] = {}
     for pc in instrs:
         instruction = instrs[pc]
         for byte_pc in range(pc, pc + instruction.length):
             base = byte_pc & _BLOCK_MASK
-            tag, set_index, _ = btb_fields(
-                base, tag_keep_bits=generation.tag_keep_bits,
-                btb_sets=generation.btb_sets)
+            tag, set_index, _ = backend.split(base)
             blocks_by_ts.setdefault((tag, set_index), set()).add(base)
     for coord in amap.by_coord:
         tag, set_index, offset = coord
         for base in blocks_by_ts.get((tag, set_index), ()):
             pred_end = base | offset
-            if pred_end not in control_end_bytes:
+            if pred_end not in control_anchor_bytes:
                 amap.false_hit_blocks.add((coord, base))
     return amap
 

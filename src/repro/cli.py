@@ -4,8 +4,10 @@ Commands
 --------
 ``list``
     Show every reproducible experiment with its paper artefact.
-``run <experiment> [--fast] [--seed N] [--out DIR]``
-    Run one experiment harness and print its findings.
+``run <experiment> [--fast] [--seed N] [--backend B] [--out DIR]``
+    Run one experiment harness and print its findings.  ``--backend``
+    re-runs it on a non-default BTB design family
+    (intel/arm/sodor/orcs, see :mod:`repro.cpu.btb_backends`).
 ``demo``
     A 30-second tour: Takeaways 1 & 2 plus one NV-Core detection.
 ``campaign``
@@ -50,6 +52,12 @@ Commands
     collision/false-hit map.  Exits non-zero on findings outside a
     victim's ``leak_allowlist`` (or on golden-report drift with
     ``--golden``).
+``portability``
+    Run ``exp_portability``: the attack × BTB-design survival matrix
+    (NV-Core deallocation, PW-range traversal and fingerprinting
+    against the intel/arm/sodor/orcs backends).  The output is
+    byte-stable; ``--golden`` diffs it against the committed report
+    (exit 3 on drift), mirroring ``lint``/``certify``.
 ``certify``
     Symbolic leakage certification
     (:mod:`repro.analysis.symbolic`): path-sensitive bit-vector
@@ -103,7 +111,8 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(name: str, fast: bool, seed: Optional[int] = None,
-             out: Optional[str] = None) -> int:
+             out: Optional[str] = None,
+             backend: Optional[str] = None) -> int:
     if name not in EXPERIMENTS:
         known = ", ".join(EXPERIMENTS)
         print(f"unknown experiment {name!r}; known: {known}",
@@ -112,7 +121,8 @@ def _cmd_run(name: str, fast: bool, seed: Optional[int] = None,
     spec = EXPERIMENTS[name]
     print(f"== {spec.artefact} ==")
     started = time.time()
-    output = run_experiment(name, RunRequest(fast=fast, seed=seed))
+    output = run_experiment(name, RunRequest(fast=fast, seed=seed,
+                                             backend=backend))
     print(output)
     print(f"({time.time() - started:.1f}s)")
     if out is not None:
@@ -392,7 +402,8 @@ def _cmd_submit(args) -> int:
         return 2
 
 
-def _observe(name: str, fast: bool, seed: Optional[int]):
+def _observe(name: str, fast: bool, seed: Optional[int],
+             backend: Optional[str] = None):
     """Run ``name`` inside a tracing telemetry session; return the
     finalized sink (or None for an unknown experiment)."""
     if name not in EXPERIMENTS:
@@ -402,14 +413,16 @@ def _observe(name: str, fast: bool, seed: Optional[int]):
         return None
     from . import telemetry
     with telemetry.session(trace=True) as sink:
-        run_experiment(name, RunRequest(fast=fast, seed=seed))
+        run_experiment(name, RunRequest(fast=fast, seed=seed,
+                                        backend=backend))
     return sink
 
 
 def _cmd_stats(name: str, fast: bool, seed: Optional[int] = None,
-               out: Optional[str] = None, timings: bool = False) -> int:
+               out: Optional[str] = None, timings: bool = False,
+               backend: Optional[str] = None) -> int:
     from . import telemetry
-    sink = _observe(name, fast, seed)
+    sink = _observe(name, fast, seed, backend)
     if sink is None:
         return 2
     print(telemetry.render_stats(sink, timings=timings), end="")
@@ -423,9 +436,10 @@ def _cmd_stats(name: str, fast: bool, seed: Optional[int] = None,
 
 
 def _cmd_trace(name: str, fast: bool, seed: Optional[int] = None,
-               out: Optional[str] = None) -> int:
+               out: Optional[str] = None,
+               backend: Optional[str] = None) -> int:
     from . import telemetry
-    sink = _observe(name, fast, seed)
+    sink = _observe(name, fast, seed, backend)
     if sink is None:
         return 2
     rendered = telemetry.render_trace(sink)
@@ -541,6 +555,25 @@ def _cmd_lint(out: Optional[str] = None,
     return status
 
 
+def _cmd_portability(out: Optional[str] = None,
+                     golden: Optional[str] = None) -> int:
+    from .experiments.exp_portability import (render_matrix,
+                                              run_portability)
+
+    rendered = render_matrix(run_portability()) + "\n"
+    print(rendered, end="")
+    if out is not None:
+        from .storage import atomic_write_text
+        path = atomic_write_text(out, rendered)
+        print(f"report written atomically to {path}")
+    if golden is not None:
+        expected = _load_golden("portability", golden)
+        if expected is None:
+            return 3
+        return _diff_golden("portability", rendered, golden, expected)
+    return 0
+
+
 def _cmd_certify(out: Optional[str] = None,
                  golden: Optional[str] = None,
                  no_rewrite: bool = False) -> int:
@@ -586,6 +619,10 @@ def main(argv=None) -> int:
     run.add_argument("--out", default=None, metavar="DIR",
                      help="also write the findings to DIR/<name>.txt "
                           "via the atomic artifact writer")
+    run.add_argument("--backend", default=None,
+                     choices=["intel", "arm", "sodor", "orcs"],
+                     help="run on a non-default BTB design family "
+                          "(default: each experiment's own config)")
 
     demo = sub.add_parser("demo", help="30-second tour")
     demo.add_argument("--seed", type=int, default=None,
@@ -776,6 +813,9 @@ def main(argv=None) -> int:
     stats.add_argument("--timings", action="store_true",
                        help="append wall-clock span timings to the "
                             "console output (never to --out)")
+    stats.add_argument("--backend", default=None,
+                       choices=["intel", "arm", "sodor", "orcs"],
+                       help="run on a non-default BTB design family")
 
     trace = sub.add_parser(
         "trace",
@@ -791,6 +831,9 @@ def main(argv=None) -> int:
                        help="trace path (default: "
                             "TRACE_<experiment>.jsonl; '-' for "
                             "stdout)")
+    trace.add_argument("--backend", default=None,
+                       choices=["intel", "arm", "sodor", "orcs"],
+                       help="run on a non-default BTB design family")
 
     lint = sub.add_parser(
         "lint",
@@ -802,6 +845,19 @@ def main(argv=None) -> int:
     lint.add_argument("--golden", default=None, metavar="PATH",
                       help="compare against a committed golden report; "
                            "non-zero exit on drift")
+
+    portability = sub.add_parser(
+        "portability",
+        help="attack x BTB-design survival matrix across the "
+             "intel/arm/sodor/orcs backends; byte-stable output, "
+             "exit 3 on golden drift")
+    portability.add_argument("--out", default=None, metavar="PATH",
+                             help="also write the matrix report to "
+                                  "PATH via the atomic artifact "
+                                  "writer")
+    portability.add_argument("--golden", default=None, metavar="PATH",
+                             help="compare against a committed golden "
+                                  "report; exit 3 on drift")
 
     certify = sub.add_parser(
         "certify",
@@ -824,7 +880,7 @@ def main(argv=None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args.experiment, args.fast, args.seed,
-                        args.out)
+                        args.out, args.backend)
     if args.command == "demo":
         return _cmd_demo(args.seed)
     if args.command == "campaign":
@@ -850,12 +906,14 @@ def main(argv=None) -> int:
         return bench_main(forwarded)
     if args.command == "stats":
         return _cmd_stats(args.experiment, args.fast, args.seed,
-                          args.out, args.timings)
+                          args.out, args.timings, args.backend)
     if args.command == "trace":
         return _cmd_trace(args.experiment, args.fast, args.seed,
-                          args.out)
+                          args.out, args.backend)
     if args.command == "lint":
         return _cmd_lint(args.out, args.golden)
+    if args.command == "portability":
+        return _cmd_portability(args.out, args.golden)
     if args.command == "certify":
         return _cmd_certify(args.out, args.golden, args.no_rewrite)
     return 2                                      # pragma: no cover

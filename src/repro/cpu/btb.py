@@ -31,9 +31,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry
-from ..errors import CpuError
-from ..memory.address import BLOCK_SHIFT, block_offset, truncate
+from ..memory.address import BLOCK_SHIFT
 from ..isa.instructions import INDIRECT_KINDS, Kind
+from .btb_backends import (BTBBackend, backend_fields, btb_set_bits,
+                           make_backend)
 from .config import CpuGeneration, DEFAULT_GENERATION
 
 
@@ -43,24 +44,18 @@ from .config import CpuGeneration, DEFAULT_GENERATION
 # The BTB's address math, exposed as stateless module-level functions so
 # the static analyzer (:mod:`repro.analysis.aliasing`) can predict
 # collisions without instantiating a BTB.  :class:`BTB` delegates to
-# these — there is exactly one implementation of the organisation.
-
-def btb_set_bits(btb_sets: int) -> int:
-    """log2 of the set count (validated power of two)."""
-    if btb_sets <= 0 or btb_sets & (btb_sets - 1):
-        raise CpuError(f"btb_sets must be a power of two: {btb_sets}")
-    return btb_sets.bit_length() - 1
-
+# the same implementation through its backend strategy
+# (:mod:`repro.cpu.btb_backends`) — there is exactly one implementation
+# of each organisation.
 
 def btb_fields(pc: int, *, tag_keep_bits: int,
                btb_sets: int) -> Tuple[int, int, int]:
     """Split ``pc`` into ``(tag, set_index, offset)`` after truncating
-    away address bits at and above ``tag_keep_bits`` (§2.1)."""
-    truncated = truncate(pc, tag_keep_bits)
-    offset = block_offset(truncated)
-    set_index = (truncated >> BLOCK_SHIFT) & (btb_sets - 1)
-    tag = truncated >> (BLOCK_SHIFT + btb_set_bits(btb_sets))
-    return tag, set_index, offset
+    away address bits at and above ``tag_keep_bits`` (§2.1) — the
+    Intel-backend specialisation of
+    :func:`repro.cpu.btb_backends.backend_fields`."""
+    return backend_fields(pc, tag_keep_bits=tag_keep_bits,
+                          btb_sets=btb_sets, index_shift=BLOCK_SHIFT)
 
 
 def btb_aliases(a: int, b: int, *, tag_keep_bits: int,
@@ -130,12 +125,23 @@ class BTBStats:
 
 
 class BTB:
-    """Set-associative Branch Target Buffer with range-query lookups."""
+    """Branch Target Buffer behind a design-family strategy.
+
+    The default (``intel``) backend is the paper's set-associative
+    range-query design; alternative organisations (arm / sodor / orcs)
+    plug in via :mod:`repro.cpu.btb_backends`, varying geometry,
+    indexing, hit semantics and replacement while every front-end
+    behaviour above the lookup (prediction windows, false-hit
+    deallocation, generation stamping) stays shared."""
 
     def __init__(self, config: Optional[CpuGeneration] = None):
         self.config = config if config is not None else DEFAULT_GENERATION
+        #: the design-family strategy (geometry/index/hit/replacement)
+        self.backend: BTBBackend = make_backend(self.config)
         sets = self.config.btb_sets
         self._set_bits = btb_set_bits(sets)
+        #: hit-semantics flag cached for the lookup hot path
+        self._range_hits = self.backend.range_hits
         self._sets: List[List[BTBEntry]] = [
             [BTBEntry() for _ in range(self.config.btb_ways)]
             for _ in range(sets)
@@ -213,23 +219,30 @@ class BTB:
     # field extraction
     # ------------------------------------------------------------------
     def fields(self, pc: int) -> Tuple[int, int, int]:
-        """Split ``pc`` into ``(tag, set_index, offset)`` after tag
-        truncation (delegates to the pure :func:`btb_fields`)."""
-        return btb_fields(pc, tag_keep_bits=self.config.tag_keep_bits,
-                          btb_sets=self.config.btb_sets)
+        """Split ``pc`` into ``(tag, set_index, offset)`` under this
+        BTB's design (delegates to the backend's pure split)."""
+        return self.backend.split(pc)
 
     def aliases(self, a: int, b: int) -> bool:
         """Do two PCs map to the same (tag, set, offset) triple?"""
         return self.fields(a) == self.fields(b)
 
+    def anchor_pc(self, last_byte_pc: int, length: int) -> int:
+        """The byte this design indexes a branch by, given the
+        branch's last byte and length (see
+        :meth:`BTBBackend.anchor_pc`)."""
+        return self.backend.anchor_pc(last_byte_pc, length)
+
     # ------------------------------------------------------------------
     # access (fetch-time prediction)
     # ------------------------------------------------------------------
     def lookup(self, fetch_pc: int) -> Optional[BTBEntry]:
-        """Range-semantics lookup (Takeaway 2).
+        """Backend-semantics lookup.
 
-        Returns the valid entry with the same tag/set whose offset is
-        >= the fetch PC's offset, preferring the smallest such offset;
+        Under the range-hit designs (Takeaway 2) this returns the valid
+        entry with the same tag/set whose offset is >= the fetch PC's
+        offset, preferring the smallest such offset; under tag-exact
+        designs only an entry anchored exactly at the fetch PC hits.
         ``None`` on a miss.  Does not modify any entry.
         """
         self.stats.lookups += 1
@@ -249,9 +262,17 @@ class BTB:
         superblock actually runs (see ``Core.run``).
         """
         tag, set_index, offset = self.fields(fetch_pc)
-        best: Optional[BTBEntry] = None
         partitioned = self.config.btb_partitioning
         domain = self._current_domain
+        if not self._range_hits:
+            # Tag-exact designs: at most one entry can match (allocate
+            # updates same-anchor entries in place).
+            for entry in self._sets[set_index]:
+                if (entry.matches(tag, domain, partitioned)
+                        and entry.offset == offset):
+                    return entry
+            return None
+        best: Optional[BTBEntry] = None
         for entry in self._sets[set_index]:
             if not entry.matches(tag, domain, partitioned):
                 continue
@@ -262,8 +283,9 @@ class BTB:
         return best
 
     def predicted_end_byte(self, fetch_pc: int, entry: BTBEntry) -> int:
-        """Reconstruct the address of the predicted branch's *last
-        byte* within the fetch block of ``fetch_pc``.
+        """Reconstruct the address of the predicted branch's *anchor
+        byte* (its last byte on Intel-family designs, its first byte on
+        instruction-indexed designs) within ``fetch_pc``'s fetch block.
 
         Only the low ``tag_keep_bits`` of the branch PC are stored in
         the BTB; the front end assumes the branch lives in the current
@@ -273,30 +295,35 @@ class BTB:
     # ------------------------------------------------------------------
     # update
     # ------------------------------------------------------------------
-    def allocate(self, branch_end_pc: int, target: int,
+    def allocate(self, anchor_pc: int, target: int,
                  kind: Kind) -> BTBEntry:
         """Install (or refresh) the entry for a taken branch.
 
-        ``branch_end_pc`` is the address of the branch's **last byte**
-        (``pc + length - 1``)."""
-        tag, set_index, offset = self.fields(branch_end_pc)
+        ``anchor_pc`` is the byte the design indexes the branch by —
+        its **last byte** (``pc + length - 1``) on the default Intel
+        backend, its first byte on instruction-indexed backends (the
+        front end computes it via :meth:`anchor_pc`)."""
+        tag, set_index, offset = self.fields(anchor_pc)
         ways = self._sets[set_index]
         partitioned = self.config.btb_partitioning
         victim: Optional[BTBEntry] = None
+        in_place = False
         for entry in ways:
             if (entry.matches(tag, self.current_domain, partitioned)
                     and entry.offset == offset):
                 victim = entry          # same branch: update in place
+                in_place = True
                 break
         if victim is None:
-            for entry in ways:
-                if not entry.valid:
-                    victim = entry
-                    break
-        if victim is None:
-            victim = min(ways, key=lambda e: e.lru)
-            self.stats.evictions += 1
-        if victim.valid and (victim.tag, victim.offset) == (tag, offset):
+            victim, evicted = self.backend.pick_victim(ways)
+            if evicted:
+                self.stats.evictions += 1
+        # Counting keys off the *same-branch* match above (which
+        # includes the security domain): a replacement victim that
+        # merely shares (tag, offset) — e.g. a cross-domain twin under
+        # partitioning — is an eviction + allocation, not an in-place
+        # target update.
+        if in_place:
             self.stats.target_updates += 1
         else:
             self.stats.allocations += 1
@@ -313,7 +340,7 @@ class BTB:
         victim.domain = self._current_domain
         self.generation += 1
         self.set_gens[set_index] += 1
-        self._touch(victim)
+        self.backend.stamp_insert(self, victim)
         return victim
 
     def update_target(self, entry: BTBEntry, target: int,
@@ -330,60 +357,85 @@ class BTB:
                 "tag": entry.tag, "set": entry.set_index,
                 "off": entry.offset, "target": target,
                 "kind": entry.kind.name})
-        self._touch(entry)
+        self.backend.stamp_insert(self, entry)
+
+    def _invalidate(self, entry: BTBEntry) -> None:
+        """Shared entry-invalidation path: clears validity *and* the
+        backend's replacement bookkeeping, then bumps the visibility
+        generations.  Every invalidation (deallocate, spurious
+        eviction, flush) must route through here — mutating
+        ``entry.valid`` directly would leave clock-style replacement
+        stamps stale and desynchronise fault drills from real
+        evictions."""
+        entry.valid = False
+        self.backend.clear_entry(entry)
+        self.generation += 1
+        self.set_gens[entry.set_index] += 1
 
     def deallocate(self, entry: BTBEntry) -> None:
         """Invalidate an entry after a false hit (Takeaway 1)."""
         if entry.valid:
-            entry.valid = False
-            self.generation += 1
-            self.set_gens[entry.set_index] += 1
+            self._invalidate(entry)
             self.stats.deallocations += 1
 
     def evict_spurious(self, rng) -> Optional[BTBEntry]:
         """Invalidate one random valid entry (fault injection's
         co-resident-noise model).  Goes through the same
         entry-invalidation state change as a capacity eviction — the
-        lookup/allocate semantics are never bypassed."""
+        lookup/allocate/replacement semantics are never bypassed."""
         candidates = self.valid_entries()
         if not candidates:
             return None
         victim = rng.choice(candidates)
-        victim.valid = False
-        self.generation += 1
-        self.set_gens[victim.set_index] += 1
+        self._invalidate(victim)
         self.stats.spurious_evictions += 1
         return victim
 
     def touch(self, entry: BTBEntry) -> None:
-        """Refresh replacement state after a correct prediction."""
-        self._touch(entry)
-
-    def _touch(self, entry: BTBEntry) -> None:
-        self._clock += 1
-        entry.lru = self._clock
+        """Refresh replacement state after a correct prediction (a
+        no-op on designs whose stamps are written only at insert)."""
+        self.backend.stamp_touch(self, entry)
 
     # ------------------------------------------------------------------
     # flush operations (mitigations, §4.1 / §8.2)
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """Invalidate everything (the §8.2 flush-on-switch mitigation)."""
-        for ways in self._sets:
-            for entry in ways:
-                entry.valid = False
-        self._bump_all_sets()
+        """Invalidate everything (the §8.2 flush-on-switch mitigation).
+
+        Only sets that actually held a valid entry advance their
+        generation (and the global generation only moves when at least
+        one set changed): flushing an empty BTB changes no lookup
+        result, so it must not invalidate every cached superblock."""
+        self._flush_where(lambda entry: True)
         self.stats.full_flushes += 1
 
     def flush_indirect(self) -> None:
         """IBRS/IBPB model (§4.1): only entries for *indirect* control
         transfers are invalidated; direct jumps and conditional branches
-        survive, which is why NightVision is unaffected."""
-        for ways in self._sets:
-            for entry in ways:
-                if entry.valid and entry.kind in INDIRECT_KINDS:
-                    entry.valid = False
-        self._bump_all_sets()
+        survive, which is why NightVision is unaffected.  Per-set
+        generation stamps advance only where an indirect entry was
+        actually dropped, so direct-branch superblock chains survive."""
+        self._flush_where(lambda entry: entry.kind in INDIRECT_KINDS)
         self.stats.indirect_flushes += 1
+
+    def _flush_where(self, predicate) -> None:
+        """Invalidate every valid entry satisfying ``predicate``,
+        advancing only the generations of sets that changed."""
+        clear_entry = self.backend.clear_entry
+        gens = self.set_gens
+        any_changed = False
+        for set_index, ways in enumerate(self._sets):
+            changed = False
+            for entry in ways:
+                if entry.valid and predicate(entry):
+                    entry.valid = False
+                    clear_entry(entry)
+                    changed = True
+            if changed:
+                gens[set_index] += 1
+                any_changed = True
+        if any_changed:
+            self.generation += 1
 
     # ------------------------------------------------------------------
     # introspection (tests / debugging only — attack code never calls)

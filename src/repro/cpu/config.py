@@ -32,6 +32,12 @@ class CpuGeneration:
     #: parts ignore bit 33 and above (keep 33), IceLake ignores bit 34
     #: and above (keep 34).
     tag_keep_bits: int = 33
+    #: BTB design family (strategy key into
+    #: :mod:`repro.cpu.btb_backends`): "intel" (the paper's
+    #: range-semantics model, default), "arm", "sodor" or "orcs".
+    #: Select a non-Intel design via :func:`backend_generation` so the
+    #: geometry fields above stay coherent with the strategy.
+    btb_backend: str = "intel"
 
     # ----- front-end / timing -----------------------------------------
     #: cycles charged per prediction-window fetch
@@ -108,6 +114,43 @@ def generation(name: str, **overrides) -> CpuGeneration:
         known = ", ".join(sorted(GENERATIONS))
         raise ValueError(f"unknown generation {name!r}; known: {known}")
     return preset.with_(**overrides) if overrides else preset
+
+
+#: Geometry each BTB design family carries (applied on top of a base
+#: generation by :func:`backend_generation`).  "intel" is empty — the
+#: Intel backend uses whatever the generation preset says (512x8,
+#: keep 33/34).  The non-Intel entries pin the geometry the design was
+#: reverse-engineered / published with:
+#:
+#: * ``arm`` — 512 sets x 4 ways, partial tags keeping 32 bits (the
+#:   Wan 2024 report's closest-alias distance of 4 GiB);
+#: * ``sodor`` — direct-mapped (1 way) with full tags: no aliasing
+#:   inside the simulated 47-bit address space;
+#: * ``orcs`` — OrCS's 128 sets x 4 ways, modelled with SkyLake-style
+#:   truncation (keep 33) so aliased probes remain constructible.
+BTB_BACKENDS: Dict[str, Dict[str, int]] = {
+    "intel": {},
+    "arm": {"btb_sets": 512, "btb_ways": 4, "tag_keep_bits": 32},
+    "sodor": {"btb_sets": 1024, "btb_ways": 1, "tag_keep_bits": 47},
+    "orcs": {"btb_sets": 128, "btb_ways": 4, "tag_keep_bits": 33},
+}
+
+
+def backend_generation(backend: str,
+                       base: Optional[CpuGeneration] = None,
+                       **overrides) -> CpuGeneration:
+    """A config running ``base`` (default: the default generation) on
+    the named BTB design, with the design's geometry applied so
+    ``collision_distance`` and friends describe that backend."""
+    key = backend.lower()
+    try:
+        geometry = BTB_BACKENDS[key]
+    except KeyError:
+        known = ", ".join(sorted(BTB_BACKENDS))
+        raise ValueError(
+            f"unknown BTB backend {backend!r}; known: {known}") from None
+    config = base if base is not None else DEFAULT_GENERATION
+    return config.with_(btb_backend=key, **geometry, **overrides)
 
 
 DEFAULT_GENERATION = GENERATIONS["coffeelake"].with_(name="coffeelake")

@@ -136,6 +136,10 @@ class Core:
                  lbr_rng=None):
         self.config = config if config is not None else DEFAULT_GENERATION
         self.btb = BTB(self.config)
+        #: does the BTB design anchor a branch at its last byte (Intel)
+        #: or its first?  Cached: decides both the byte passed to
+        #: ``allocate`` and what an aligned prediction looks like.
+        self._last_byte_index = self.btb.backend.last_byte_index
         self.lbr = LBR(timing_noise=self.config.timing_noise,
                        seed=self.config.seed, rng=lbr_rng)
         self.cycles: float = 0.0
@@ -833,14 +837,15 @@ class Core:
         ``[pc, pc+length)``.
 
         Returns True when the prediction legitimately points at this
-        instruction (a control transfer whose last byte is the
+        instruction (a control transfer whose anchor byte — last byte
+        on Intel-family designs, first byte otherwise — is the
         predicted end byte).  Any prediction landing *inside* the
         instruction otherwise is a false hit: deallocate and re-check
         (several aliasing entries can burn down in sequence).
         """
+        aligned = (pc + length - 1) if self._last_byte_index else pc
         while pw.pred_end is not None and pc <= pw.pred_end < pc + length:
-            if (instruction.is_control
-                    and pw.pred_end == pc + length - 1):
+            if instruction.is_control and pw.pred_end == aligned:
                 return True
             self._false_hit(pw, pc, charge)
         return False
@@ -871,12 +876,14 @@ class Core:
                                            instruction.kind)
                 else:
                     # Unpredicted taken transfer: allocate, indexed by
-                    # the branch's last byte (§2.1).  Note: an entry
-                    # predicting a *later* position in the window is
-                    # left alone — Figure 4's data shows jmp L2's
-                    # execution does not disturb jmp L1's entry.
-                    self.btb.allocate(pc + length - 1, outcome.next_pc,
-                                      instruction.kind)
+                    # the design's anchor byte — the branch's last byte
+                    # on Intel (§2.1).  Note: an entry predicting a
+                    # *later* position in the window is left alone —
+                    # Figure 4's data shows jmp L2's execution does not
+                    # disturb jmp L1's entry.
+                    self.btb.allocate(
+                        self.btb.anchor_pc(pc + length - 1, length),
+                        outcome.next_pc, instruction.kind)
             return True
         # Not-taken conditional.
         if entry is not None:
@@ -956,8 +963,9 @@ class Core:
                     # predicting a later position is left alone
                     # (Figure 4).
                     target = cur + length + instruction.operands[0]
-                    self.btb.allocate(cur + length - 1, target,
-                                      instruction.kind)
+                    self.btb.allocate(
+                        self.btb.anchor_pc(cur + length - 1, length),
+                        target, instruction.kind)
                     cur = target
                     pw = None
                     continue
@@ -1016,8 +1024,9 @@ class Core:
                                            instruction.kind)
                     return
                 if entry is None:
-                    self.btb.allocate(pc + length - 1, outcome.next_pc,
-                                      instruction.kind)
+                    self.btb.allocate(
+                        self.btb.anchor_pc(pc + length - 1, length),
+                        outcome.next_pc, instruction.kind)
                     return   # mispredicted: squash ends speculation
                 pw = None    # correctly predicted: keep speculating
             elif instruction.is_control and pw.entry is not None \

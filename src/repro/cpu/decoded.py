@@ -364,11 +364,12 @@ def build_superblock(memory, btb, entry_pc: int, fusion_enabled: bool):
     A window extends the chain iff it ends in a control transfer and
     either
 
-    * the BTB predicts the terminator's *exact* last byte
-      (``reconstruct_end_byte`` of the entry's offset equals the
-      terminator's last byte): the prediction cannot interact with the
-      prefix (no false-hit walk, no mid-prefix settle) and the
-      predicted target gives the next window; or
+    * the BTB predicts the terminator's *exact* anchor byte — its last
+      byte on Intel-family designs, its first byte on
+      instruction-indexed backends (``reconstruct_end_byte`` of the
+      entry's offset equals that anchor): the prediction cannot
+      interact with the prefix (no false-hit walk, no mid-prefix
+      settle) and the predicted target gives the next window; or
     * no entry is in range at all and the terminator is a conditional
       jump: the not-taken successor gives the next window (see
       :class:`SuperblockLink` for why this edge is chainable).
@@ -390,6 +391,7 @@ def build_superblock(memory, btb, entry_pc: int, fusion_enabled: bool):
     loop = False
     opens = True
     set_indices: List[int] = []
+    last_byte_index = btb.backend.last_byte_index
 
     def negative(btb_dependent: bool):
         if btb_dependent:
@@ -412,8 +414,11 @@ def build_superblock(memory, btb, entry_pc: int, fusion_enabled: bool):
             if set_index not in set_indices:
                 set_indices.append(set_index)
         else:
-            # Continuation inside the block: the opening lookup missed,
-            # and range semantics make every higher offset miss too.
+            # Continuation inside the block: the opening lookup missed.
+            # Under range semantics every higher offset misses too; the
+            # exact-hit designs never re-look-up mid-window at all (the
+            # front end probes once per fetch), so entry stays None for
+            # every backend.
             entry = None
         term_pc = window.resume_pc
         if term is None:
@@ -439,9 +444,10 @@ def build_superblock(memory, btb, entry_pc: int, fusion_enabled: bool):
                     jcc = nw.terminator
                     jcc_pc = window.resume_pc
                     entry2 = btb.peek(jcc_pc)
-                    jcc_last = jcc_pc + jcc.length - 1
+                    jcc_anchor = (jcc_pc + jcc.length - 1
+                                  if last_byte_index else jcc_pc)
                     if entry2 is not None and reconstruct_end_byte(
-                            jcc_pc, entry2.offset) != jcc_last:
+                            jcc_pc, entry2.offset) != jcc_anchor:
                         # Prediction interacts with the Jcc (false-hit
                         # walk / mid-unit settle): not chainable until
                         # that entry dies.
@@ -451,7 +457,7 @@ def build_superblock(memory, btb, entry_pc: int, fusion_enabled: bool):
                     if si2 not in set_indices:
                         set_indices.append(si2)
                     if entry2 is not None:
-                        pe2: Optional[int] = jcc_last
+                        pe2: Optional[int] = jcc_anchor
                         target = entry2.target
                         next_opens = True
                     else:
@@ -475,11 +481,12 @@ def build_superblock(memory, btb, entry_pc: int, fusion_enabled: bool):
             next_opens = True
             fused = False
         elif entry is not None:
-            term_last = term_pc + term.length - 1
-            if reconstruct_end_byte(pc, entry.offset) != term_last:
+            term_anchor = (term_pc + term.length - 1
+                           if last_byte_index else term_pc)
+            if reconstruct_end_byte(pc, entry.offset) != term_anchor:
                 btb_dependent = True
                 break
-            pred_end = term_last
+            pred_end = term_anchor
             target = entry.target
             next_opens = True
             fused = bool(fusion_enabled and window.count

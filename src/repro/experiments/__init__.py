@@ -14,6 +14,8 @@ from .exp_generations import GenerationResult, run_generation_sweep
 from .exp_mitigations import (ObliviousResult, run_hardware_grid,
                               run_oblivious)
 from .exp_overlap import OverlapResult, run_figure5
+from .exp_portability import (DrillVerdict, render_matrix,
+                              run_portability)
 from .exp_pw_range import run_figure4
 from .exp_robustness import (RobustnessPoint, RobustnessResult,
                              run_fingerprint_robustness,
@@ -27,6 +29,7 @@ from .exp_versions import (SimilarityMatrix, run_figure13_optlevels,
 __all__ = [
     "CallHarness",
     "ChainedResult",
+    "DrillVerdict",
     "ExtractionArtifacts",
     "FigureResult",
     "FingerprintResult",
@@ -60,5 +63,7 @@ __all__ = [
     "run_generation_sweep",
     "run_hardware_grid",
     "run_oblivious",
+    "render_matrix",
+    "run_portability",
     "version_groups",
 ]

@@ -35,12 +35,15 @@ class RunRequest:
     ``seed is None`` means "use the experiment's own default seeds".
     ``plan`` is an optional :class:`repro.faults.FaultPlan` carried by
     campaign jobs; experiments that model environmental noise honour
-    it, the rest record it as provenance only.
+    it, the rest record it as provenance only.  ``backend`` selects a
+    BTB design family (``intel``/``arm``/``sodor``/``orcs``); None
+    keeps each experiment's default (the Intel model).
     """
 
     fast: bool = False
     seed: Optional[int] = None
     plan: Optional[FaultPlan] = None
+    backend: Optional[str] = None
 
     def seeded(self, **kwargs) -> Dict[str, object]:
         """kwargs plus ``seed=`` when the request carries one."""
@@ -49,12 +52,16 @@ class RunRequest:
         return kwargs
 
     def config_for(self, name: str):
-        """A generation preset carrying the request's seed (None ->
-        default config, letting the experiment pick its own preset)."""
-        if self.seed is None:
+        """A generation preset carrying the request's seed and BTB
+        backend (None -> default config, letting the experiment pick
+        its own preset)."""
+        if self.seed is None and self.backend is None:
             return None
-        from ..cpu.config import generation
-        return generation(name, seed=self.seed)
+        from ..cpu.config import backend_generation, generation
+        config = generation(name, **self.seeded())
+        if self.backend is not None:
+            config = backend_generation(self.backend, base=config)
+        return config
 
 
 @dataclass(frozen=True)

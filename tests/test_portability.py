@@ -1,0 +1,65 @@
+"""exp_portability: the attack x BTB-design survival matrix."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import render_matrix, run_portability
+from repro.experiments.common import EXPERIMENTS, RunRequest
+from repro.experiments.exp_portability import BACKENDS, DRILLS
+
+GOLDEN = Path(__file__).resolve().parent.parent / "reports" \
+    / "portability_golden.txt"
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_portability()
+
+
+class TestVerdicts:
+    def test_matrix_is_complete(self, matrix):
+        assert tuple(matrix) == BACKENDS
+        for backend in BACKENDS:
+            assert tuple(matrix[backend]) == DRILLS
+
+    def test_intel_grade_signal_on_the_papers_design(self, matrix):
+        assert all(cell.verdict == "works"
+                   for cell in matrix["intel"].values())
+
+    def test_exact_hit_designs_degrade(self, matrix):
+        """Tag-exact lookups keep aliasing alive but kill the range
+        primitive: only window-open anchors are ever predicted."""
+        for backend in ("arm", "orcs"):
+            assert all(cell.verdict == "degraded"
+                       for cell in matrix[backend].values()), backend
+
+    def test_full_tags_kill_everything(self, matrix):
+        """sodor keeps all 47 address bits: no alias is constructible,
+        so every aliasing-based primitive dies by construction."""
+        assert all(cell.verdict == "dies"
+                   for cell in matrix["sodor"].values())
+
+    def test_intel_fingerprint_recovers_the_exact_layout(self, matrix):
+        detail = matrix["intel"]["fingerprint"].detail
+        assert "F0=1.00" in detail and "F1=1.00" in detail
+
+
+class TestByteStability:
+    def test_two_runs_render_identically(self, matrix):
+        assert render_matrix(matrix) == render_matrix(run_portability())
+
+    def test_committed_golden_matches(self, matrix):
+        assert GOLDEN.exists(), "run: repro portability --out " + str(GOLDEN)
+        assert render_matrix(matrix) + "\n" == GOLDEN.read_text()
+
+
+class TestRegistration:
+    def test_registered_as_campaign_experiment(self):
+        assert "portability" in EXPERIMENTS
+
+    def test_request_knobs_do_not_change_the_output(self, matrix):
+        runner = EXPERIMENTS["portability"].runner
+        rendered = render_matrix(matrix)
+        assert runner(RunRequest(fast=True, seed=99,
+                                 backend="arm")) == rendered
